@@ -1,0 +1,43 @@
+// Ablation A5 (DESIGN.md): WM-Sketch depth at a fixed total size k. Depth
+// buys median disambiguation but costs width (more collisions per row) and
+// update time. The paper's Table 2 optima pick substantial depth for the
+// basic WM-Sketch; this sweep shows the trade-off curve directly, plus the
+// per-update time scaling linearly with depth.
+
+#include <chrono>
+
+#include "bench/bench_common.h"
+#include "core/wm_sketch.h"
+
+int main() {
+  using namespace wmsketch;
+  using namespace wmsketch::bench;
+  const ClassificationProfile profile = ClassificationProfile::Rcv1Like();
+  const int examples = ScaledCount(60000);
+  const size_t k = 128;
+  const uint32_t total_cells = 2048;  // fixed k = width * depth
+  const LearnerOptions opts = PaperOptions(1e-6, 95);
+
+  Banner("Ablation A5 — WM depth sweep at fixed k = 2048 cells (+1KB heap, rcv1)");
+  PrintRow({"depth", "width", "RelErr@128", "error-rate", "us/update"});
+  for (const uint32_t depth : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    WmSketchConfig cfg{total_cells / depth, depth, 128};
+    WmSketch model(cfg, opts);
+    DenseLinearModel reference(profile.dimension, opts);
+    OnlineErrorRate err;
+    SyntheticClassificationGen gen(profile, 96);
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < examples; ++i) {
+      const Example ex = gen.Next();
+      err.Record(model.Update(ex.x, ex.y), ex.y);
+      reference.Update(ex.x, ex.y);
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(end - start).count() / examples;
+    PrintRow({std::to_string(depth), std::to_string(cfg.width),
+              Fmt(RelErrTopK(model.TopK(k), reference.Weights(), k)), Fmt(err.Rate()),
+              Fmt(us, 2)});
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Ablation A3 (DESIGN.md): hash-family choice. The theory (Theorem 1) wants
+// O(log(d/δ))-wise independence; the implementation (like the paper's,
+// Appendix B) uses 3-wise-independent tabulation hashing. This bench
+// measures both the raw evaluation throughput of each family and the
+// end-to-end Count-Sketch recovery error they induce — showing the paper's
+// observation that the cheap hash costs nothing in practice.
+
+#include <algorithm>
+#include <chrono>
+
+#include "bench/bench_common.h"
+#include "hash/murmur3.h"
+#include "hash/polynomial.h"
+#include "hash/tabulation.h"
+#include "util/zipf.h"
+
+namespace wmsketch::bench {
+namespace {
+
+template <typename Fn>
+double NsPerEval(Fn&& fn, int iters) {
+  // Warm up, then time.
+  uint64_t sink = 0;
+  for (int i = 0; i < 10000; ++i) sink ^= fn(static_cast<uint32_t>(i));
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) sink ^= fn(static_cast<uint32_t>(i * 2654435761u));
+  const auto end = std::chrono::steady_clock::now();
+  if (sink == 0xdeadbeef) std::printf("!");  // defeat dead-code elimination
+  return std::chrono::duration<double, std::nano>(end - start).count() / iters;
+}
+
+// Generic Count-Sketch-style recovery error with a pluggable row hash.
+template <typename RowHash>
+double RecoveryError(std::vector<RowHash>& rows, uint32_t width) {
+  const uint32_t depth = static_cast<uint32_t>(rows.size());
+  std::vector<float> table(static_cast<size_t>(width) * depth, 0.0f);
+  ZipfSampler zipf(20000, 1.2);
+  Rng rng(123);
+  std::vector<float> truth(20000, 0.0f);
+  for (int i = 0; i < 200000; ++i) {
+    const uint32_t key = static_cast<uint32_t>(zipf.Sample(rng));
+    truth[key] += 1.0f;
+    for (uint32_t j = 0; j < depth; ++j) {
+      uint32_t bucket;
+      float sign;
+      rows[j].BucketAndSign(key, &bucket, &sign);
+      table[j * width + bucket] += sign;
+    }
+  }
+  double sum_abs_err = 0.0;
+  int evaluated = 0;
+  for (uint32_t key = 0; key < 2000; ++key) {
+    float est[64];
+    for (uint32_t j = 0; j < depth; ++j) {
+      uint32_t bucket;
+      float sign;
+      rows[j].BucketAndSign(key, &bucket, &sign);
+      est[j] = sign * table[j * width + bucket];
+    }
+    std::nth_element(est, est + (depth - 1) / 2, est + depth);
+    sum_abs_err += std::fabs(est[(depth - 1) / 2] - truth[key]);
+    ++evaluated;
+  }
+  return sum_abs_err / evaluated;
+}
+
+// Murmur-finalizer row hash (a third family: multiplicative mixing).
+class MurmurBucketHash {
+ public:
+  MurmurBucketHash(uint64_t seed, uint32_t width) : seed_(seed), mask_(width - 1) {}
+  void BucketAndSign(uint32_t key, uint32_t* bucket, float* sign) const {
+    const uint64_t h = Murmur3Fmix64(seed_ ^ key);
+    *bucket = static_cast<uint32_t>(h) & mask_;
+    *sign = ((h >> 32) & 1) != 0 ? 1.0f : -1.0f;
+  }
+
+ private:
+  uint64_t seed_;
+  uint32_t mask_;
+};
+
+}  // namespace
+}  // namespace wmsketch::bench
+
+int main() {
+  using namespace wmsketch;
+  using namespace wmsketch::bench;
+  const uint32_t width = 1024;
+  const uint32_t depth = 5;
+  const int iters = 2000000;
+
+  Banner("Ablation A3 — hash family: throughput and recovery error");
+  PrintRow({"family", "ns/eval", "mean|err|"});
+
+  {
+    std::vector<SignedBucketHash> rows;
+    SplitMix64 sm(1);
+    for (uint32_t j = 0; j < depth; ++j) rows.emplace_back(sm.Next(), width);
+    const TabulationHash tab(2);
+    const double ns = NsPerEval([&](uint32_t k) { return tab.Hash(k); }, iters);
+    PrintRow({"tabulation (3-wise)", Fmt(ns, 2), Fmt(RecoveryError(rows, width), 3)});
+  }
+  for (const uint32_t indep : {2u, 4u, 8u, 16u}) {
+    std::vector<PolynomialBucketHash> rows;
+    SplitMix64 sm(3);
+    for (uint32_t j = 0; j < depth; ++j) rows.emplace_back(sm.Next(), width, indep);
+    const PolynomialHash poly(4, indep);
+    const double ns = NsPerEval([&](uint32_t k) { return poly.Hash(k); }, iters);
+    PrintRow({"polynomial k=" + std::to_string(indep), Fmt(ns, 2),
+              Fmt(RecoveryError(rows, width), 3)});
+  }
+  {
+    std::vector<MurmurBucketHash> rows;
+    SplitMix64 sm(5);
+    for (uint32_t j = 0; j < depth; ++j) rows.emplace_back(sm.Next(), width);
+    const double ns =
+        NsPerEval([&](uint32_t k) { return Murmur3Fmix64(0x1234 ^ k); }, iters);
+    PrintRow({"murmur fmix64", Fmt(ns, 2), Fmt(RecoveryError(rows, width), 3)});
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Ablation A4 (DESIGN.md): how should the AWM-Sketch split its budget
+// between the exact active set and the tail sketch? The paper reports that
+// "half the space to the active set and the remainder to a depth-1 sketch"
+// uniformly performed best (Sec. 7.3); this bench sweeps the fraction.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace wmsketch;
+  using namespace wmsketch::bench;
+  const ClassificationProfile profile = ClassificationProfile::Rcv1Like();
+  const int examples = ScaledCount(60000);
+  const size_t budget = KiB(8);
+  const size_t k = 128;
+  const LearnerOptions opts = PaperOptions(1e-6, 93);
+
+  Banner("Ablation A4 — AWM budget split: active-set fraction sweep (8KB, rcv1)");
+  PrintRow({"heap-fraction", "|S|", "width", "RelErr@128", "error-rate"});
+  for (const double fraction : {0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875}) {
+    BudgetConfig cfg;
+    cfg.method = Method::kAwmSketch;
+    cfg.heap_capacity = static_cast<size_t>(budget * fraction) / HeapBytes(1);
+    cfg.depth = 1;
+    const size_t sketch_bytes = budget - HeapBytes(cfg.heap_capacity);
+    uint32_t w = 64;
+    while (TableBytes(w * 2) <= sketch_bytes) w *= 2;
+    cfg.width = w;
+
+    auto model = MakeClassifier(cfg, opts);
+    DenseLinearModel reference(profile.dimension, opts);
+    OnlineErrorRate err;
+    SyntheticClassificationGen gen(profile, 94);
+    for (int i = 0; i < examples; ++i) {
+      const Example ex = gen.Next();
+      err.Record(model->Update(ex.x, ex.y), ex.y);
+      reference.Update(ex.x, ex.y);
+    }
+    PrintRow({Fmt(fraction, 3), std::to_string(cfg.heap_capacity),
+              std::to_string(cfg.width),
+              Fmt(RelErrTopK(model->TopK(k), reference.Weights(), k)), Fmt(err.Rate())});
+  }
+  return 0;
+}

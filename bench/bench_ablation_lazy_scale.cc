@@ -1,0 +1,122 @@
+// Ablation A2 (DESIGN.md): the lazy global-scale ℓ2 trick (Sec. 5.1). An
+// eager implementation decays every one of the k sketch cells on every
+// update — O(k + s·nnz) — while the lazy implementation folds the decay into
+// a scalar — O(s·nnz). This bench measures both the update-time gap and the
+// numerical agreement of the resulting weight estimates.
+
+#include <chrono>
+
+#include "bench/bench_common.h"
+#include "core/wm_sketch.h"
+#include "hash/tabulation.h"
+#include "util/math.h"
+
+namespace wmsketch::bench {
+namespace {
+
+// A deliberately-eager WM-Sketch: identical math, no scale trick.
+class EagerWmSketch {
+ public:
+  EagerWmSketch(uint32_t width, uint32_t depth, const LearnerOptions& opts)
+      : width_(width), depth_(depth), opts_(opts),
+        sqrt_depth_(std::sqrt(static_cast<double>(depth))) {
+    SplitMix64 sm(opts.seed);
+    for (uint32_t j = 0; j < depth; ++j) rows_.emplace_back(sm.Next(), width);
+    table_.assign(static_cast<size_t>(width) * depth, 0.0f);
+  }
+
+  double Update(const SparseVector& x, int8_t y) {
+    double tau = 0.0;
+    for (size_t i = 0; i < x.nnz(); ++i) {
+      double per = 0.0;
+      for (uint32_t j = 0; j < depth_; ++j) {
+        uint32_t b;
+        float s;
+        rows_[j].BucketAndSign(x.index(i), &b, &s);
+        per += static_cast<double>(s) * table_[j * width_ + b];
+      }
+      tau += per * x.value(i);
+    }
+    tau /= sqrt_depth_;
+    ++t_;
+    const double eta = opts_.rate.Rate(t_);
+    const double g = opts_.loss->Derivative(y * tau);
+    // Eager decay: touch every cell.
+    const float decay = static_cast<float>(1.0 - eta * opts_.lambda);
+    for (float& cell : table_) cell *= decay;
+    const double step = eta * y * g / sqrt_depth_;
+    for (size_t i = 0; i < x.nnz(); ++i) {
+      for (uint32_t j = 0; j < depth_; ++j) {
+        uint32_t b;
+        float s;
+        rows_[j].BucketAndSign(x.index(i), &b, &s);
+        table_[j * width_ + b] -= static_cast<float>(step * s * x.value(i));
+      }
+    }
+    return tau;
+  }
+
+  float WeightEstimate(uint32_t feature) const {
+    float est[64];
+    for (uint32_t j = 0; j < depth_; ++j) {
+      uint32_t b;
+      float s;
+      rows_[j].BucketAndSign(feature, &b, &s);
+      est[j] = s * table_[j * width_ + b];
+    }
+    return static_cast<float>(sqrt_depth_) * MedianInPlace(est, depth_);
+  }
+
+ private:
+  uint32_t width_;
+  uint32_t depth_;
+  LearnerOptions opts_;
+  double sqrt_depth_;
+  std::vector<SignedBucketHash> rows_;
+  std::vector<float> table_;
+  uint64_t t_ = 0;
+};
+
+}  // namespace
+}  // namespace wmsketch::bench
+
+int main() {
+  using namespace wmsketch;
+  using namespace wmsketch::bench;
+  const ClassificationProfile profile = ClassificationProfile::Rcv1Like();
+  const int examples = ScaledCount(30000);
+  const LearnerOptions opts = PaperOptions(1e-4, 97);
+
+  Banner("Ablation A2 — lazy vs eager l2 decay (rcv1, lambda=1e-4)");
+  PrintRow({"sketch size", "lazy us/upd", "eager us/upd", "speedup", "max|diff|"});
+  for (const uint32_t width : {1024u, 4096u, 16384u}) {
+    const uint32_t depth = 4;
+    WmSketch lazy(WmSketchConfig{width, depth, 0}, opts);
+    EagerWmSketch eager(width, depth, opts);
+
+    SyntheticClassificationGen gen(profile, 98);
+    double lazy_us = 0.0, eager_us = 0.0;
+    for (int i = 0; i < examples; ++i) {
+      const Example ex = gen.Next();
+      auto t0 = std::chrono::steady_clock::now();
+      lazy.Update(ex.x, ex.y);
+      auto t1 = std::chrono::steady_clock::now();
+      eager.Update(ex.x, ex.y);
+      auto t2 = std::chrono::steady_clock::now();
+      lazy_us += std::chrono::duration<double, std::micro>(t1 - t0).count();
+      eager_us += std::chrono::duration<double, std::micro>(t2 - t1).count();
+    }
+    lazy_us /= examples;
+    eager_us /= examples;
+
+    // Numerical agreement on the most frequent features.
+    float max_diff = 0.0f;
+    for (uint32_t f = 0; f < 2000; ++f) {
+      max_diff = std::max(max_diff,
+                          std::fabs(lazy.WeightEstimate(f) - eager.WeightEstimate(f)));
+    }
+    PrintRow({std::to_string(width) + "x" + std::to_string(depth), Fmt(lazy_us, 2),
+              Fmt(eager_us, 2), Fmt(eager_us / lazy_us, 1) + "x", Fmt(max_diff, 6)});
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+#pragma once
+
+// Shared support for the figure/table reproduction binaries: aligned table
+// printing, the standard method sweep, and stream-size knobs.
+//
+// Every binary prints the rows/series of one paper figure or table (see
+// DESIGN.md §3). Stream lengths are laptop-scale; set WMS_BENCH_SCALE
+// (a positive float, default 1.0) to shrink or grow them uniformly.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/budget.h"
+#include "datagen/classification_gen.h"
+#include "linear/dense_linear_model.h"
+#include "metrics/online_error.h"
+#include "metrics/recovery.h"
+#include "util/memory_cost.h"
+
+namespace wmsketch::bench {
+
+/// Multiplies a default stream length by the WMS_BENCH_SCALE env var.
+inline int ScaledCount(int base) {
+  static const double scale = [] {
+    const char* s = std::getenv("WMS_BENCH_SCALE");
+    if (s == nullptr) return 1.0;
+    const double v = std::atof(s);
+    return v > 0.0 ? v : 1.0;
+  }();
+  return static_cast<int>(base * scale);
+}
+
+/// Prints a header line followed by a rule, e.g. for figure banners.
+inline void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Fixed-width row printing: each cell 12 chars, left-aligned first column.
+inline void PrintRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf(i == 0 ? "%-22s" : "%12s", cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int precision = 4) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+/// The paper's standard learner settings (η0 = 0.1, inverse-sqrt decay).
+inline LearnerOptions PaperOptions(double lambda, uint64_t seed) {
+  LearnerOptions opts;
+  opts.lambda = lambda;
+  opts.rate = LearningRate::InverseSqrt(0.1);
+  opts.seed = seed;
+  return opts;
+}
+
+/// Result of training one budgeted method alongside the reference model.
+struct MethodRun {
+  std::string name;
+  double rel_err = 0.0;     // RelErr of estimated top-K vs uncompressed w*
+  double error_rate = 0.0;  // progressive-validation error
+  size_t bytes = 0;
+};
+
+/// Trains every method in `methods` (plus the dense LR reference) on the
+/// identical stream of `examples` examples drawn from `profile` with `seed`,
+/// and evaluates top-`k` recovery against the reference.
+struct SweepOutput {
+  std::vector<MethodRun> runs;
+  double lr_error_rate = 0.0;
+};
+
+inline SweepOutput RunMethodSweep(const ClassificationProfile& profile,
+                                  const std::vector<Method>& methods, size_t budget_bytes,
+                                  size_t k, double lambda, uint64_t seed, int examples) {
+  const LearnerOptions opts = PaperOptions(lambda, seed);
+  std::vector<std::unique_ptr<BudgetedClassifier>> models;
+  models.reserve(methods.size());
+  for (const Method m : methods) {
+    models.push_back(MakeClassifier(DefaultConfig(m, budget_bytes), opts));
+  }
+  DenseLinearModel reference(profile.dimension, opts);
+
+  std::vector<OnlineErrorRate> errors(models.size());
+  OnlineErrorRate lr_error;
+  SyntheticClassificationGen gen(profile, seed ^ 0xabcdef12345ULL);
+  for (int i = 0; i < examples; ++i) {
+    const Example ex = gen.Next();
+    for (size_t m = 0; m < models.size(); ++m) {
+      errors[m].Record(models[m]->Update(ex.x, ex.y), ex.y);
+    }
+    lr_error.Record(reference.Update(ex.x, ex.y), ex.y);
+  }
+
+  SweepOutput out;
+  const std::vector<float> w_star = reference.Weights();
+  for (size_t m = 0; m < models.size(); ++m) {
+    MethodRun run;
+    run.name = models[m]->Name();
+    std::vector<FeatureWeight> top = models[m]->TopK(k);
+    if (top.empty()) {
+      top = ScanTopK(*models[m], k, profile.dimension);  // feature hashing
+    }
+    run.rel_err = RelErrTopK(top, w_star, k);
+    run.error_rate = errors[m].Rate();
+    run.bytes = models[m]->MemoryCostBytes();
+    out.runs.push_back(run);
+  }
+  out.lr_error_rate = lr_error.Rate();
+  return out;
+}
+
+}  // namespace wmsketch::bench

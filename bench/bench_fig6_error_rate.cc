@@ -1,0 +1,42 @@
+// Figure 6: online (progressive-validation) classification error rate under
+// 2–32 KB budgets for all methods, plus the memory-unconstrained logistic
+// regression reference, on the three dataset profiles.
+//
+// Expected shape (paper): AWM ≤ Hash < heavy-hitter methods at small
+// budgets; every method approaches the unconstrained LR as the budget grows;
+// SS is inconsistent across datasets (good when frequent ⇒ predictive,
+// poor otherwise).
+
+#include "bench/bench_common.h"
+
+namespace wmsketch::bench {
+namespace {
+
+void RunDataset(const ClassificationProfile& profile, double lambda, int examples) {
+  Banner("Fig 6 — online error rate (" + profile.name + ", lambda=" + Fmt(lambda, 7) + ")");
+  const std::vector<Method> methods = AllMethods();
+  std::vector<std::string> header = {"budget"};
+  for (const Method m : methods) header.push_back(MethodName(m));
+  header.push_back("lr");
+  PrintRow(header);
+  for (const size_t kb : {2u, 4u, 8u, 16u, 32u}) {
+    const SweepOutput out =
+        RunMethodSweep(profile, methods, KiB(kb), /*k=*/128, lambda, 17, examples);
+    std::vector<std::string> row = {std::to_string(kb) + "KB"};
+    for (const MethodRun& run : out.runs) row.push_back(Fmt(run.error_rate));
+    row.push_back(Fmt(out.lr_error_rate));
+    PrintRow(row);
+  }
+}
+
+}  // namespace
+}  // namespace wmsketch::bench
+
+int main() {
+  using namespace wmsketch;
+  using namespace wmsketch::bench;
+  RunDataset(ClassificationProfile::Rcv1Like(), 1e-6, ScaledCount(80000));
+  RunDataset(ClassificationProfile::UrlLike(), 1e-6, ScaledCount(60000));
+  RunDataset(ClassificationProfile::KddaLike(), 1e-6, ScaledCount(60000));
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 7: update throughput of each method, normalized against the memory-
+// unconstrained logistic regression, at the configurations of Table 2
+// (google-benchmark). The paper's shape: Hash ≈ 2x LR per update; AWM ≈ 2x
+// Hash (heap maintenance); WM slowest at large depth (s hash evaluations per
+// nonzero); truncation baselines in between.
+//
+// Reported metric: time per Update() on a pre-generated RCV1-profile stream.
+// Compare the per-method times to the `LR` baseline row to recover the
+// normalized-runtime bars of the figure.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace wmsketch::bench {
+namespace {
+
+std::vector<Example>& SharedStream() {
+  static std::vector<Example>* stream = [] {
+    auto* s = new std::vector<Example>();
+    ClassificationProfile profile = ClassificationProfile::Rcv1Like();
+    SyntheticClassificationGen gen(profile, 99);
+    const int n = 20000;
+    s->reserve(n);
+    for (int i = 0; i < n; ++i) s->push_back(gen.Next());
+    return s;
+  }();
+  return *stream;
+}
+
+void BM_UncompressedLR(benchmark::State& state) {
+  const auto& stream = SharedStream();
+  const LearnerOptions opts = PaperOptions(1e-6, 5);
+  DenseLinearModel model(ClassificationProfile::Rcv1Like().dimension, opts);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Example& ex = stream[i++ % stream.size()];
+    benchmark::DoNotOptimize(model.Update(ex.x, ex.y));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UncompressedLR);
+
+void BM_Method(benchmark::State& state, Method method, size_t budget) {
+  const auto& stream = SharedStream();
+  const LearnerOptions opts = PaperOptions(1e-6, 5);
+  auto model = MakeClassifier(DefaultConfig(method, budget), opts);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Example& ex = stream[i++ % stream.size()];
+    benchmark::DoNotOptimize(model->Update(ex.x, ex.y));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(DefaultConfig(method, budget).ToString());
+}
+
+void RegisterAll() {
+  for (const size_t kb : {2u, 8u, 32u}) {
+    for (const Method m : AllMethods()) {
+      const std::string name =
+          "BM_" + MethodName(m) + "/" + std::to_string(kb) + "KB";
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [m, kb](benchmark::State& st) { BM_Method(st, m, KiB(kb)); });
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wmsketch::bench
+
+int main(int argc, char** argv) {
+  wmsketch::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Streaming data explanation (paper Sec. 8.1): identify which categorical
+// attribute values are most indicative of a disbursement row being an
+// outlier (top-20% by amount), with a 32 KB classifier instead of exact
+// per-attribute counts.
+//
+//   $ ./streaming_explanation
+//
+// Each row's attributes are fed as 1-sparse examples labeled by the outlier
+// flag; the AWM-Sketch's heaviest positive weights are the explanation. The
+// output compares them against the exact relative risk (which a production
+// system could not afford to track for every attribute combination).
+
+#include <cstdio>
+
+#include "apps/explanation.h"
+#include "core/awm_sketch.h"
+#include "datagen/fec_gen.h"
+#include "metrics/relative_risk.h"
+
+using namespace wmsketch;
+
+int main() {
+  FecLikeGenerator rows(/*seed=*/2026);
+
+  LearnerOptions opts;
+  opts.lambda = 1e-5;  // decays rarely-occurring noise
+  opts.rate = LearningRate::Constant(0.1);  // stationary 1-sparse objective
+  opts.seed = 1;
+  // 32 KB: 2048 exact slots + 4096-bucket depth-1 sketch.
+  AwmSketch model(AwmSketchConfig{4096, 1, 2048}, opts);
+  StreamingExplainer explainer(&model, /*outlier_repeats=*/4);  // balance classes
+
+  RelativeRiskTracker exact;  // evaluation oracle only
+
+  const int kRows = 200000;
+  for (int i = 0; i < kRows; ++i) {
+    const FecRow row = rows.Next();
+    explainer.Observe(row.attributes, row.outlier);
+    for (const uint32_t f : row.attributes) exact.Observe(f, row.outlier);
+  }
+
+  std::printf("rows observed   : %d\n", kRows);
+  std::printf("attribute space : %u distinct values\n", rows.FeatureDimension());
+  std::printf("model memory    : %zu bytes\n\n", model.MemoryCostBytes());
+
+  std::printf("Most outlier-indicative attribute values (largest signed weights):\n");
+  std::printf("%-10s %10s %14s %12s %9s\n", "attribute", "weight", "relative-risk",
+              "occurrences", "planted");
+  int shown = 0;
+  for (const FeatureWeight& fw : explainer.TopIndicative(12)) {
+    ++shown;
+    (void)shown;
+    std::printf("%-10u %10.3f %14.2f %12llu %9s\n", fw.feature, fw.weight,
+                exact.RelativeRisk(fw.feature),
+                static_cast<unsigned long long>(exact.Occurrences(fw.feature)),
+                rows.high_risk_features().count(fw.feature) ? "yes" : "no");
+  }
+  std::printf("\n(A relative risk of r means the attribute makes a row r times\n"
+              " more likely to be an outlier; 'planted' marks ground truth.)\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "apps/deltoid.h"
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace wmsketch {
+
+PairedCmRatioEstimator::PairedCmRatioEstimator(uint32_t width, uint32_t depth, uint64_t seed)
+    : cm1_(width, depth, SplitMix64(seed).Next(), /*conservative=*/true),
+      cm2_(width, depth, SplitMix64(seed ^ 0x2545f4914f6cdd1dULL).Next(),
+           /*conservative=*/true) {}
+
+double PairedCmRatioEstimator::EstimateLogRatio(uint32_t item) const {
+  const double n1 = cm1_.Query(item) + 0.5;
+  const double n2 = cm2_.Query(item) + 0.5;
+  return std::log(n1 / n2);
+}
+
+std::vector<FeatureWeight> PairedCmRatioEstimator::TopDeltoids(size_t k,
+                                                               uint32_t universe) const {
+  TopKHeap heap(k);
+  for (uint32_t item = 0; item < universe; ++item) {
+    const double r = EstimateLogRatio(item);
+    if (r == 0.0) continue;
+    heap.Offer(item, static_cast<float>(r));
+  }
+  return heap.TopK(k);
+}
+
+}  // namespace wmsketch

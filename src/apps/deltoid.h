@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linear/classifier.h"
+#include "sketch/count_min.h"
+#include "util/top_k_heap.h"
+
+namespace wmsketch {
+
+/// Relative-deltoid detection (Sec. 8.2): find items whose occurrence-rate
+/// ratio φ(i) = n₁(i)/n₂(i) between two concurrently-observed streams is
+/// large in either direction.
+///
+/// The classifier formulation: every stream-1 observation is a 1-sparse
+/// positive example, every stream-2 observation a negative one. With equal
+/// stream rates, the logistic weight for item i converges to
+/// log p(stream1 | i)/p(stream2 | i) = log φ(i) — so the heaviest positive
+/// and negative weights are exactly the relative deltoids, and the budgeted
+/// classifier's top-K retrieval does the detection.
+class RelativeDeltoidDetector {
+ public:
+  /// Wraps a budgeted classifier over item-id feature space; not owned.
+  explicit RelativeDeltoidDetector(BudgetedClassifier* model) : model_(model) {}
+
+  /// Observes one item occurrence from stream 1 (`first_stream` = true) or
+  /// stream 2.
+  void Observe(uint32_t item, bool first_stream) {
+    model_->Update(SparseVector::OneHot(item), first_stream ? 1 : -1);
+  }
+
+  /// Estimated log occurrence ratio for an item (the model weight).
+  double EstimateLogRatio(uint32_t item) const {
+    return static_cast<double>(model_->WeightEstimate(item));
+  }
+
+  /// The k items with the largest |estimated log ratio| among tracked ones.
+  std::vector<FeatureWeight> TopDeltoids(size_t k) const { return model_->TopK(k); }
+
+  const BudgetedClassifier& model() const { return *model_; }
+
+ private:
+  BudgetedClassifier* model_;
+};
+
+/// The paired Count-Min ratio estimator baseline (Cormode–Muthukrishnan
+/// 2005a, as used for Fig. 10's "CM" and "CMx8" lines): one CM sketch per
+/// stream; the ratio estimate for an item is the quotient of its two count
+/// estimates. Supports no native enumeration — callers rank an explicit
+/// candidate universe by |log ratio estimate|.
+class PairedCmRatioEstimator {
+ public:
+  /// Constructs two CM sketches of `width` x `depth` counters each.
+  PairedCmRatioEstimator(uint32_t width, uint32_t depth, uint64_t seed);
+
+  /// Observes one item occurrence on one stream.
+  void Observe(uint32_t item, bool first_stream) {
+    (first_stream ? cm1_ : cm2_).Update(item, 1.0);
+  }
+
+  /// Estimated log ratio log(n̂₁(i)/n̂₂(i)) with add-half smoothing.
+  double EstimateLogRatio(uint32_t item) const;
+
+  /// The k candidate items with the largest |estimated log ratio|.
+  std::vector<FeatureWeight> TopDeltoids(size_t k, uint32_t universe) const;
+
+  /// Total footprint of both sketches under the Sec. 7.1 cost model.
+  size_t MemoryCostBytes() const { return cm1_.MemoryCostBytes() + cm2_.MemoryCostBytes(); }
+
+ private:
+  CountMinSketch cm1_;
+  CountMinSketch cm2_;
+};
+
+}  // namespace wmsketch

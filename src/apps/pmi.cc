@@ -1,0 +1,87 @@
+#include "apps/pmi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hash/polynomial.h"
+#include "util/memory_cost.h"
+
+namespace wmsketch {
+
+StreamingPmiEstimator::StreamingPmiEstimator(const PmiOptions& options)
+    : options_(options),
+      model_(options.sketch, options.learner),
+      window_(options.window),
+      reservoir_(options.reservoir_size, options.learner.seed ^ 0x6c62272e07bb0142ULL),
+      rng_(options.learner.seed ^ 0x27d4eb2f165667c5ULL),
+      log_k_(std::log(static_cast<double>(options.negatives_per_positive))) {}
+
+void StreamingPmiEstimator::ObserveToken(uint32_t token, bool document_boundary) {
+  if (document_boundary) window_.Reset();
+  ++tokens_;
+  window_.Push(token, [this](uint32_t u, uint32_t v) { TrainPositive(u, v); });
+  reservoir_.Add(token);
+  if (options_.prune_interval > 0 && tokens_ % options_.prune_interval == 0) {
+    PruneIdentities();
+  }
+}
+
+void StreamingPmiEstimator::TrainPositive(uint32_t u, uint32_t v) {
+  ++positives_;
+  const uint32_t feature = PairFeatureId(u, v);
+  model_.Update(SparseVector::OneHot(feature), /*y=*/1);
+  RecordIdentity(feature, u, v);
+
+  // K synthetic pairs from the product-of-unigrams distribution.
+  if (reservoir_.size() < 2) return;
+  for (uint32_t n = 0; n < options_.negatives_per_positive; ++n) {
+    const uint32_t nu = reservoir_.Sample(rng_);
+    const uint32_t nv = reservoir_.Sample(rng_);
+    const uint32_t nf = PairFeatureId(nu, nv);
+    model_.Update(SparseVector::OneHot(nf), /*y=*/-1);
+    RecordIdentity(nf, nu, nv);
+  }
+}
+
+void StreamingPmiEstimator::RecordIdentity(uint32_t feature, uint32_t u, uint32_t v) {
+  // Identities are only worth keeping while the pair is exactly tracked; the
+  // periodic prune removes entries that have since been evicted.
+  if (model_.InActiveSet(feature)) identities_[feature] = {u, v};
+}
+
+void StreamingPmiEstimator::PruneIdentities() {
+  for (auto it = identities_.begin(); it != identities_.end();) {
+    if (model_.InActiveSet(it->first)) {
+      ++it;
+    } else {
+      it = identities_.erase(it);
+    }
+  }
+}
+
+double StreamingPmiEstimator::EstimatePmi(uint32_t u, uint32_t v) const {
+  const double w = static_cast<double>(model_.WeightEstimate(PairFeatureId(u, v)));
+  return w + log_k_;
+}
+
+std::vector<PmiPair> StreamingPmiEstimator::TopPairs(size_t k) const {
+  std::vector<PmiPair> out;
+  for (const FeatureWeight& fw : model_.TopK(model_.config().heap_capacity)) {
+    if (fw.weight <= 0.0f) continue;  // only positively-associated pairs
+    auto it = identities_.find(fw.feature);
+    if (it == identities_.end()) continue;  // evicted-and-returned ghost
+    out.push_back(PmiPair{it->second.first, it->second.second,
+                          static_cast<double>(fw.weight) + log_k_,
+                          static_cast<double>(fw.weight)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PmiPair& a, const PmiPair& b) { return a.estimated_pmi > b.estimated_pmi; });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+size_t StreamingPmiEstimator::MemoryCostBytes() const {
+  return model_.MemoryCostBytes() + identities_.size() * (2 * kBytesPerId);
+}
+
+}  // namespace wmsketch

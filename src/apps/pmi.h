@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/awm_sketch.h"
+#include "stream/reservoir.h"
+#include "stream/window.h"
+
+namespace wmsketch {
+
+/// A retrieved high-PMI token pair with its estimated PMI (classifier weight
+/// plus the negative-sampling offset correction).
+struct PmiPair {
+  uint32_t u;
+  uint32_t v;
+  double estimated_pmi;
+  double raw_weight;
+};
+
+/// Options for the streaming PMI estimator, defaulting to the paper's
+/// experimental setup (Sec. 8.3): 5-word co-occurrence spans (window 6),
+/// 5 negative samples per true sample, a 4000-token unigram reservoir, and
+/// an AWM-Sketch with heap size 1024 and depth 1.
+struct PmiOptions {
+  size_t window = 6;
+  /// Synthetic product-of-unigram examples per true bigram. The default 1
+  /// is the paper's balanced 0.5/0.5 formulation (Sec. 8.3), under which
+  /// weights converge to the PMI exactly and chance pairs sit near weight 0.
+  /// Values k > 1 give the word2vec-style k-negative-sampling objective:
+  /// weights converge to PMI − log k (EstimatePmi adds the log k back), at
+  /// the cost of a −log k "floor" of chance-pair weights that competes for
+  /// the magnitude-ordered active set.
+  uint32_t negatives_per_positive = 1;
+  size_t reservoir_size = 4000;
+  AwmSketchConfig sketch{/*width=*/1u << 16, /*depth=*/1, /*heap_capacity=*/1024};
+  /// λ defaults to 1e-6 (the paper sweeps 1e-6..1e-8). The learning rate
+  /// defaults to *constant* 0.1: the PMI objective is stationary and each
+  /// individual pair is touched rarely, so a globally-decaying schedule
+  /// starves late-arriving pairs of learning signal.
+  LearnerOptions learner{.rate = LearningRate::Constant(0.1)};
+  /// How often (in tokens) to prune pair-identity records not in the active
+  /// set; bounds the identity map at O(heap + prune_interval).
+  uint64_t prune_interval = 8192;
+};
+
+/// Streaming pointwise-mutual-information estimation (Sec. 8.3): a logistic
+/// model is trained to discriminate true in-window bigrams (positives) from
+/// synthetic bigrams drawn as independent unigram pairs from a reservoir
+/// (negatives). At convergence with λ=0 the weight of pair (u,v) equals
+/// log[p(u,v) / (K·p(u)p(v))] = PMI(u,v) − log K, where K is the
+/// negative-to-positive sampling ratio; EstimatePmi adds the log K back.
+///
+/// The paper's insight (via Levy & Goldberg) is that this word2vec-style
+/// objective, run over an AWM-Sketch instead of an embedding table, yields
+/// the top-PMI *pairs* in sublinear memory. Pair identities (u,v) are
+/// retained only while the pair occupies an active-set slot, mirroring the
+/// paper's "strings in the heap" accounting.
+class StreamingPmiEstimator {
+ public:
+  explicit StreamingPmiEstimator(const PmiOptions& options);
+
+  /// Feeds the next token; `document_boundary` resets the co-occurrence
+  /// window (pass true for the first token of each document).
+  void ObserveToken(uint32_t token, bool document_boundary = false);
+
+  /// Estimated PMI for an arbitrary pair (works for untracked pairs too,
+  /// via the sketch estimate).
+  double EstimatePmi(uint32_t u, uint32_t v) const;
+
+  /// The k pairs with the largest estimated PMI among active-set pairs,
+  /// sorted descending. Only pairs whose identity is still tracked are
+  /// returned (hash-only entries are unresolvable, exactly as in the paper).
+  std::vector<PmiPair> TopPairs(size_t k) const;
+
+  /// Total positive (true bigram) examples consumed.
+  uint64_t positives_seen() const { return positives_; }
+  const AwmSketch& sketch() const { return model_; }
+  /// Memory cost of the sketch + identity storage under the Sec. 7.1 model
+  /// (two token ids per tracked pair).
+  size_t MemoryCostBytes() const;
+
+ private:
+  void TrainPositive(uint32_t u, uint32_t v);
+  void RecordIdentity(uint32_t feature, uint32_t u, uint32_t v);
+  void PruneIdentities();
+
+  PmiOptions options_;
+  AwmSketch model_;
+  SlidingWindowPairs window_;
+  ReservoirSample<uint32_t> reservoir_;
+  Rng rng_;
+  double log_k_;  // log of negatives_per_positive
+  uint64_t positives_ = 0;
+  uint64_t tokens_ = 0;
+  // feature id -> (u, v); pruned to the active set periodically.
+  std::unordered_map<uint32_t, std::pair<uint32_t, uint32_t>> identities_;
+};
+
+}  // namespace wmsketch

@@ -1,0 +1,142 @@
+#include "core/awm_sketch.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/math.h"
+#include "util/random.h"
+
+namespace wmsketch {
+
+namespace {
+constexpr double kMinScale = 1e-25;
+}  // namespace
+
+AwmSketch::AwmSketch(const AwmSketchConfig& config, const LearnerOptions& opts)
+    : config_(config),
+      opts_(opts),
+      sqrt_depth_(std::sqrt(static_cast<double>(config.depth))),
+      heap_(config.heap_capacity) {
+  assert(IsPowerOfTwo(config.width));
+  assert(config.depth >= 1 && config.depth <= kMaxDepth);
+  assert(config.heap_capacity >= 1);
+  SplitMix64 sm(opts.seed);
+  rows_.reserve(config.depth);
+  for (uint32_t j = 0; j < config.depth; ++j) rows_.emplace_back(sm.Next(), config.width);
+  table_.assign(static_cast<size_t>(config.width) * config.depth, 0.0f);
+}
+
+double AwmSketch::PredictMargin(const SparseVector& x) const {
+  // τ = Σ_{i∈S} S[i]·x_i + zᵀR·x_tail (Algorithm 2's prediction split).
+  double acc = 0.0;
+  for (size_t i = 0; i < x.nnz(); ++i) {
+    const uint32_t feature = x.index(i);
+    const std::optional<float> exact = heap_.Get(feature);
+    const double w = exact.has_value()
+                         ? heap_scale_ * static_cast<double>(*exact)
+                         : static_cast<double>(SketchQuery(feature));
+    acc += w * static_cast<double>(x.value(i));
+  }
+  return acc;
+}
+
+float AwmSketch::SketchQuery(uint32_t feature) const {
+  float est[kMaxDepth];
+  for (uint32_t j = 0; j < config_.depth; ++j) {
+    uint32_t bucket;
+    float sign;
+    rows_[j].BucketAndSign(feature, &bucket, &sign);
+    est[j] = sign * Row(j)[bucket];
+  }
+  const float raw = MedianInPlace(est, config_.depth);
+  return static_cast<float>(sqrt_depth_ * sketch_scale_ * static_cast<double>(raw));
+}
+
+void AwmSketch::SketchAdd(uint32_t feature, double delta) {
+  // Inverse of SketchQuery's scaling: the stored cell moves by
+  // σ·delta/(√s·α) so the true estimate moves by delta in every row.
+  const double raw_delta = delta / (sqrt_depth_ * sketch_scale_);
+  for (uint32_t j = 0; j < config_.depth; ++j) {
+    uint32_t bucket;
+    float sign;
+    rows_[j].BucketAndSign(feature, &bucket, &sign);
+    Row(j)[bucket] += static_cast<float>(static_cast<double>(sign) * raw_delta);
+  }
+}
+
+double AwmSketch::Update(const SparseVector& x, int8_t y) {
+  const double margin = PredictMargin(x);
+  ++t_;
+  const double eta = opts_.rate.Rate(t_);
+  const double g = opts_.loss->Derivative(static_cast<double>(y) * margin);
+
+  // ℓ2 decay on both structures: S ← (1−λη)S and z ← (1−λη)z, via scales.
+  if (opts_.lambda > 0.0) {
+    const double decay = 1.0 - eta * opts_.lambda;
+    heap_scale_ *= decay;
+    sketch_scale_ *= decay;
+  }
+
+  const double step = eta * static_cast<double>(y) * g;  // subtracted per unit x_i
+  for (size_t i = 0; i < x.nnz(); ++i) {
+    const uint32_t feature = x.index(i);
+    const double xi = static_cast<double>(x.value(i));
+    if (heap_.Contains(feature)) {
+      // Exact gradient on an active-set member, written through the scale.
+      heap_.Add(feature, static_cast<float>(-step * xi / heap_scale_));
+      continue;
+    }
+    // Candidate weight for a tail feature.
+    const double w_tilde = static_cast<double>(SketchQuery(feature)) - step * xi;
+    if (!heap_.full()) {
+      heap_.Set(feature, static_cast<float>(w_tilde / heap_scale_));
+      continue;
+    }
+    const FeatureWeight min = heap_.Min();
+    const double min_true = heap_scale_ * static_cast<double>(min.weight);
+    if (std::fabs(w_tilde) > std::fabs(min_true)) {
+      // Fold the evictee back into the sketch so its estimate matches its
+      // exact weight, then hand its slot to the newcomer. The newcomer's
+      // prior sketch mass is left in place (lazy update, Sec. 5.2).
+      heap_.PopMin();
+      SketchAdd(min.feature, min_true - static_cast<double>(SketchQuery(min.feature)));
+      heap_.Set(feature, static_cast<float>(w_tilde / heap_scale_));
+    } else {
+      // Tail update: apply the gradient inside the sketch.
+      SketchAdd(feature, -step * xi);
+    }
+  }
+  MaybeRescale();
+  return margin;
+}
+
+void AwmSketch::MaybeRescale() {
+  if (sketch_scale_ < kMinScale) {
+    const float f = static_cast<float>(sketch_scale_);
+    for (float& v : table_) v *= f;
+    sketch_scale_ = 1.0;
+  }
+  if (heap_scale_ < kMinScale) {
+    heap_.Scale(static_cast<float>(heap_scale_));
+    heap_scale_ = 1.0;
+  }
+}
+
+float AwmSketch::WeightEstimate(uint32_t feature) const {
+  const std::optional<float> exact = heap_.Get(feature);
+  if (exact.has_value()) return static_cast<float>(heap_scale_ * static_cast<double>(*exact));
+  return SketchQuery(feature);
+}
+
+std::vector<FeatureWeight> AwmSketch::TopK(size_t k) const {
+  std::vector<FeatureWeight> out;
+  out.reserve(heap_.size());
+  for (const FeatureWeight& fw : heap_.Entries()) {
+    out.push_back(
+        FeatureWeight{fw.feature, static_cast<float>(heap_scale_ * fw.weight)});
+  }
+  SortByMagnitudeAndTruncate(out, k);
+  return out;
+}
+
+}  // namespace wmsketch

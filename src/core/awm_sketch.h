@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "hash/tabulation.h"
+#include "linear/classifier.h"
+#include "util/memory_cost.h"
+#include "util/top_k_heap.h"
+
+namespace wmsketch {
+
+/// Shape of an Active-Set Weight-Median Sketch. The configuration that
+/// uniformly performed best in the paper (Sec. 7.3) gives half the budget to
+/// the active set and the rest to a depth-1 sketch; that is the default the
+/// budget planner emits.
+struct AwmSketchConfig {
+  /// Buckets per sketch row; must be a power of two.
+  uint32_t width = 256;
+  /// Sketch rows; the paper's best configs use depth 1.
+  uint32_t depth = 1;
+  /// Active-set capacity |S| (exact weights); must be >= 1.
+  size_t heap_capacity = 128;
+
+  /// Memory under the Sec. 7.1 cost model.
+  size_t MemoryCostBytes() const {
+    return TableBytes(static_cast<size_t>(width) * depth) + HeapBytes(heap_capacity);
+  }
+};
+
+/// The Active-Set Weight-Median Sketch (Algorithm 2): a WM-Sketch whose
+/// heaviest weights live *exactly* in a min-heap "active set" instead of in
+/// the sketch.
+///
+/// Per update: features currently in the active set receive exact gradient
+/// updates; every other feature's candidate weight
+/// w̃ = Query(i) − η·y·x_i·ℓ'(y·τ) is compared against the smallest active
+/// weight — on a win the minimum is folded back into the sketch (its slot's
+/// estimate is corrected to its exact weight) and the winner takes the slot;
+/// on a loss the gradient is applied inside the sketch. The sketch therefore
+/// carries only the tail of the weight vector, which reduces collision error
+/// for exactly the features that matter (Sec. 5.2 / Sec. 9: "a variant of
+/// feature hashing where the highest-weighted features are not hashed").
+///
+/// Both the active set and the sketch use the lazy global-scale trick for
+/// ℓ2 decay, so updates stay O(s·nnz(x)).
+class AwmSketch final : public BudgetedClassifier {
+ public:
+  static constexpr uint32_t kMaxDepth = 64;
+
+  /// Constructs the sketch; hash rows are derived from opts.seed.
+  AwmSketch(const AwmSketchConfig& config, const LearnerOptions& opts);
+
+  double PredictMargin(const SparseVector& x) const override;
+  double Update(const SparseVector& x, int8_t y) override;
+  float WeightEstimate(uint32_t feature) const override;
+  /// The top-k of the active set (exact weights); the active set *is* the
+  /// AWM-Sketch's answer to top-K queries.
+  std::vector<FeatureWeight> TopK(size_t k) const override;
+  size_t MemoryCostBytes() const override { return config_.MemoryCostBytes(); }
+  uint64_t steps() const override { return t_; }
+  std::string Name() const override { return "awm"; }
+
+  const AwmSketchConfig& config() const { return config_; }
+  /// Current number of active-set entries (≤ heap_capacity).
+  size_t active_set_size() const { return heap_.size(); }
+  /// True iff `feature` currently holds an active-set slot (exact weight).
+  bool InActiveSet(uint32_t feature) const { return heap_.Contains(feature); }
+
+ private:
+  friend Status SaveAwmSketch(const AwmSketch&, std::ostream&);
+  friend Result<AwmSketch> LoadAwmSketch(std::istream&, const LearnerOptions&);
+
+  /// Count-Sketch point estimate of a tail feature's weight (true scale).
+  float SketchQuery(uint32_t feature) const;
+  /// Adds `delta` (true scale) to the sketched weight of `feature`: every
+  /// row's estimate — and hence the median — shifts by exactly delta.
+  void SketchAdd(uint32_t feature, double delta);
+  void MaybeRescale();
+
+  float* Row(uint32_t j) { return table_.data() + static_cast<size_t>(j) * config_.width; }
+  const float* Row(uint32_t j) const {
+    return table_.data() + static_cast<size_t>(j) * config_.width;
+  }
+
+  AwmSketchConfig config_;
+  LearnerOptions opts_;
+  std::vector<SignedBucketHash> rows_;
+  std::vector<float> table_;   // raw sketch; true cell value = sketch_scale_ * cell
+  double sketch_scale_ = 1.0;  // α for the sketch
+  double heap_scale_ = 1.0;    // α for the active set
+  double sqrt_depth_;
+  uint64_t t_ = 0;
+  TopKHeap heap_;              // raw active-set weights; true = heap_scale_ * raw
+};
+
+}  // namespace wmsketch

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linear/classifier.h"
+
+namespace wmsketch {
+
+/// The memory-budgeted methods compared throughout the paper's evaluation.
+enum class Method {
+  kSimpleTruncation,         ///< "Trun" — Algorithm 3
+  kProbabilisticTruncation,  ///< "PTrun" — Algorithm 4
+  kSpaceSavingFrequent,      ///< "SS" — Space-Saving frequent features
+  kCountMinFrequent,         ///< "CM-FF" — Count-Min frequent features
+  kFeatureHashing,           ///< "Hash" — hashing trick
+  kWmSketch,                 ///< "WM" — Algorithm 1
+  kAwmSketch,                ///< "AWM" — Algorithm 2
+};
+
+/// Short stable name ("trun", "awm", ...) used in bench output.
+std::string MethodName(Method method);
+/// All methods, in the paper's plotting order.
+const std::vector<Method>& AllMethods();
+
+/// A concrete sizing of one method. Interpretation by method:
+///  * truncation/SS: `heap_capacity` tracked entries; width/depth unused.
+///  * hashing:       `width` buckets; heap/depth unused.
+///  * WM/AWM:        sketch `width` x `depth` plus `heap_capacity` slots.
+///  * CM-FF:         CM table `width` x `depth` plus `heap_capacity` slots.
+struct BudgetConfig {
+  Method method = Method::kAwmSketch;
+  size_t heap_capacity = 0;
+  uint32_t width = 0;
+  uint32_t depth = 0;
+
+  /// Footprint under the Sec. 7.1 cost model (must be <= the budget it was
+  /// planned for; tests assert this for every planner output).
+  size_t MemoryCostBytes() const;
+
+  /// Human-readable summary, e.g. "awm(|S|=512, w=1024, d=1)".
+  std::string ToString() const;
+};
+
+/// The per-budget configuration the paper found best for each method
+/// (Table 2 for WM/AWM; Sec. 7.3 for the rest):
+///  * AWM: half the budget to the active set, half to a depth-1 sketch.
+///  * WM: 1 KB heap, width 128 (256 at >=32 KB), depth filling the rest.
+///  * Trun: budget/8 entries; PTrun & SS: budget/12 entries (3 fields).
+///  * Hash: budget/4 buckets. CM-FF: half table (depth 2), half entries.
+/// Requires budget_bytes >= 1 KiB.
+BudgetConfig DefaultConfig(Method method, size_t budget_bytes);
+
+/// Enumerates the configuration grid the Table 2 search sweeps: heap/sketch
+/// splits in {1/4, 1/2, 3/4} and feasible power-of-two widths with the depth
+/// filling the remainder. Single-shape methods return just their default.
+std::vector<BudgetConfig> EnumerateConfigs(Method method, size_t budget_bytes);
+
+/// Instantiates a classifier from a configuration. The returned object is
+/// freshly initialized (step count zero).
+std::unique_ptr<BudgetedClassifier> MakeClassifier(const BudgetConfig& config,
+                                                   const LearnerOptions& opts);
+
+}  // namespace wmsketch

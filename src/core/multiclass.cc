@@ -1,0 +1,56 @@
+#include "core/multiclass.h"
+
+#include <cassert>
+
+#include "util/random.h"
+
+namespace wmsketch {
+
+MulticlassClassifier::MulticlassClassifier(size_t num_classes, const BudgetConfig& config,
+                                           const LearnerOptions& opts) {
+  assert(num_classes >= 2);
+  models_.reserve(num_classes);
+  SplitMix64 sm(opts.seed);
+  for (size_t c = 0; c < num_classes; ++c) {
+    LearnerOptions per_class = opts;
+    per_class.seed = sm.Next();
+    models_.push_back(MakeClassifier(config, per_class));
+  }
+}
+
+std::vector<double> MulticlassClassifier::Margins(const SparseVector& x) const {
+  std::vector<double> margins;
+  margins.reserve(models_.size());
+  for (const auto& m : models_) margins.push_back(m->PredictMargin(x));
+  return margins;
+}
+
+size_t MulticlassClassifier::PredictClass(const SparseVector& x) const {
+  size_t best = 0;
+  double best_margin = models_[0]->PredictMargin(x);
+  for (size_t c = 1; c < models_.size(); ++c) {
+    const double m = models_[c]->PredictMargin(x);
+    if (m > best_margin) {
+      best_margin = m;
+      best = c;
+    }
+  }
+  return best;
+}
+
+size_t MulticlassClassifier::Update(const SparseVector& x, size_t label) {
+  assert(label < models_.size());
+  const size_t predicted = PredictClass(x);
+  for (size_t c = 0; c < models_.size(); ++c) {
+    models_[c]->Update(x, c == label ? 1 : -1);
+  }
+  return predicted;
+}
+
+size_t MulticlassClassifier::MemoryCostBytes() const {
+  size_t total = 0;
+  for (const auto& m : models_) total += m->MemoryCostBytes();
+  return total;
+}
+
+}  // namespace wmsketch

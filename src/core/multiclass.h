@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/budget.h"
+#include "linear/classifier.h"
+
+namespace wmsketch {
+
+/// Multiclass extension of the sketched classifiers (Sec. 9): one budgeted
+/// binary model per class, trained one-vs-all; inference returns the class
+/// with the maximum margin.
+///
+/// Any budgeted method can back the per-class models; the paper describes
+/// the construction for the WM-Sketch, and the AWM-Sketch slots in
+/// identically. The per-class seeds are decorrelated so hash collisions
+/// differ across classes.
+class MulticlassClassifier {
+ public:
+  /// Constructs `num_classes` copies of `config`, one per class.
+  /// Requires num_classes >= 2.
+  MulticlassClassifier(size_t num_classes, const BudgetConfig& config,
+                       const LearnerOptions& opts);
+
+  /// The class with the highest margin (ties to the lowest index).
+  size_t PredictClass(const SparseVector& x) const;
+
+  /// One-vs-all update: class `label` sees +1, all others see −1.
+  /// Requires label < num_classes. Returns the pre-update predicted class.
+  size_t Update(const SparseVector& x, size_t label);
+
+  /// Per-class margins (diagnostics).
+  std::vector<double> Margins(const SparseVector& x) const;
+
+  /// The binary model for one class (e.g. for per-class top-K retrieval).
+  const BudgetedClassifier& class_model(size_t c) const { return *models_[c]; }
+
+  size_t num_classes() const { return models_.size(); }
+  /// Sum of the per-class footprints.
+  size_t MemoryCostBytes() const;
+
+ private:
+  std::vector<std::unique_ptr<BudgetedClassifier>> models_;
+};
+
+}  // namespace wmsketch

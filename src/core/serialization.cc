@@ -1,0 +1,150 @@
+#include "core/serialization.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "util/math.h"
+
+namespace wmsketch {
+
+namespace {
+
+constexpr uint32_t kWmMagic = 0x314d5357;   // "WSM1"
+constexpr uint32_t kAwmMagic = 0x314d5741;  // "AWM1"
+
+template <typename T>
+void WriteRaw(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadRaw(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void WriteHeapEntries(std::ostream& out, const TopKHeap& heap) {
+  const std::vector<FeatureWeight> entries = heap.Entries();
+  WriteRaw(out, static_cast<uint64_t>(entries.size()));
+  for (const FeatureWeight& fw : entries) {
+    WriteRaw(out, fw.feature);
+    WriteRaw(out, fw.weight);
+  }
+}
+
+Status ReadHeapEntries(std::istream& in, TopKHeap* heap) {
+  uint64_t n = 0;
+  if (!ReadRaw(in, &n)) return Status::Corruption("truncated heap header");
+  if (n > heap->capacity()) return Status::Corruption("heap entries exceed capacity");
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t feature;
+    float weight;
+    if (!ReadRaw(in, &feature) || !ReadRaw(in, &weight)) {
+      return Status::Corruption("truncated heap entry");
+    }
+    if (heap->Contains(feature)) return Status::Corruption("duplicate heap feature");
+    heap->Set(feature, weight);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveWmSketch(const WmSketch& sketch, std::ostream& out) {
+  WriteRaw(out, kWmMagic);
+  WriteRaw(out, sketch.config_.width);
+  WriteRaw(out, sketch.config_.depth);
+  WriteRaw(out, static_cast<uint64_t>(sketch.config_.heap_capacity));
+  WriteRaw(out, sketch.opts_.lambda);
+  WriteRaw(out, sketch.opts_.seed);
+  WriteRaw(out, sketch.t_);
+  WriteRaw(out, sketch.scale_);
+  WriteRaw(out, static_cast<uint64_t>(sketch.table_.size()));
+  out.write(reinterpret_cast<const char*>(sketch.table_.data()),
+            static_cast<std::streamsize>(sketch.table_.size() * sizeof(float)));
+  WriteHeapEntries(out, sketch.heap_);
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Result<WmSketch> LoadWmSketch(std::istream& in, const LearnerOptions& opts) {
+  uint32_t magic;
+  if (!ReadRaw(in, &magic)) return Status::Corruption("truncated header");
+  if (magic != kWmMagic) return Status::Corruption("not a WM-Sketch snapshot");
+  WmSketchConfig config;
+  uint64_t heap_capacity;
+  LearnerOptions restored = opts;
+  if (!ReadRaw(in, &config.width) || !ReadRaw(in, &config.depth) ||
+      !ReadRaw(in, &heap_capacity) || !ReadRaw(in, &restored.lambda) ||
+      !ReadRaw(in, &restored.seed)) {
+    return Status::Corruption("truncated configuration");
+  }
+  config.heap_capacity = heap_capacity;
+  if (!IsPowerOfTwo(config.width) || config.depth < 1 ||
+      config.depth > WmSketch::kMaxDepth) {
+    return Status::Corruption("invalid sketch shape");
+  }
+  WmSketch sketch(config, restored);
+  uint64_t cells;
+  if (!ReadRaw(in, &sketch.t_) || !ReadRaw(in, &sketch.scale_) || !ReadRaw(in, &cells)) {
+    return Status::Corruption("truncated state");
+  }
+  if (cells != sketch.table_.size()) return Status::Corruption("table size mismatch");
+  in.read(reinterpret_cast<char*>(sketch.table_.data()),
+          static_cast<std::streamsize>(cells * sizeof(float)));
+  if (!in) return Status::Corruption("truncated table");
+  WMS_RETURN_NOT_OK(ReadHeapEntries(in, &sketch.heap_));
+  return sketch;
+}
+
+Status SaveAwmSketch(const AwmSketch& sketch, std::ostream& out) {
+  WriteRaw(out, kAwmMagic);
+  WriteRaw(out, sketch.config_.width);
+  WriteRaw(out, sketch.config_.depth);
+  WriteRaw(out, static_cast<uint64_t>(sketch.config_.heap_capacity));
+  WriteRaw(out, sketch.opts_.lambda);
+  WriteRaw(out, sketch.opts_.seed);
+  WriteRaw(out, sketch.t_);
+  WriteRaw(out, sketch.sketch_scale_);
+  WriteRaw(out, sketch.heap_scale_);
+  WriteRaw(out, static_cast<uint64_t>(sketch.table_.size()));
+  out.write(reinterpret_cast<const char*>(sketch.table_.data()),
+            static_cast<std::streamsize>(sketch.table_.size() * sizeof(float)));
+  WriteHeapEntries(out, sketch.heap_);
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Result<AwmSketch> LoadAwmSketch(std::istream& in, const LearnerOptions& opts) {
+  uint32_t magic;
+  if (!ReadRaw(in, &magic)) return Status::Corruption("truncated header");
+  if (magic != kAwmMagic) return Status::Corruption("not an AWM-Sketch snapshot");
+  AwmSketchConfig config;
+  uint64_t heap_capacity;
+  LearnerOptions restored = opts;
+  if (!ReadRaw(in, &config.width) || !ReadRaw(in, &config.depth) ||
+      !ReadRaw(in, &heap_capacity) || !ReadRaw(in, &restored.lambda) ||
+      !ReadRaw(in, &restored.seed)) {
+    return Status::Corruption("truncated configuration");
+  }
+  config.heap_capacity = heap_capacity;
+  if (!IsPowerOfTwo(config.width) || config.depth < 1 ||
+      config.depth > AwmSketch::kMaxDepth || config.heap_capacity < 1) {
+    return Status::Corruption("invalid sketch shape");
+  }
+  AwmSketch sketch(config, restored);
+  uint64_t cells;
+  if (!ReadRaw(in, &sketch.t_) || !ReadRaw(in, &sketch.sketch_scale_) ||
+      !ReadRaw(in, &sketch.heap_scale_) || !ReadRaw(in, &cells)) {
+    return Status::Corruption("truncated state");
+  }
+  if (cells != sketch.table_.size()) return Status::Corruption("table size mismatch");
+  in.read(reinterpret_cast<char*>(sketch.table_.data()),
+          static_cast<std::streamsize>(cells * sizeof(float)));
+  if (!in) return Status::Corruption("truncated table");
+  WMS_RETURN_NOT_OK(ReadHeapEntries(in, &sketch.heap_));
+  return sketch;
+}
+
+}  // namespace wmsketch

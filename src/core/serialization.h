@@ -1,0 +1,41 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "core/awm_sketch.h"
+#include "core/wm_sketch.h"
+#include "util/status.h"
+
+namespace wmsketch {
+
+/// Binary snapshot serialization for the sketched classifiers.
+///
+/// A deployed sketch must survive process restarts and be shippable from an
+/// edge device to an aggregation point, so both sketches support compact
+/// binary snapshots. Hash functions are derived deterministically from the
+/// stored seed, so a snapshot is just: header, configuration, learner
+/// scalars (λ, schedule, seed, step count), the raw table(s) with their lazy
+/// scales, and the active-set/heap entries.
+///
+/// The loss function is *not* serialized (it may be an arbitrary user type);
+/// the caller supplies LearnerOptions whose loss/rate are used for the
+/// restored model, while λ and seed are restored from the snapshot and
+/// override the passed values. Snapshots are independent of host endianness
+/// only across same-endian machines (little-endian assumed, as on all
+/// supported targets).
+
+/// Writes a snapshot of `sketch` to `out`. Returns IOError on stream failure.
+Status SaveWmSketch(const WmSketch& sketch, std::ostream& out);
+
+/// Restores a WM-Sketch from `in`. `opts.loss` and `opts.rate` are adopted;
+/// λ, seed, and all state come from the snapshot. Returns Corruption for
+/// malformed input.
+Result<WmSketch> LoadWmSketch(std::istream& in, const LearnerOptions& opts);
+
+/// Writes a snapshot of `sketch` to `out`.
+Status SaveAwmSketch(const AwmSketch& sketch, std::ostream& out);
+
+/// Restores an AWM-Sketch from `in` (conventions as LoadWmSketch).
+Result<AwmSketch> LoadAwmSketch(std::istream& in, const LearnerOptions& opts);
+
+}  // namespace wmsketch

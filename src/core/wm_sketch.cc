@@ -1,0 +1,112 @@
+#include "core/wm_sketch.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/math.h"
+#include "util/random.h"
+
+namespace wmsketch {
+
+namespace {
+constexpr double kMinScale = 1e-25;
+}  // namespace
+
+WmSketch::WmSketch(const WmSketchConfig& config, const LearnerOptions& opts)
+    : config_(config),
+      opts_(opts),
+      sqrt_depth_(std::sqrt(static_cast<double>(config.depth))),
+      heap_(config.heap_capacity > 0 ? config.heap_capacity : 1) {
+  assert(IsPowerOfTwo(config.width));
+  assert(config.depth >= 1 && config.depth <= kMaxDepth);
+  SplitMix64 sm(opts.seed);
+  rows_.reserve(config.depth);
+  for (uint32_t j = 0; j < config.depth; ++j) rows_.emplace_back(sm.Next(), config.width);
+  table_.assign(static_cast<size_t>(config.width) * config.depth, 0.0f);
+}
+
+double WmSketch::PredictMargin(const SparseVector& x) const {
+  // τ = zᵀRx = (α/√s)·Σ_i x_i Σ_j σ_j(i)·v[j, h_j(i)].
+  double acc = 0.0;
+  for (size_t i = 0; i < x.nnz(); ++i) {
+    const uint32_t feature = x.index(i);
+    double per_feature = 0.0;
+    for (uint32_t j = 0; j < config_.depth; ++j) {
+      uint32_t bucket;
+      float sign;
+      rows_[j].BucketAndSign(feature, &bucket, &sign);
+      per_feature += static_cast<double>(sign) * static_cast<double>(Row(j)[bucket]);
+    }
+    acc += per_feature * static_cast<double>(x.value(i));
+  }
+  return scale_ / sqrt_depth_ * acc;
+}
+
+double WmSketch::Update(const SparseVector& x, int8_t y) {
+  const double margin = PredictMargin(x);
+  ++t_;
+  const double eta = opts_.rate.Rate(t_);
+  const double g = opts_.loss->Derivative(static_cast<double>(y) * margin);
+
+  // z ← (1−λη)z, folded into the global scale.
+  if (opts_.lambda > 0.0) scale_ *= (1.0 - eta * opts_.lambda);
+
+  // z ← z − η·y·g·Rx: each nonzero feature touches one bucket per row with
+  // its sign, scaled by 1/√s (from R = A/√s) and divided by the new α.
+  const double step = eta * static_cast<double>(y) * g / (sqrt_depth_ * scale_);
+  for (size_t i = 0; i < x.nnz(); ++i) {
+    const uint32_t feature = x.index(i);
+    const double delta = step * static_cast<double>(x.value(i));
+    for (uint32_t j = 0; j < config_.depth; ++j) {
+      uint32_t bucket;
+      float sign;
+      rows_[j].BucketAndSign(feature, &bucket, &sign);
+      Row(j)[bucket] -= static_cast<float>(delta * static_cast<double>(sign));
+    }
+    // Passive top-K tracking on raw medians (Sec. 5.2 baseline scheme): raw
+    // magnitude order equals true-estimate order because √s·α is a shared
+    // positive factor.
+    if (config_.heap_capacity > 0) heap_.Offer(feature, RawMedian(feature));
+  }
+  MaybeRescale();
+  return margin;
+}
+
+float WmSketch::RawMedian(uint32_t feature) const {
+  float est[kMaxDepth];
+  for (uint32_t j = 0; j < config_.depth; ++j) {
+    uint32_t bucket;
+    float sign;
+    rows_[j].BucketAndSign(feature, &bucket, &sign);
+    est[j] = sign * Row(j)[bucket];
+  }
+  return MedianInPlace(est, config_.depth);
+}
+
+void WmSketch::MaybeRescale() {
+  if (scale_ >= kMinScale) return;
+  const float f = static_cast<float>(scale_);
+  for (float& v : table_) v *= f;
+  heap_.Scale(f);
+  scale_ = 1.0;
+}
+
+float WmSketch::WeightEstimate(uint32_t feature) const {
+  // ŵ_i = median_j(√s·σ_j(i)·z[j,h_j(i)]) = √s·α·RawMedian(i).
+  return static_cast<float>(sqrt_depth_ * scale_ * static_cast<double>(RawMedian(feature)));
+}
+
+std::vector<FeatureWeight> WmSketch::TopK(size_t k) const {
+  // The heap supplies candidate identities; estimates are re-queried from
+  // the live sketch, since collisions may have shifted raw values since a
+  // candidate was last touched.
+  std::vector<FeatureWeight> out;
+  out.reserve(heap_.size());
+  for (const FeatureWeight& fw : heap_.Entries()) {
+    out.push_back(FeatureWeight{fw.feature, WeightEstimate(fw.feature)});
+  }
+  SortByMagnitudeAndTruncate(out, k);
+  return out;
+}
+
+}  // namespace wmsketch

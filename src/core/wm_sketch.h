@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "hash/tabulation.h"
+#include "linear/classifier.h"
+#include "util/memory_cost.h"
+#include "util/top_k_heap.h"
+
+namespace wmsketch {
+
+/// Shape of a Weight-Median Sketch: a depth×width Count-Sketch-structured
+/// table plus an optional top-K tracking heap. Total size k = width·depth
+/// (the paper writes width as k/s and depth as s).
+struct WmSketchConfig {
+  /// Buckets per row; must be a power of two.
+  uint32_t width = 256;
+  /// Number of hash rows s; odd values give unambiguous medians.
+  uint32_t depth = 2;
+  /// Capacity of the passive top-K heap (0 disables tracking; weight
+  /// estimates remain available via WeightEstimate/Query).
+  size_t heap_capacity = 128;
+
+  /// Memory under the Sec. 7.1 cost model: 4 bytes per sketch cell plus
+  /// (id, weight) per heap slot.
+  size_t MemoryCostBytes() const {
+    return TableBytes(static_cast<size_t>(width) * depth) + HeapBytes(heap_capacity);
+  }
+};
+
+/// The Weight-Median Sketch (Algorithm 1): online gradient descent performed
+/// directly on a Count-Sketch projection z of the classifier weights.
+///
+/// * Prediction:  τ = zᵀRx with R = A/√s the scaled Count-Sketch matrix.
+/// * Update:      z ← (1−λη_t)·z − η_t·y·ℓ'(y·τ)·Rx, implemented with the
+///                lazy global-scale trick so each update costs
+///                O(s·nnz(x)) instead of O(k + s·nnz(x)) (Sec. 5.1).
+/// * Query(i):    median over rows j of √s·σ_j(i)·z[j, h_j(i)] — the
+///                Count-Sketch estimator applied to √s·z.
+///
+/// Theorem 1/2 guarantee ‖w* − ŵ‖∞ ≤ ε‖w*‖₁ for width and depth
+/// polylogarithmic in the dimension. A passive magnitude heap tracks the
+/// identities of the heaviest features across updates (Sec. 5.2's baseline
+/// scheme) so top-K retrieval needs no feature-universe scan.
+class WmSketch final : public BudgetedClassifier {
+ public:
+  static constexpr uint32_t kMaxDepth = 64;
+
+  /// Constructs the sketch; hash rows are derived from opts.seed.
+  /// Requires config.width a power of two and 1 <= depth <= kMaxDepth.
+  WmSketch(const WmSketchConfig& config, const LearnerOptions& opts);
+
+  double PredictMargin(const SparseVector& x) const override;
+  double Update(const SparseVector& x, int8_t y) override;
+  float WeightEstimate(uint32_t feature) const override;
+  std::vector<FeatureWeight> TopK(size_t k) const override;
+  size_t MemoryCostBytes() const override { return config_.MemoryCostBytes(); }
+  uint64_t steps() const override { return t_; }
+  std::string Name() const override { return "wm"; }
+
+  const WmSketchConfig& config() const { return config_; }
+
+ private:
+  friend Status SaveWmSketch(const WmSketch&, std::ostream&);
+  friend Result<WmSketch> LoadWmSketch(std::istream&, const LearnerOptions&);
+
+  // Median over rows of σ_j(i)·v[j, h_j(i)] on the *raw* table (no scale, no
+  // √s); WeightEstimate applies √s·α.
+  float RawMedian(uint32_t feature) const;
+  void MaybeRescale();
+
+  float* Row(uint32_t j) { return table_.data() + static_cast<size_t>(j) * config_.width; }
+  const float* Row(uint32_t j) const {
+    return table_.data() + static_cast<size_t>(j) * config_.width;
+  }
+
+  WmSketchConfig config_;
+  LearnerOptions opts_;
+  std::vector<SignedBucketHash> rows_;
+  std::vector<float> table_;  // raw v; z = scale_ * v
+  double scale_ = 1.0;        // α
+  double sqrt_depth_;         // √s, applied at predict/query time
+  uint64_t t_ = 0;
+  TopKHeap heap_;             // raw medians; rescaled alongside the table
+};
+
+}  // namespace wmsketch

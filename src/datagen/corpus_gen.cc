@@ -1,0 +1,64 @@
+#include "datagen/corpus_gen.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wmsketch {
+
+CorpusGenerator::CorpusGenerator(uint32_t vocab, uint32_t num_collocations, uint64_t seed,
+                                 double zipf_exponent, double mean_doc_length)
+    : vocab_(vocab),
+      zipf_(vocab, zipf_exponent),
+      rng_(seed),
+      continue_prob_(1.0 - 1.0 / mean_doc_length) {
+  assert(vocab >= 256);
+  // Collocation heads come from frequent ranks so the pair accumulates
+  // counts at laptop-scale stream lengths and dominates its sketch bucket;
+  // tails come from rare ranks so the planted PMI ≈ log(p(u,v)/(p(u)p(v)))
+  // is large — like "prime minister" / "los angeles" in the paper's Table 3,
+  // where the second token appears mostly inside the collocation.
+  Rng plant_rng(seed ^ 0x1d8e4e27c47d124fULL);
+  const uint32_t head_lo = vocab / 512 + 8;
+  const uint32_t head_hi = head_lo + std::max(4 * num_collocations + 4, vocab / 64);
+  const uint32_t tail_lo = vocab / 8;
+  const uint32_t tail_hi = vocab / 4;
+  std::unordered_map<uint32_t, bool> used;
+  while (collocations_.size() < num_collocations) {
+    const uint32_t u = head_lo + static_cast<uint32_t>(plant_rng.Bounded(head_hi - head_lo));
+    const uint32_t v = tail_lo + static_cast<uint32_t>(plant_rng.Bounded(tail_hi - tail_lo));
+    if (u == v || used.count(u) != 0 || used.count(v) != 0) continue;
+    used[u] = used[v] = true;
+    // Follow probabilities in [0.3, 0.7]: strong but not deterministic.
+    const double p = 0.3 + 0.4 * plant_rng.NextDouble();
+    head_index_[u] = collocations_.size();
+    collocations_.push_back(Collocation{u, v, p});
+  }
+}
+
+uint32_t CorpusGenerator::Next(bool* document_boundary) {
+  bool boundary = at_document_start_;
+  at_document_start_ = false;
+
+  uint32_t token;
+  if (pending_tail_ != kNone) {
+    token = pending_tail_;
+    pending_tail_ = kNone;
+  } else {
+    token = static_cast<uint32_t>(zipf_.Sample(rng_));
+    auto it = head_index_.find(token);
+    if (it != head_index_.end()) {
+      const Collocation& c = collocations_[it->second];
+      if (rng_.Bernoulli(c.follow_prob)) pending_tail_ = c.v;
+    }
+  }
+
+  // Document boundary after this token? (Pending tails never dangle across
+  // documents: emit the tail first, then allow a break.)
+  if (pending_tail_ == kNone && !rng_.Bernoulli(continue_prob_)) {
+    at_document_start_ = true;
+  }
+  if (document_boundary != nullptr) *document_boundary = boundary;
+  return token;
+}
+
+}  // namespace wmsketch

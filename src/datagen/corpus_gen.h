@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace wmsketch {
+
+/// A planted collocation: after token `u` appears, `v` immediately follows
+/// with probability `follow_prob`, producing a pair with large positive PMI.
+struct Collocation {
+  uint32_t u;
+  uint32_t v;
+  double follow_prob;
+};
+
+/// Generator of a Zipfian token stream with planted collocations for the
+/// streaming-PMI experiments (Fig. 11, Table 3). Substitutes for the
+/// billion-word newswire corpus (DESIGN.md §4).
+///
+/// Unigrams follow Zipf(exponent) over the vocabulary ("prime", "minister",
+/// ... are just token ids here). Collocation heads trigger their tail token
+/// next with the planted probability, so PMI(u,v) ≈ log(follow_prob/p(v)) is
+/// large and known; all other pairs co-occur only by chance (PMI ≈ 0 for
+/// frequent pairs — the Table 3 right-hand column). Documents have geometric
+/// length; pair windows should be reset at document boundaries.
+class CorpusGenerator {
+ public:
+  /// Constructs with `vocab` tokens and `num_collocations` planted pairs.
+  CorpusGenerator(uint32_t vocab, uint32_t num_collocations, uint64_t seed,
+                  double zipf_exponent = 1.05, double mean_doc_length = 200.0);
+
+  /// Emits the next token. Sets *document_boundary (if non-null) to true
+  /// when this token starts a new document.
+  uint32_t Next(bool* document_boundary = nullptr);
+
+  uint32_t vocab() const { return vocab_; }
+  const std::vector<Collocation>& collocations() const { return collocations_; }
+
+  /// Unigram probability under the base Zipf law (collocation triggering
+  /// perturbs this only mildly; tests use generous tolerances).
+  double UnigramProb(uint32_t token) const { return zipf_.Pmf(token); }
+
+ private:
+  uint32_t vocab_;
+  ZipfSampler zipf_;
+  Rng rng_;
+  double continue_prob_;
+  std::vector<Collocation> collocations_;
+  std::unordered_map<uint32_t, size_t> head_index_;  // token -> collocation
+  uint32_t pending_tail_ = kNone;
+  bool at_document_start_ = true;
+
+  static constexpr uint32_t kNone = 0xffffffffu;
+};
+
+}  // namespace wmsketch

@@ -1,0 +1,64 @@
+#include "datagen/packet_gen.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace wmsketch {
+
+PacketTraceGenerator::PacketTraceGenerator(uint32_t num_ips, uint32_t num_deltoids,
+                                           uint64_t seed, double zipf_exponent)
+    : num_ips_(num_ips),
+      rng_(seed),
+      outbound_(AliasTable::Build({1.0}).value()),  // placeholders, rebuilt below
+      inbound_(AliasTable::Build({1.0}).value()) {
+  assert(num_deltoids < num_ips);
+
+  // Base Zipf popularity over address ranks.
+  std::vector<double> base(num_ips);
+  for (uint32_t i = 0; i < num_ips; ++i) {
+    base[i] = std::pow(static_cast<double>(i + 1), -zipf_exponent);
+  }
+
+  // Plant deltoids on mid-popularity addresses (very frequent addresses make
+  // the ratio trivially detectable from tiny samples; very rare ones never
+  // appear at laptop-scale stream lengths). Both directions are planted.
+  Rng plant_rng(seed ^ 0x589965cc75374cc3ULL);
+  const uint32_t lo = num_ips / 256 + 8;
+  const uint32_t hi = num_ips / 4;
+  while (planted_.size() < num_deltoids) {
+    const uint32_t ip = lo + static_cast<uint32_t>(plant_rng.Bounded(hi - lo));
+    if (planted_.count(ip) != 0) continue;
+    // |log ratio| uniform in [1.5, 8] covers Fig. 10's x-axis (5..8).
+    const double magnitude = 1.5 + 6.5 * plant_rng.NextDouble();
+    const double sign = plant_rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    planted_[ip] = sign * magnitude;
+  }
+
+  // Direction-specific sampling weights: w·e^{+r/2} outbound, w·e^{−r/2}
+  // inbound, so the occurrence-rate ratio is e^r.
+  std::vector<double> out_w = base;
+  std::vector<double> in_w = base;
+  for (const auto& [ip, log_ratio] : planted_) {
+    out_w[ip] *= std::exp(log_ratio / 2.0);
+    in_w[ip] *= std::exp(-log_ratio / 2.0);
+  }
+  outbound_ = AliasTable::Build(out_w).value();
+  inbound_ = AliasTable::Build(in_w).value();
+}
+
+PacketEvent PacketTraceGenerator::Next() {
+  const bool outbound = rng_.Bernoulli(0.5);
+  const uint32_t ip = outbound ? outbound_.Sample(rng_) : inbound_.Sample(rng_);
+  return PacketEvent{ip, outbound};
+}
+
+double PacketTraceGenerator::TrueLogRatio(uint32_t ip) const {
+  // The two alias tables have different normalizers, so the exact expected
+  // log occurrence ratio includes that offset (identical for all IPs).
+  const double p_out = outbound_.Probability(ip);
+  const double p_in = inbound_.Probability(ip);
+  if (p_out <= 0.0 || p_in <= 0.0) return 0.0;
+  return std::log(p_out / p_in);
+}
+
+}  // namespace wmsketch

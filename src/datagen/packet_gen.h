@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/alias.h"
+#include "util/random.h"
+
+namespace wmsketch {
+
+/// One synthetic packet observation: the item (IP address id) and which of
+/// the two monitored links it crossed.
+struct PacketEvent {
+  uint32_t ip;
+  bool outbound;  // true → stream 1 (positive class), false → stream 2
+};
+
+/// Generator of a two-link packet trace with planted *relative deltoids* for
+/// the network-monitoring experiments (Fig. 10). Substitutes for the CAIDA
+/// OC48 trace (DESIGN.md §4).
+///
+/// Base per-IP popularity is Zipfian (heavy-tailed address frequencies). A
+/// planted subset of IPs has its outbound/inbound occurrence-rate ratio
+/// φ(i) = n1(i)/n2(i) multiplied by factors spanning e^±[1.5, 8] in log
+/// space, giving a known, seedable ground truth for recall-vs-threshold
+/// curves. Each event flips a fair coin for direction and samples from the
+/// direction-specific distribution, mirroring concurrent observation of two
+/// links (Sec. 8.2).
+class PacketTraceGenerator {
+ public:
+  /// Constructs with `num_ips` addresses, of which `num_deltoids` get
+  /// planted ratios. Requires num_deltoids < num_ips.
+  PacketTraceGenerator(uint32_t num_ips, uint32_t num_deltoids, uint64_t seed,
+                       double zipf_exponent = 1.1);
+
+  /// Draws the next packet event.
+  PacketEvent Next();
+
+  uint32_t num_ips() const { return num_ips_; }
+
+  /// The planted log-ratio (log of outbound/inbound rate ratio) per deltoid
+  /// IP; absent IPs have log-ratio 0 by construction.
+  const std::unordered_map<uint32_t, double>& planted_log_ratios() const {
+    return planted_;
+  }
+
+  /// True expected log-occurrence-ratio for any IP (0 for non-deltoids).
+  double TrueLogRatio(uint32_t ip) const;
+
+ private:
+  uint32_t num_ips_;
+  Rng rng_;
+  std::unordered_map<uint32_t, double> planted_;
+  AliasTable outbound_;
+  AliasTable inbound_;
+};
+
+}  // namespace wmsketch

@@ -1,0 +1,24 @@
+#include "hash/polynomial.h"
+
+#include <cassert>
+
+namespace wmsketch {
+
+PolynomialHash::PolynomialHash(uint64_t seed, uint32_t independence) {
+  assert(independence >= 1);
+  SplitMix64 sm(seed);
+  coeffs_.resize(independence);
+  for (auto& c : coeffs_) {
+    // Uniform in [0, kPrime); rejection keeps the family exactly k-wise
+    // independent over the field.
+    uint64_t v;
+    do {
+      v = sm.Next() & ((1ULL << 61) - 1);
+    } while (v >= kPrime);
+    c = v;
+  }
+  // The leading coefficient may be zero without breaking k-independence of
+  // the family; no special-casing needed.
+}
+
+}  // namespace wmsketch

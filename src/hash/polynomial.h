@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace wmsketch {
+
+/// k-wise-independent polynomial hashing over the Mersenne prime field
+/// GF(2^61 - 1) (Carter & Wegman): h(x) = (c_{k-1} x^{k-1} + ... + c_0) mod p.
+///
+/// This is the hash family the theoretical analysis assumes (Theorem 1 needs
+/// O(log(d/δ))-independence). It is several times slower than tabulation
+/// hashing per evaluation — the `bench_ablation_hashing` experiment
+/// quantifies the trade-off the paper's Appendix B alludes to.
+class PolynomialHash {
+ public:
+  /// Mersenne prime 2^61 - 1 used as the field modulus.
+  static constexpr uint64_t kPrime = (1ULL << 61) - 1;
+
+  /// Constructs a k-wise independent hash with random coefficients drawn
+  /// from `seed`. Requires independence >= 1.
+  PolynomialHash(uint64_t seed, uint32_t independence);
+
+  /// Evaluates the polynomial at `key`, returning a value in [0, 2^61 - 1).
+  uint64_t Hash(uint32_t key) const {
+    uint64_t acc = coeffs_[0];
+    const uint64_t x = key;
+    for (size_t i = 1; i < coeffs_.size(); ++i) {
+      acc = ModMulAdd(acc, x, coeffs_[i]);
+    }
+    return acc;
+  }
+
+  /// Degree of independence (number of coefficients).
+  uint32_t independence() const { return static_cast<uint32_t>(coeffs_.size()); }
+
+ private:
+  // Returns (a * b + c) mod kPrime using 128-bit intermediates and the
+  // Mersenne-prime fold (x mod 2^61-1 == (x >> 61) + (x & p), one more fold).
+  static uint64_t ModMulAdd(uint64_t a, uint64_t b, uint64_t c) {
+    __uint128_t t = static_cast<__uint128_t>(a) * b + c;
+    uint64_t lo = static_cast<uint64_t>(t & kPrime);
+    uint64_t hi = static_cast<uint64_t>(t >> 61);
+    uint64_t r = lo + hi;
+    if (r >= kPrime) r -= kPrime;
+    return r;
+  }
+
+  std::vector<uint64_t> coeffs_;  // coeffs_[0] is the constant term.
+};
+
+/// A SignedBucketHash-compatible row hash built on PolynomialHash, for the
+/// hashing ablation. `width` must be a power of two.
+class PolynomialBucketHash {
+ public:
+  PolynomialBucketHash(uint64_t seed, uint32_t width, uint32_t independence)
+      : poly_(seed, independence), mask_(width - 1) {}
+
+  uint32_t Bucket(uint32_t key) const { return static_cast<uint32_t>(poly_.Hash(key)) & mask_; }
+
+  float Sign(uint32_t key) const { return ((poly_.Hash(key) >> 32) & 1) != 0 ? 1.0f : -1.0f; }
+
+  void BucketAndSign(uint32_t key, uint32_t* bucket, float* sign) const {
+    const uint64_t h = poly_.Hash(key);
+    *bucket = static_cast<uint32_t>(h) & mask_;
+    *sign = ((h >> 32) & 1) != 0 ? 1.0f : -1.0f;
+  }
+
+  uint32_t width() const { return mask_ + 1; }
+
+ private:
+  PolynomialHash poly_;
+  uint32_t mask_;
+};
+
+/// Stable 64->64 bit mixer (the SplitMix64 finalizer), used to flatten packed
+/// pair keys into well-distributed ids.
+inline uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Packs an ordered token pair into the 64-bit key space used by the PMI
+/// estimator's bigram features, then mixes to a 32-bit feature id.
+inline uint32_t PairFeatureId(uint32_t u, uint32_t v) {
+  const uint64_t packed = (static_cast<uint64_t>(u) << 32) | v;
+  return static_cast<uint32_t>(Mix64(packed));
+}
+
+}  // namespace wmsketch

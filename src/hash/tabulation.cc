@@ -1,0 +1,12 @@
+#include "hash/tabulation.h"
+
+namespace wmsketch {
+
+TabulationHash::TabulationHash(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& table : tables_) {
+    for (auto& cell : table) cell = sm.Next();
+  }
+}
+
+}  // namespace wmsketch

@@ -1,0 +1,16 @@
+#include "linear/classifier.h"
+
+namespace wmsketch {
+
+std::vector<FeatureWeight> ScanTopK(const BudgetedClassifier& model, size_t k,
+                                    uint32_t dimension) {
+  TopKHeap heap(k);
+  for (uint32_t i = 0; i < dimension; ++i) {
+    const float w = model.WeightEstimate(i);
+    if (w == 0.0f) continue;
+    heap.Offer(i, w);
+  }
+  return heap.TopK(k);
+}
+
+}  // namespace wmsketch

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linear/learning_rate.h"
+#include "linear/loss.h"
+#include "stream/sparse_vector.h"
+#include "util/top_k_heap.h"
+
+namespace wmsketch {
+
+/// Hyperparameters shared by every online linear learner in the library.
+struct LearnerOptions {
+  /// ℓ2-regularization strength λ (Eq. 1). The paper sweeps
+  /// {1e-3, 1e-4, 1e-5, 1e-6}.
+  double lambda = 1e-6;
+  /// Learning-rate schedule; the paper uses η0 = 0.1.
+  LearningRate rate = LearningRate::InverseSqrt(0.1);
+  /// Loss ℓ; logistic regression by default, matching the experiments.
+  const LossFunction* loss = &DefaultLogisticLoss();
+  /// Seed for all hash functions / randomized internals of the learner.
+  uint64_t seed = 42;
+};
+
+/// Interface implemented by the memory-budgeted streaming classifiers: the
+/// WM-Sketch, the AWM-Sketch, the four baselines of Sec. 7, the feature-
+/// hashing classifier, and the memory-unconstrained reference model.
+///
+/// The contract mirrors Fig. 1 of the paper: a classifier is *updated* with
+/// labeled examples and *queried* for individual weight estimates or the
+/// top-K heaviest features of the uncompressed model it approximates.
+class BudgetedClassifier {
+ public:
+  virtual ~BudgetedClassifier() = default;
+
+  /// The margin wᵀx under the current model (no state change).
+  virtual double PredictMargin(const SparseVector& x) const = 0;
+
+  /// The predicted label sign(wᵀx) ∈ {-1, +1} (ties map to +1).
+  int8_t Classify(const SparseVector& x) const { return PredictMargin(x) >= 0.0 ? 1 : -1; }
+
+  /// Performs one online-gradient-descent step on (x, y); y ∈ {-1, +1}.
+  /// Returns the *pre-update* margin so callers can do progressive
+  /// validation (predict-then-update, Sec. 7.3) with no extra pass.
+  virtual double Update(const SparseVector& x, int8_t y) = 0;
+
+  /// Point estimate ŵᵢ of the uncompressed model's weight for `feature`.
+  virtual float WeightEstimate(uint32_t feature) const = 0;
+
+  /// The top-k features by estimated |weight| among those the method tracks
+  /// identifiers for; sorted by descending magnitude. Methods that store no
+  /// identifiers (pure feature hashing) return an empty vector — see
+  /// ScanTopK for the exhaustive alternative.
+  virtual std::vector<FeatureWeight> TopK(size_t k) const = 0;
+
+  /// Memory footprint under the Sec. 7.1 cost model (4 bytes per id /
+  /// weight / auxiliary scalar).
+  virtual size_t MemoryCostBytes() const = 0;
+
+  /// Number of Update() calls so far.
+  virtual uint64_t steps() const = 0;
+
+  /// Short stable name for reports ("awm", "hash", ...).
+  virtual std::string Name() const = 0;
+};
+
+/// Exhaustive top-k: evaluates WeightEstimate over the full feature universe
+/// [0, dimension) and returns the k largest-magnitude results. This is the
+/// only way to rank features for methods without identifier storage, and is
+/// also how the recovery metric treats every method uniformly.
+std::vector<FeatureWeight> ScanTopK(const BudgetedClassifier& model, size_t k,
+                                    uint32_t dimension);
+
+}  // namespace wmsketch

@@ -1,0 +1,65 @@
+#include "linear/feature_hashing.h"
+
+#include <cassert>
+
+#include "util/math.h"
+
+namespace wmsketch {
+
+namespace {
+constexpr double kMinScale = 1e-25;
+}  // namespace
+
+FeatureHashingClassifier::FeatureHashingClassifier(uint32_t buckets, const LearnerOptions& opts)
+    : opts_(opts), hash_(SplitMix64(opts.seed).Next(), buckets), table_(buckets, 0.0f) {
+  assert(IsPowerOfTwo(buckets));
+}
+
+double FeatureHashingClassifier::PredictMargin(const SparseVector& x) const {
+  double acc = 0.0;
+  for (size_t i = 0; i < x.nnz(); ++i) {
+    uint32_t bucket;
+    float sign;
+    hash_.BucketAndSign(x.index(i), &bucket, &sign);
+    acc += static_cast<double>(sign) * static_cast<double>(table_[bucket]) *
+           static_cast<double>(x.value(i));
+  }
+  return scale_ * acc;
+}
+
+double FeatureHashingClassifier::Update(const SparseVector& x, int8_t y) {
+  const double margin = PredictMargin(x);
+  ++t_;
+  const double eta = opts_.rate.Rate(t_);
+  const double g = opts_.loss->Derivative(static_cast<double>(y) * margin);
+  if (opts_.lambda > 0.0) scale_ *= (1.0 - eta * opts_.lambda);
+  const double step = eta * static_cast<double>(y) * g / scale_;
+  for (size_t i = 0; i < x.nnz(); ++i) {
+    uint32_t bucket;
+    float sign;
+    hash_.BucketAndSign(x.index(i), &bucket, &sign);
+    table_[bucket] -= static_cast<float>(step * static_cast<double>(sign) *
+                                         static_cast<double>(x.value(i)));
+  }
+  MaybeRescale();
+  return margin;
+}
+
+void FeatureHashingClassifier::MaybeRescale() {
+  if (scale_ >= kMinScale) return;
+  const float f = static_cast<float>(scale_);
+  for (float& w : table_) w *= f;
+  scale_ = 1.0;
+}
+
+float FeatureHashingClassifier::WeightEstimate(uint32_t feature) const {
+  uint32_t bucket;
+  float sign;
+  hash_.BucketAndSign(feature, &bucket, &sign);
+  return static_cast<float>(scale_ * static_cast<double>(sign) *
+                            static_cast<double>(table_[bucket]));
+}
+
+std::vector<FeatureWeight> FeatureHashingClassifier::TopK(size_t) const { return {}; }
+
+}  // namespace wmsketch

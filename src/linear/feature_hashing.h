@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/tabulation.h"
+#include "linear/classifier.h"
+#include "util/memory_cost.h"
+
+namespace wmsketch {
+
+/// The feature-hashing ("hashing trick") classifier of Shi et al. 2009 /
+/// Weinberger et al. 2009: every feature id is hashed into one of k buckets
+/// with a ±1 sign, and a linear model is trained directly on the k-
+/// dimensional hashed representation.
+///
+/// This is the strongest *classification* baseline in the paper (Fig. 6) but
+/// supports no identifier recovery: colliding features are permanently
+/// indistinguishable, which is why its RelErr in Fig. 3 is poor. It stores
+/// no ids, so its entire budget goes to weights — exactly one float per
+/// bucket. Equivalent to a depth-1 WM-Sketch with no heap.
+class FeatureHashingClassifier final : public BudgetedClassifier {
+ public:
+  /// Constructs with `buckets` hashed weights (power of two).
+  FeatureHashingClassifier(uint32_t buckets, const LearnerOptions& opts);
+
+  double PredictMargin(const SparseVector& x) const override;
+  double Update(const SparseVector& x, int8_t y) override;
+  float WeightEstimate(uint32_t feature) const override;
+  /// Feature hashing stores no identifiers; native top-K is empty (use
+  /// ScanTopK to rank an explicit universe).
+  std::vector<FeatureWeight> TopK(size_t k) const override;
+  size_t MemoryCostBytes() const override { return TableBytes(table_.size()); }
+  uint64_t steps() const override { return t_; }
+  std::string Name() const override { return "hash"; }
+
+  uint32_t buckets() const { return hash_.width(); }
+
+ private:
+  void MaybeRescale();
+
+  LearnerOptions opts_;
+  SignedBucketHash hash_;
+  std::vector<float> table_;  // raw; true hashed weight = scale_ * cell
+  double scale_ = 1.0;
+  uint64_t t_ = 0;
+};
+
+}  // namespace wmsketch

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace wmsketch {
+
+/// A learning-rate schedule η_t (t counts from 1). Value-type — classifiers
+/// copy it — with the three standard online-gradient-descent schedules.
+class LearningRate {
+ public:
+  enum class Kind {
+    kConstant,     ///< η_t = η0
+    kInverseSqrt,  ///< η_t = η0 / √t      (general convex OGD)
+    kInverse,      ///< η_t = η0 / (1 + η0·λ·t)  (λ-strongly-convex, Pegasos-style)
+  };
+
+  /// η_t = η0 (default matches the paper's η0 = 0.1).
+  static LearningRate Constant(double eta0 = 0.1) { return {Kind::kConstant, eta0, 0.0}; }
+  /// η_t = η0/√t.
+  static LearningRate InverseSqrt(double eta0 = 0.1) { return {Kind::kInverseSqrt, eta0, 0.0}; }
+  /// η_t = η0/(1 + η0·λ·t).
+  static LearningRate Inverse(double eta0, double lambda) {
+    return {Kind::kInverse, eta0, lambda};
+  }
+
+  /// Rate for step t (1-based). Requires t >= 1.
+  double Rate(uint64_t t) const {
+    assert(t >= 1);
+    switch (kind_) {
+      case Kind::kConstant:
+        return eta0_;
+      case Kind::kInverseSqrt:
+        return eta0_ / std::sqrt(static_cast<double>(t));
+      case Kind::kInverse:
+        return eta0_ / (1.0 + eta0_ * lambda_ * static_cast<double>(t));
+    }
+    return eta0_;
+  }
+
+  Kind kind() const { return kind_; }
+  double eta0() const { return eta0_; }
+
+ private:
+  LearningRate(Kind kind, double eta0, double lambda)
+      : kind_(kind), eta0_(eta0), lambda_(lambda) {}
+
+  Kind kind_;
+  double eta0_;
+  double lambda_;
+};
+
+}  // namespace wmsketch

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <vector>
+
+namespace wmsketch {
+
+/// Pearson correlation coefficient between two equal-length samples
+/// (Fig. 9 reports this between classifier weights and exact relative risk).
+/// Returns 0 when either sample has zero variance or fewer than 2 points.
+double PearsonCorrelation(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Sample median (copies and partially sorts; empty input returns 0).
+double Median(std::vector<double> values);
+
+}  // namespace wmsketch

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+namespace wmsketch {
+
+/// Progressive-validation (online) error rate, Sec. 7.3 / Blum et al. 1999:
+/// each example is scored *before* its label is revealed to the learner; the
+/// error rate is cumulative mistakes over iterations. Feed it the pre-update
+/// margin that every BudgetedClassifier::Update returns.
+class OnlineErrorRate {
+ public:
+  /// Records one prediction. `margin` is the pre-update margin; `label` the
+  /// true label in {-1, +1}. Ties (margin == 0) predict +1, matching
+  /// Classify().
+  void Record(double margin, int8_t label) {
+    ++total_;
+    const int8_t predicted = margin >= 0.0 ? 1 : -1;
+    if (predicted != label) ++mistakes_;
+  }
+
+  /// Mistakes / iterations (0 before any records).
+  double Rate() const {
+    return total_ == 0 ? 0.0 : static_cast<double>(mistakes_) / static_cast<double>(total_);
+  }
+
+  uint64_t mistakes() const { return mistakes_; }
+  uint64_t total() const { return total_; }
+
+ private:
+  uint64_t mistakes_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace wmsketch

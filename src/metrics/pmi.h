@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace wmsketch {
+
+/// Pointwise mutual information from exact counts (Sec. 8.3):
+///
+///   PMI(u, v) = log[ p(u,v) / (p(u) p(v)) ]
+///             = log[ (c_uv / N_pairs) / ((c_u / N) · (c_v / N)) ].
+///
+/// Requires all counts and totals positive.
+inline double PmiFromCounts(uint64_t pair_count, uint64_t total_pairs, uint64_t u_count,
+                            uint64_t v_count, uint64_t total_unigrams) {
+  const double p_uv = static_cast<double>(pair_count) / static_cast<double>(total_pairs);
+  const double p_u = static_cast<double>(u_count) / static_cast<double>(total_unigrams);
+  const double p_v = static_cast<double>(v_count) / static_cast<double>(total_unigrams);
+  return std::log(p_uv / (p_u * p_v));
+}
+
+}  // namespace wmsketch

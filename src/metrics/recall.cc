@@ -1,0 +1,28 @@
+#include "metrics/recall.h"
+
+#include <cmath>
+
+namespace wmsketch {
+
+std::vector<RecallPoint> RecallAboveThresholds(
+    const std::unordered_set<uint32_t>& retrieved,
+    const std::vector<std::pair<uint32_t, double>>& truth,
+    const std::vector<double>& thresholds) {
+  std::vector<RecallPoint> out;
+  out.reserve(thresholds.size());
+  for (const double threshold : thresholds) {
+    size_t relevant = 0;
+    size_t hits = 0;
+    for (const auto& [item, value] : truth) {
+      if (std::fabs(value) < threshold) continue;
+      ++relevant;
+      hits += retrieved.count(item);
+    }
+    const double recall =
+        relevant == 0 ? 1.0 : static_cast<double>(hits) / static_cast<double>(relevant);
+    out.push_back(RecallPoint{threshold, recall, relevant});
+  }
+  return out;
+}
+
+}  // namespace wmsketch

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace wmsketch {
+
+/// A point of a recall-vs-threshold curve (Fig. 10): at log-ratio threshold
+/// `threshold`, the fraction of ground-truth items above the threshold that
+/// the method's retrieved set contains.
+struct RecallPoint {
+  double threshold;
+  double recall;
+  size_t relevant;  // number of ground-truth items above the threshold
+};
+
+/// Computes recall of `retrieved` against items whose |ground-truth value|
+/// (e.g. |log occurrence ratio|) meets or exceeds each threshold.
+/// `truth` holds (item, value) pairs for the full universe of interest.
+std::vector<RecallPoint> RecallAboveThresholds(
+    const std::unordered_set<uint32_t>& retrieved,
+    const std::vector<std::pair<uint32_t, double>>& truth,
+    const std::vector<double>& thresholds);
+
+}  // namespace wmsketch

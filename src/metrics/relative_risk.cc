@@ -1,0 +1,32 @@
+#include "metrics/relative_risk.h"
+
+#include <cmath>
+
+namespace wmsketch {
+
+double RelativeRiskTracker::RelativeRisk(uint32_t feature) const {
+  auto it = counts_.find(feature);
+  const uint64_t occurrences = it == counts_.end() ? 0 : it->second.occurrences;
+  const uint64_t positive = it == counts_.end() ? 0 : it->second.positive;
+
+  // p(y=1 | x=1) with the feature present...
+  const double p_with =
+      (static_cast<double>(positive) + 0.5) / (static_cast<double>(occurrences) + 1.0);
+  // ...vs. p(y=1 | x=0) over the rest of the stream.
+  const uint64_t rest = total_ - occurrences;
+  const uint64_t rest_positive = total_positive_ - positive;
+  const double p_without =
+      (static_cast<double>(rest_positive) + 0.5) / (static_cast<double>(rest) + 1.0);
+  return p_with / p_without;
+}
+
+double RelativeRiskTracker::LogRelativeRisk(uint32_t feature) const {
+  return std::log(RelativeRisk(feature));
+}
+
+uint64_t RelativeRiskTracker::Occurrences(uint32_t feature) const {
+  auto it = counts_.find(feature);
+  return it == counts_.end() ? 0 : it->second.occurrences;
+}
+
+}  // namespace wmsketch

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace wmsketch {
+
+/// Exact relative-risk tracker for the streaming-explanation experiments
+/// (Sec. 8.1). Relative risk of a binary attribute x is
+///
+///   r_x = p(y=1 | x=1) / p(y=1 | x=0),
+///
+/// the factor by which an attribute's presence raises the outlier
+/// probability. This tracker keeps exact per-feature counts (it is the
+/// *evaluation* oracle, not a budgeted method) so Figs. 8–9 can score any
+/// retrieved feature set against ground truth.
+class RelativeRiskTracker {
+ public:
+  /// Records one (attribute occurrence, outlier label) observation.
+  void Observe(uint32_t feature, bool outlier) {
+    auto& c = counts_[feature];
+    ++c.occurrences;
+    if (outlier) ++c.positive;
+    ++total_;
+    if (outlier) ++total_positive_;
+  }
+
+  /// Exact relative risk with add-half (Haldane–Anscombe) smoothing so
+  /// never-positive and always-positive attributes stay finite.
+  double RelativeRisk(uint32_t feature) const;
+
+  /// log(RelativeRisk), the quantity classifier weights correlate with.
+  double LogRelativeRisk(uint32_t feature) const;
+
+  /// Occurrences of a feature (0 if never seen).
+  uint64_t Occurrences(uint32_t feature) const;
+
+  uint64_t total() const { return total_; }
+  uint64_t total_positive() const { return total_positive_; }
+
+ private:
+  struct Counts {
+    uint64_t occurrences = 0;
+    uint64_t positive = 0;
+  };
+  std::unordered_map<uint32_t, Counts> counts_;
+  uint64_t total_ = 0;
+  uint64_t total_positive_ = 0;
+};
+
+}  // namespace wmsketch

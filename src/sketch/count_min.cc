@@ -1,0 +1,53 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "util/math.h"
+#include "util/random.h"
+
+namespace wmsketch {
+
+CountMinSketch::CountMinSketch(uint32_t width, uint32_t depth, uint64_t seed, bool conservative)
+    : width_(width), depth_(depth), conservative_(conservative) {
+  assert(IsPowerOfTwo(width));
+  assert(depth >= 1 && depth <= kMaxDepth);
+  SplitMix64 sm(seed);
+  rows_.reserve(depth);
+  for (uint32_t j = 0; j < depth; ++j) rows_.emplace_back(sm.Next(), width);
+  table_.assign(static_cast<size_t>(width) * depth, 0.0);
+}
+
+void CountMinSketch::Update(uint32_t key, double delta) {
+  assert(delta >= 0.0);
+  total_ += delta;
+  if (!conservative_) {
+    for (uint32_t j = 0; j < depth_; ++j) {
+      Row(j)[rows_[j].Bucket(key)] += delta;
+    }
+    return;
+  }
+  // Conservative update: raise each bucket only as far as needed so the new
+  // estimate is (old estimate + delta).
+  const double target = Query(key) + delta;
+  for (uint32_t j = 0; j < depth_; ++j) {
+    double& cell = Row(j)[rows_[j].Bucket(key)];
+    cell = std::max(cell, target);
+  }
+}
+
+double CountMinSketch::Query(uint32_t key) const {
+  double est = std::numeric_limits<double>::infinity();
+  for (uint32_t j = 0; j < depth_; ++j) {
+    est = std::min(est, Row(j)[rows_[j].Bucket(key)]);
+  }
+  return est;
+}
+
+void CountMinSketch::Clear() {
+  table_.assign(table_.size(), 0.0);
+  total_ = 0.0;
+}
+
+}  // namespace wmsketch

@@ -1,0 +1,53 @@
+#include "sketch/count_sketch.h"
+
+#include <cassert>
+
+#include "util/math.h"
+#include "util/random.h"
+
+namespace wmsketch {
+
+CountSketch::CountSketch(uint32_t width, uint32_t depth, uint64_t seed)
+    : width_(width), depth_(depth), seed_(seed) {
+  assert(IsPowerOfTwo(width));
+  assert(depth >= 1 && depth <= kMaxDepth);
+  SplitMix64 sm(seed);
+  rows_.reserve(depth);
+  for (uint32_t j = 0; j < depth; ++j) rows_.emplace_back(sm.Next(), width);
+  table_.assign(static_cast<size_t>(width) * depth, 0.0f);
+}
+
+void CountSketch::Update(uint32_t key, float delta) {
+  for (uint32_t j = 0; j < depth_; ++j) {
+    uint32_t bucket;
+    float sign;
+    rows_[j].BucketAndSign(key, &bucket, &sign);
+    Row(j)[bucket] += sign * delta;
+  }
+}
+
+float CountSketch::Query(uint32_t key) const {
+  float est[kMaxDepth];
+  for (uint32_t j = 0; j < depth_; ++j) {
+    uint32_t bucket;
+    float sign;
+    rows_[j].BucketAndSign(key, &bucket, &sign);
+    est[j] = sign * Row(j)[bucket];
+  }
+  return MedianInPlace(est, depth_);
+}
+
+void CountSketch::Merge(const CountSketch& other) {
+  assert(width_ == other.width_ && depth_ == other.depth_ && seed_ == other.seed_);
+  for (size_t i = 0; i < table_.size(); ++i) table_[i] += other.table_[i];
+}
+
+void CountSketch::Scale(float factor) {
+  for (float& v : table_) v *= factor;
+}
+
+void CountSketch::Clear() { table_.assign(table_.size(), 0.0f); }
+
+double CountSketch::TableL2Norm() const { return L2Norm(table_); }
+
+}  // namespace wmsketch

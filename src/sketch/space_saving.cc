@@ -1,0 +1,63 @@
+#include "sketch/space_saving.h"
+
+#include <algorithm>
+
+namespace wmsketch {
+
+uint32_t SpaceSaving::Update(uint32_t item, uint64_t increment) {
+  total_ += increment;
+  const IndexedMinHeap::Entry* existing = heap_.Find(item);
+  if (existing != nullptr) {
+    heap_.Update(item, existing->priority + static_cast<double>(increment), existing->value);
+    return kNoEviction;
+  }
+  if (heap_.size() < capacity_) {
+    heap_.Insert(item, static_cast<double>(increment), /*error=*/0.0f);
+    return kNoEviction;
+  }
+  // Evict the minimum-count item; the newcomer inherits its count as error.
+  const IndexedMinHeap::Entry min = heap_.PopMin();
+  heap_.Insert(item, min.priority + static_cast<double>(increment),
+               /*error=*/static_cast<float>(min.priority));
+  return min.key;
+}
+
+uint64_t SpaceSaving::EstimateCount(uint32_t item) const {
+  const IndexedMinHeap::Entry* e = heap_.Find(item);
+  if (e == nullptr) return 0;
+  return static_cast<uint64_t>(e->priority);
+}
+
+uint64_t SpaceSaving::ErrorBound(uint32_t item) const {
+  const IndexedMinHeap::Entry* e = heap_.Find(item);
+  if (e == nullptr) return 0;
+  return static_cast<uint64_t>(e->value);
+}
+
+std::vector<SpaceSavingEntry> SpaceSaving::Entries() const {
+  std::vector<SpaceSavingEntry> out;
+  out.reserve(heap_.size());
+  for (const auto& e : heap_.entries()) {
+    out.push_back(SpaceSavingEntry{e.key, static_cast<uint64_t>(e.priority),
+                                   static_cast<uint64_t>(e.value)});
+  }
+  std::sort(out.begin(), out.end(), [](const SpaceSavingEntry& a, const SpaceSavingEntry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.item < b.item;
+  });
+  return out;
+}
+
+std::vector<SpaceSavingEntry> SpaceSaving::HeavyHitters(double threshold_fraction,
+                                                        bool guaranteed) const {
+  const double threshold = threshold_fraction * static_cast<double>(total_);
+  std::vector<SpaceSavingEntry> out;
+  for (const SpaceSavingEntry& e : Entries()) {
+    const double support =
+        guaranteed ? static_cast<double>(e.count - e.error) : static_cast<double>(e.count);
+    if (support > threshold) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace wmsketch

@@ -1,0 +1,122 @@
+#include "stream/libsvm_io.h"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace wmsketch {
+
+namespace {
+
+// Splits off the next whitespace-delimited token from `s`; empty view at end.
+std::string_view NextToken(std::string_view& s) {
+  size_t start = 0;
+  while (start < s.size() && (s[start] == ' ' || s[start] == '\t')) ++start;
+  size_t end = start;
+  while (end < s.size() && s[end] != ' ' && s[end] != '\t') ++end;
+  std::string_view tok = s.substr(start, end - start);
+  s.remove_prefix(end);
+  return tok;
+}
+
+}  // namespace
+
+Result<Example> ParseLibsvmLine(std::string_view line, bool one_based) {
+  // Strip trailing CR/comment.
+  if (const size_t hash = line.find('#'); hash != std::string_view::npos) {
+    line = line.substr(0, hash);
+  }
+  while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) line.remove_suffix(1);
+
+  std::string_view rest = line;
+  const std::string_view label_tok = NextToken(rest);
+  if (label_tok.empty()) return Status::InvalidArgument("empty line");
+
+  int8_t y;
+  if (label_tok == "+1" || label_tok == "1") {
+    y = 1;
+  } else if (label_tok == "-1" || label_tok == "0") {
+    y = -1;
+  } else {
+    return Status::InvalidArgument("unrecognized label '" + std::string(label_tok) + "'");
+  }
+
+  std::vector<std::pair<uint32_t, float>> pairs;
+  for (std::string_view tok = NextToken(rest); !tok.empty(); tok = NextToken(rest)) {
+    const size_t colon = tok.find(':');
+    if (colon == std::string_view::npos || colon == 0 || colon + 1 >= tok.size()) {
+      return Status::InvalidArgument("malformed feature '" + std::string(tok) + "'");
+    }
+    uint64_t idx = 0;
+    const std::string_view idx_sv = tok.substr(0, colon);
+    auto [iptr, ierr] = std::from_chars(idx_sv.data(), idx_sv.data() + idx_sv.size(), idx);
+    if (ierr != std::errc() || iptr != idx_sv.data() + idx_sv.size()) {
+      return Status::InvalidArgument("bad feature index '" + std::string(idx_sv) + "'");
+    }
+    if (one_based) {
+      if (idx == 0) return Status::InvalidArgument("index 0 in one-based file");
+      idx -= 1;
+    }
+    if (idx > 0xffffffffULL) {
+      return Status::OutOfRange("feature index " + std::to_string(idx) + " exceeds 32 bits");
+    }
+    // std::from_chars for float is available but strtof handles exponents the
+    // same; keep from_chars for locale independence.
+    const std::string_view val_sv = tok.substr(colon + 1);
+    float val = 0.0f;
+    auto [vptr, verr] = std::from_chars(val_sv.data(), val_sv.data() + val_sv.size(), val);
+    if (verr != std::errc() || vptr != val_sv.data() + val_sv.size()) {
+      return Status::InvalidArgument("bad feature value '" + std::string(val_sv) + "'");
+    }
+    if (!std::isfinite(val)) {
+      return Status::InvalidArgument("non-finite feature value '" + std::string(val_sv) + "'");
+    }
+    pairs.emplace_back(static_cast<uint32_t>(idx), val);
+  }
+
+  WMS_ASSIGN_OR_RETURN(SparseVector x, SparseVector::FromUnsorted(std::move(pairs)));
+  return Example{std::move(x), y};
+}
+
+Result<std::vector<Example>> ReadLibsvmFile(const std::string& path, bool one_based) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::vector<Example> out;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Skip blank and comment lines.
+    const size_t first = line.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos || line[first] == '#') continue;
+    Result<Example> ex = ParseLibsvmLine(line, one_based);
+    if (!ex.ok()) {
+      return Status(ex.status().code(),
+                    path + ":" + std::to_string(lineno) + ": " + ex.status().message());
+    }
+    out.push_back(std::move(ex).value());
+  }
+  return out;
+}
+
+std::string FormatLibsvmLine(const Example& ex) {
+  std::ostringstream os;
+  os << (ex.y > 0 ? "+1" : "-1");
+  for (size_t i = 0; i < ex.x.nnz(); ++i) {
+    os << ' ' << (ex.x.index(i) + 1) << ':' << ex.x.value(i);
+  }
+  return os.str();
+}
+
+Status WriteLibsvmFile(const std::string& path, const std::vector<Example>& examples) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  for (const Example& ex : examples) {
+    out << FormatLibsvmLine(ex) << '\n';
+  }
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace wmsketch

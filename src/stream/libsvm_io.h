@@ -1,0 +1,33 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stream/sparse_vector.h"
+#include "util/status.h"
+
+namespace wmsketch {
+
+/// Parses one LIBSVM-format line: `<label> <idx>:<val> <idx>:<val> ...`.
+///
+/// Labels "+1"/"1" map to +1; "-1"/"0" map to -1 (the 0/1 convention used by
+/// some KDD-cup exports). Indices may be 0- or 1-based in the file; set
+/// `one_based` for files that start at 1 (the LIBSVM convention) and they
+/// are shifted down. Malformed fields, non-finite values, unsorted or
+/// duplicate indices all yield InvalidArgument with the offending column.
+Result<Example> ParseLibsvmLine(std::string_view line, bool one_based = true);
+
+/// Reads every non-empty, non-comment ('#') line of `path` as an Example.
+/// Fails with IOError if the file cannot be opened and InvalidArgument (with
+/// a line number) on the first malformed record.
+Result<std::vector<Example>> ReadLibsvmFile(const std::string& path, bool one_based = true);
+
+/// Serializes an example in LIBSVM format (1-based indices).
+std::string FormatLibsvmLine(const Example& ex);
+
+/// Writes examples to `path`, one per line. Returns IOError on failure.
+Status WriteLibsvmFile(const std::string& path, const std::vector<Example>& examples);
+
+}  // namespace wmsketch

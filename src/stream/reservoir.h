@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace wmsketch {
+
+/// Uniform reservoir sample of a stream (Vitter's Algorithm R): after T
+/// observations, each holds a slot with probability capacity/T.
+///
+/// The streaming PMI estimator (Sec. 8.3) approximates sampling from the
+/// unigram distribution p(u) by drawing from a reservoir of recently-observed
+/// tokens, exactly as the paper does (reservoir size 4000 in their
+/// experiments).
+template <typename T>
+class ReservoirSample {
+ public:
+  /// Constructs a reservoir holding at most `capacity` items (>= 1).
+  ReservoirSample(size_t capacity, uint64_t seed) : capacity_(capacity), rng_(seed) {
+    assert(capacity >= 1);
+    items_.reserve(capacity);
+  }
+
+  /// Observes one stream element.
+  void Add(const T& item) {
+    ++count_;
+    if (items_.size() < capacity_) {
+      items_.push_back(item);
+      return;
+    }
+    const uint64_t j = rng_.Bounded(count_);
+    if (j < capacity_) items_[j] = item;
+  }
+
+  /// True iff at least one element has been observed.
+  bool empty() const { return items_.empty(); }
+  size_t size() const { return items_.size(); }
+  size_t capacity() const { return capacity_; }
+  /// Stream length observed so far.
+  uint64_t count() const { return count_; }
+
+  /// Draws a uniform element from the reservoir (approximates a draw from
+  /// the empirical stream distribution). Requires non-empty.
+  const T& Sample(Rng& rng) const {
+    assert(!items_.empty());
+    return items_[rng.Bounded(items_.size())];
+  }
+
+  /// The raw reservoir contents.
+  const std::vector<T>& items() const { return items_; }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  uint64_t count_ = 0;
+  std::vector<T> items_;
+};
+
+}  // namespace wmsketch

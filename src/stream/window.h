@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+namespace wmsketch {
+
+/// Enumerates co-occurring token pairs within a sliding window of the last
+/// `window` tokens, the bigram definition used by the paper's PMI experiments
+/// ("word pairs that co-occur within 5-word spans of text": window = 6
+/// including the new token).
+///
+/// For each pushed token `v`, the callback fires once per retained
+/// predecessor `u` (ordered pair (u, v), most recent last). Pairs never span
+/// a Reset() boundary (use Reset between documents/sentences).
+class SlidingWindowPairs {
+ public:
+  using PairCallback = std::function<void(uint32_t u, uint32_t v)>;
+
+  /// Constructs with total span `window` >= 2 (a window of W produces pairs
+  /// with the W-1 preceding tokens).
+  explicit SlidingWindowPairs(size_t window) : window_(window) {}
+
+  /// Pushes the next token, invoking `cb` for each in-window pair.
+  void Push(uint32_t token, const PairCallback& cb) {
+    for (uint32_t u : buffer_) cb(u, token);
+    buffer_.push_back(token);
+    if (buffer_.size() >= window_) buffer_.pop_front();
+  }
+
+  /// Clears the window (document boundary).
+  void Reset() { buffer_.clear(); }
+
+  size_t window() const { return window_; }
+
+ private:
+  size_t window_;
+  std::deque<uint32_t> buffer_;
+};
+
+}  // namespace wmsketch

@@ -1,0 +1,49 @@
+#include "util/alias.h"
+
+#include <cmath>
+
+namespace wmsketch {
+
+Result<AliasTable> AliasTable::Build(const std::vector<double>& weights) {
+  if (weights.empty()) return Status::InvalidArgument("alias table needs at least one weight");
+  double total = 0.0;
+  for (const double w : weights) {
+    if (!std::isfinite(w) || w < 0.0) {
+      return Status::InvalidArgument("alias weights must be finite and non-negative");
+    }
+    total += w;
+  }
+  if (total <= 0.0) return Status::InvalidArgument("alias weights sum to zero");
+
+  const size_t n = weights.size();
+  AliasTable table;
+  table.prob_.assign(n, 0.0);
+  table.alias_.assign(n, 0);
+  table.normalized_.resize(n);
+
+  // Vose's stable construction with explicit small/large worklists.
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  for (size_t i = 0; i < n; ++i) {
+    table.normalized_[i] = weights[i] / total;
+    scaled[i] = table.normalized_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    table.prob_[s] = scaled[s];
+    table.alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers are full slots.
+  for (const uint32_t i : small) table.prob_[i] = 1.0;
+  for (const uint32_t i : large) table.prob_[i] = 1.0;
+  return table;
+}
+
+}  // namespace wmsketch

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace wmsketch {
+
+/// Walker/Vose alias method: O(1) sampling from an arbitrary discrete
+/// distribution after O(n) preprocessing.
+///
+/// The packet-trace and corpus generators need non-Zipf (perturbed-Zipf)
+/// distributions — e.g. per-IP popularity with planted relative-ratio
+/// deltoids — which rules out the closed-form Zipf sampler; the alias table
+/// handles any weight vector.
+class AliasTable {
+ public:
+  /// Builds the table from non-negative weights (at least one positive).
+  /// Returns InvalidArgument for empty/negative/non-finite/all-zero input.
+  static Result<AliasTable> Build(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size) with probability weight[i]/Σweights.
+  uint32_t Sample(Rng& rng) const {
+    const uint32_t slot = static_cast<uint32_t>(rng.Bounded(prob_.size()));
+    return rng.NextDouble() < prob_[slot] ? slot : alias_[slot];
+  }
+
+  size_t size() const { return prob_.size(); }
+
+  /// Exact sampling probability of index i (for tests / ground truth).
+  double Probability(uint32_t i) const { return normalized_[i]; }
+
+ private:
+  AliasTable() = default;
+
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+  std::vector<double> normalized_;
+};
+
+}  // namespace wmsketch

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace wmsketch {
+
+/// Numerically stable log(1 + exp(x)); avoids overflow for large |x|.
+inline double Log1pExp(double x) {
+  if (x > 0.0) return x + std::log1p(std::exp(-x));
+  return std::log1p(std::exp(x));
+}
+
+/// Logistic sigmoid 1 / (1 + exp(-x)), stable for large |x|.
+inline double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+/// Returns the median of `values`, destroying their order. For even sizes
+/// returns the lower-middle element (the convention used by Count-Sketch
+/// style estimators, where depth is typically odd). Requires non-empty input.
+inline float MedianInPlace(std::vector<float>& values) {
+  const size_t mid = (values.size() - 1) / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<ptrdiff_t>(mid), values.end());
+  return values[mid];
+}
+
+/// Median of a small fixed buffer (the per-query path for depth-s sketches);
+/// `n` must be >= 1 and the buffer is reordered.
+inline float MedianInPlace(float* values, size_t n) {
+  const size_t mid = (n - 1) / 2;
+  std::nth_element(values, values + static_cast<ptrdiff_t>(mid), values + n);
+  return values[mid];
+}
+
+/// True iff `x` is a power of two (and nonzero).
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Smallest power of two >= x (x must be >= 1 and representable).
+constexpr uint64_t NextPowerOfTwo(uint64_t x) {
+  uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+/// Euclidean (L2) norm of a vector.
+inline double L2Norm(const std::vector<float>& v) {
+  double s = 0.0;
+  for (float x : v) s += static_cast<double>(x) * static_cast<double>(x);
+  return std::sqrt(s);
+}
+
+/// L1 norm of a vector.
+inline double L1Norm(const std::vector<float>& v) {
+  double s = 0.0;
+  for (float x : v) s += std::fabs(static_cast<double>(x));
+  return s;
+}
+
+}  // namespace wmsketch

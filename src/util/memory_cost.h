@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+
+namespace wmsketch {
+
+/// The memory cost model of Sec. 7.1: every method is charged 4 bytes per
+/// feature identifier, 4 bytes per feature weight, and 4 bytes per auxiliary
+/// scalar (Space-Saving counts, reservoir keys, sketch counters, ...). All
+/// budget planning and the `MemoryCostBytes()` accounting of every classifier
+/// use these constants so that methods are compared at genuinely equal
+/// budgets.
+inline constexpr size_t kBytesPerId = 4;
+inline constexpr size_t kBytesPerWeight = 4;
+inline constexpr size_t kBytesPerAux = 4;
+
+/// Cost of a heap of `capacity` entries, each holding an id, a weight, and
+/// `aux_per_entry` auxiliary scalars.
+constexpr size_t HeapBytes(size_t capacity, size_t aux_per_entry = 0) {
+  return capacity * (kBytesPerId + kBytesPerWeight + aux_per_entry * kBytesPerAux);
+}
+
+/// Cost of a flat array of `cells` sketch counters/weights.
+constexpr size_t TableBytes(size_t cells) { return cells * kBytesPerWeight; }
+
+/// Kilobyte convenience (budgets in the paper are quoted in KB).
+constexpr size_t KiB(size_t n) { return n * 1024; }
+
+}  // namespace wmsketch

@@ -1,0 +1,33 @@
+#include "util/status.h"
+
+namespace wmsketch {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kCorruption:
+      return "Corruption";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+}  // namespace wmsketch

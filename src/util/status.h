@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace wmsketch {
+
+/// Machine-readable category for a \ref Status.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kFailedPrecondition = 4,
+  kIOError = 5,
+  kCorruption = 6,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation that can fail without the failure being a
+/// programming error (e.g. parsing a malformed input line).
+///
+/// Follows the Arrow/RocksDB convention: recoverable errors travel through
+/// `Status` return values rather than exceptions; invariant violations use
+/// assertions. `Status` is cheap to copy for the OK case (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and diagnostic message.
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument status with the given message.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// Returns an OutOfRange status with the given message.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// Returns a NotFound status with the given message.
+  static Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+  /// Returns a FailedPrecondition status with the given message.
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  /// Returns an IOError status with the given message.
+  static Status IOError(std::string msg) { return Status(StatusCode::kIOError, std::move(msg)); }
+  /// Returns a Corruption status with the given message.
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The diagnostic message (empty for OK).
+  const std::string& message() const { return msg_; }
+
+  /// Renders "Code: message" for logging.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// A value-or-error holder: either contains a `T` or a non-OK \ref Status.
+///
+/// Used as the return type of fallible factory functions, mirroring
+/// `arrow::Result`. Access to `value()` requires `ok()`.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT(runtime/explicit)
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+  /// The status (OK iff a value is present).
+  const Status& status() const { return status_; }
+
+  /// The contained value. Requires `ok()`.
+  const T& value() const& { return *value_; }
+  /// Moves the contained value out. Requires `ok()`.
+  T&& value() && { return std::move(*value_); }
+  /// Mutable access to the contained value. Requires `ok()`.
+  T& value() & { return *value_; }
+
+  /// Returns the value if present, otherwise `fallback`.
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace wmsketch
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define WMS_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::wmsketch::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+/// Evaluates a Result-returning expression; on success binds the value to
+/// `lhs`, on failure propagates the Status to the caller.
+#define WMS_ASSIGN_OR_RETURN(lhs, rexpr)        \
+  auto WMS_CONCAT_(_res_, __LINE__) = (rexpr);  \
+  if (!WMS_CONCAT_(_res_, __LINE__).ok()) return WMS_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(WMS_CONCAT_(_res_, __LINE__)).value()
+
+#define WMS_CONCAT_(a, b) WMS_CONCAT_IMPL_(a, b)
+#define WMS_CONCAT_IMPL_(a, b) a##b

@@ -1,0 +1,23 @@
+#include "util/top_k_heap.h"
+
+#include <algorithm>
+
+namespace wmsketch {
+
+void SortByMagnitudeAndTruncate(std::vector<FeatureWeight>& entries, size_t k) {
+  std::sort(entries.begin(), entries.end(), [](const FeatureWeight& a, const FeatureWeight& b) {
+    const float ma = std::fabs(a.weight);
+    const float mb = std::fabs(b.weight);
+    if (ma != mb) return ma > mb;
+    return a.feature < b.feature;
+  });
+  if (entries.size() > k) entries.resize(k);
+}
+
+std::vector<FeatureWeight> TopKHeap::TopK(size_t k) const {
+  std::vector<FeatureWeight> out = Entries();
+  SortByMagnitudeAndTruncate(out, k);
+  return out;
+}
+
+}  // namespace wmsketch

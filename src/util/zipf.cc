@@ -1,0 +1,72 @@
+#include "util/zipf.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace wmsketch {
+
+namespace {
+
+// Helper: computes (exp(x) - 1) / x with a series fallback near zero.
+double ExpM1OverX(double x) {
+  if (std::fabs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x / 2.0 * (1.0 + x / 3.0 * (1.0 + x / 4.0));
+}
+
+// Helper: computes log1p(x) / x with a series fallback near zero.
+double Log1pOverX(double x) {
+  if (std::fabs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x * (0.5 - x * (1.0 / 3.0 - x / 4.0));
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double exponent) : n_(n), exponent_(exponent) {
+  assert(n >= 1);
+  assert(exponent > 0.0);
+  // Hörmann's hIntegralX1 is H(1.5) − 1: the left edge of the inversion
+  // interval accounts for the unit mass of the first atom.
+  h_integral_x1_ = H(1.5) - 1.0;
+  h_integral_num_values_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInv(H(2.5) - std::pow(2.0, -exponent));
+}
+
+double ZipfSampler::H(double x) const {
+  // Integral of 1/t^e from 1 to x: (x^(1-e) - 1) / (1 - e), with the
+  // log-based limit at e == 1, computed stably via exp/log1p helpers.
+  const double log_x = std::log(x);
+  return ExpM1OverX((1.0 - exponent_) * log_x) * log_x;
+}
+
+double ZipfSampler::HInv(double x) const {
+  double t = x * (1.0 - exponent_);
+  if (t < -1.0) t = -1.0;  // guard floating-point undershoot at the boundary
+  return std::exp(Log1pOverX(t) * x);
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  while (true) {
+    const double u =
+        h_integral_num_values_ + rng.NextDouble() * (h_integral_x1_ - h_integral_num_values_);
+    const double x = HInv(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) {
+      k = 1.0;
+    } else if (k > static_cast<double>(n_)) {
+      k = static_cast<double>(n_);
+    }
+    // Accept if k is within the rejection envelope.
+    if (k - x <= s_ || u >= H(k + 0.5) - std::pow(k, -exponent_)) {
+      return static_cast<uint64_t>(k) - 1;  // 0-based rank
+    }
+  }
+}
+
+double ZipfSampler::Pmf(uint64_t r) const {
+  assert(r < n_);
+  double z = 0.0;
+  for (uint64_t i = 1; i <= n_; ++i) z += std::pow(static_cast<double>(i), -exponent_);
+  return std::pow(static_cast<double>(r + 1), -exponent_) / z;
+}
+
+}  // namespace wmsketch

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace wmsketch {
+
+/// Samples from a Zipf (zeta) distribution over {0, 1, ..., n-1}, where rank
+/// r (0-based) has probability proportional to 1/(r+1)^exponent.
+///
+/// Uses Hörmann & Derflinger's rejection-inversion method ("Rejection-
+/// inversion to generate variates from monotone discrete distributions"),
+/// which is O(1) per sample independent of `n` and supports any exponent
+/// > 0 including the harmonic case exponent == 1. This is the workhorse for
+/// every synthetic workload generator in the repository: skewed feature
+/// frequencies, attribute value marginals, IP address popularity, and
+/// unigram token frequencies are all Zipfian.
+class ZipfSampler {
+ public:
+  /// Constructs a sampler over {0, ..., n-1} with the given exponent.
+  /// Requires n >= 1 and exponent > 0.
+  ZipfSampler(uint64_t n, double exponent);
+
+  /// Draws one 0-based rank using randomness from `rng`.
+  uint64_t Sample(Rng& rng) const;
+
+  /// Number of distinct values.
+  uint64_t n() const { return n_; }
+  /// Skew exponent.
+  double exponent() const { return exponent_; }
+
+  /// Exact probability of 0-based rank `r` under this distribution
+  /// (computed with the generalized harmonic normalizer; O(n) the first
+  /// call, cached thereafter is not needed since callers use it in tests).
+  double Pmf(uint64_t r) const;
+
+ private:
+  // H(x) is the integral of the density h(x) = 1/x^exponent; HInv its inverse.
+  double H(double x) const;
+  double HInv(double x) const;
+
+  uint64_t n_;
+  double exponent_;
+  double h_integral_x1_;          // H(1.5) - 1 (left edge of inversion range)
+  double h_integral_num_values_;  // H(n + 0.5)
+  double s_;
+};
+
+}  // namespace wmsketch

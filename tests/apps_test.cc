@@ -1,0 +1,258 @@
+// Tests for the three stream-processing applications (Sec. 8): streaming
+// explanation, relative-deltoid detection, and streaming PMI estimation —
+// each exercised end-to-end on its synthetic workload.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "apps/deltoid.h"
+#include "apps/explanation.h"
+#include "apps/pmi.h"
+#include "core/awm_sketch.h"
+#include "datagen/corpus_gen.h"
+#include "datagen/fec_gen.h"
+#include "datagen/packet_gen.h"
+#include "hash/polynomial.h"
+#include "metrics/pmi.h"
+#include "metrics/relative_risk.h"
+
+namespace wmsketch {
+namespace {
+
+LearnerOptions AppOptions(uint64_t seed = 42) {
+  LearnerOptions opts;
+  opts.lambda = 1e-6;
+  opts.rate = LearningRate::InverseSqrt(0.1);
+  opts.seed = seed;
+  return opts;
+}
+
+// ------------------------------------------------------------ Explanation
+
+TEST(ExplanationTest, ClassifierSurfacesHighRiskAttributes) {
+  FecLikeGenerator gen(101);
+  LearnerOptions opts = AppOptions(102);
+  opts.rate = LearningRate::Constant(0.1);  // stationary 1-sparse objective
+  opts.lambda = 1e-4;  // decays rarely-occurring noise out of the ranking
+  AwmSketch model(AwmSketchConfig{4096, 1, 2048}, opts);
+  StreamingExplainer explainer(&model, /*outlier_repeats=*/4);
+  RelativeRiskTracker exact;
+  for (int i = 0; i < 80000; ++i) {
+    const FecRow row = gen.Next();
+    explainer.Observe(row.attributes, row.outlier);
+    for (const uint32_t f : row.attributes) exact.Observe(f, row.outlier);
+  }
+  // The most outlier-indicative attributes (largest signed weights) must
+  // have substantially elevated relative risk vs the ~1.0 population mean.
+  const auto top = explainer.TopIndicative(64);
+  ASSERT_GE(top.size(), 64u);
+  double hi = 0.0;
+  int hi_n = 0;
+  for (const auto& fw : top) {
+    if (exact.Occurrences(fw.feature) < 30) continue;  // risk estimate noise
+    hi += exact.RelativeRisk(fw.feature);
+    ++hi_n;
+  }
+  ASSERT_GE(hi_n, 10);
+  EXPECT_GT(hi / hi_n, 1.5);
+}
+
+TEST(ExplanationTest, HeavyHitterExplainerFindsFrequentNotRisky) {
+  FecLikeGenerator gen(103);
+  HeavyHitterExplainer hh(256, HeavyHitterExplainer::Mode::kBoth);
+  RelativeRiskTracker exact;
+  for (int i = 0; i < 40000; ++i) {
+    const FecRow row = gen.Next();
+    hh.Observe(row.attributes, row.outlier);
+    for (const uint32_t f : row.attributes) exact.Observe(f, row.outlier);
+  }
+  const auto top = hh.TopAttributes(128);
+  ASSERT_GE(top.size(), 64u);
+  // Frequent attributes cluster near relative risk 1 (the Fig. 8 claim).
+  double sum = 0.0;
+  for (const uint32_t f : top) sum += exact.RelativeRisk(f);
+  EXPECT_NEAR(sum / top.size(), 1.0, 0.5);
+}
+
+TEST(ExplanationTest, PositiveOnlyModeIgnoresInliers) {
+  HeavyHitterExplainer hh(16, HeavyHitterExplainer::Mode::kPositiveOnly);
+  hh.Observe({1, 2}, /*outlier=*/false);
+  EXPECT_TRUE(hh.TopAttributes(4).empty());
+  hh.Observe({3}, /*outlier=*/true);
+  EXPECT_EQ(hh.TopAttributes(4).size(), 1u);
+}
+
+// ---------------------------------------------------------------- Deltoid
+
+TEST(DeltoidTest, ClassifierWeightsApproximateLogRatios) {
+  PacketTraceGenerator gen(4096, 24, 201);
+  AwmSketch model(AwmSketchConfig{4096, 1, 2048}, AppOptions(202));
+  RelativeDeltoidDetector detector(&model);
+  for (int i = 0; i < 300000; ++i) {
+    const PacketEvent e = gen.Next();
+    detector.Observe(e.ip, e.outbound);
+  }
+  // For planted deltoids the detector's sign must match, and magnitude must
+  // correlate with the plant (monotone, not exact: logistic weights estimate
+  // the posterior log-odds, which saturates with regularization).
+  int sign_ok = 0, checked = 0;
+  for (const auto& [ip, log_ratio] : gen.planted_log_ratios()) {
+    const double est = detector.EstimateLogRatio(ip);
+    if (std::fabs(log_ratio) < 3.0) continue;  // only strong plants
+    ++checked;
+    sign_ok += (est * log_ratio > 0.0);
+  }
+  ASSERT_GE(checked, 5);
+  EXPECT_GE(static_cast<double>(sign_ok) / checked, 0.9);
+}
+
+TEST(DeltoidTest, PairedCmRatioFindsStrongDeltoids) {
+  PacketTraceGenerator gen(1024, 8, 203);
+  PairedCmRatioEstimator cm(1024, 4, 204);
+  std::vector<uint64_t> out_counts(1024, 0), in_counts(1024, 0);
+  for (int i = 0; i < 200000; ++i) {
+    const PacketEvent e = gen.Next();
+    cm.Observe(e.ip, e.outbound);
+    ++(e.outbound ? out_counts : in_counts)[e.ip];
+  }
+  // With a generous sketch the CM ratio estimate matches exact counts for
+  // well-observed items.
+  for (uint32_t ip = 0; ip < 32; ++ip) {
+    if (out_counts[ip] + in_counts[ip] < 1000) continue;
+    const double exact = std::log((out_counts[ip] + 0.5) / (in_counts[ip] + 0.5));
+    EXPECT_NEAR(cm.EstimateLogRatio(ip), exact, 0.5) << "ip " << ip;
+  }
+}
+
+TEST(DeltoidTest, TopDeltoidsEnumerationWorks) {
+  PairedCmRatioEstimator cm(256, 4, 205);
+  for (int i = 0; i < 100; ++i) cm.Observe(7, true);   // strongly stream-1
+  for (int i = 0; i < 100; ++i) cm.Observe(9, false);  // strongly stream-2
+  const auto top = cm.TopDeltoids(2, /*universe=*/64);
+  ASSERT_EQ(top.size(), 2u);
+  const std::unordered_set<uint32_t> got = {top[0].feature, top[1].feature};
+  EXPECT_TRUE(got.count(7));
+  EXPECT_TRUE(got.count(9));
+}
+
+// -------------------------------------------------------------------- PMI
+
+TEST(PmiTest, PlantedCollocationsRankHighest) {
+  CorpusGenerator corpus(4096, 8, 301);
+  PmiOptions options;
+  options.learner = AppOptions(302);
+  options.learner.rate = LearningRate::Constant(0.1);
+  options.learner.lambda = 1e-6;
+  options.sketch = AwmSketchConfig{1u << 16, 1, 512};
+  StreamingPmiEstimator estimator(options);
+  for (int i = 0; i < 600000; ++i) {
+    bool boundary = false;
+    const uint32_t tok = corpus.Next(&boundary);
+    estimator.ObserveToken(tok, boundary);
+  }
+  ASSERT_GT(estimator.positives_seen(), 100000u);
+  const auto top = estimator.TopPairs(32);
+  ASSERT_GE(top.size(), 8u);
+
+  // Count how many planted (u,v) pairs appear in the top list.
+  std::unordered_set<uint64_t> planted;
+  for (const Collocation& c : corpus.collocations()) {
+    planted.insert((static_cast<uint64_t>(c.u) << 32) | c.v);
+  }
+  int found = 0;
+  for (const PmiPair& p : top) {
+    found += planted.count((static_cast<uint64_t>(p.u) << 32) | p.v);
+  }
+  EXPECT_GE(found, 5) << "planted collocations missing from the top pairs";
+  // Estimated PMIs of the found pairs are strongly positive.
+  EXPECT_GT(top[0].estimated_pmi, 2.0);
+}
+
+TEST(PmiTest, EstimateTracksExactPmiForPlantedPairs) {
+  CorpusGenerator corpus(4096, 6, 303);
+  // Low-bias regime: the paper notes λ > 0 shrinks estimates for rare
+  // pairs; with λ = 1e-7 the weight tracks the exact PMI closely.
+  PmiOptions options;
+  options.learner = AppOptions(304);
+  options.learner.rate = LearningRate::Constant(0.1);
+  options.learner.lambda = 1e-7;
+  options.sketch = AwmSketchConfig{1u << 16, 1, 1024};
+  StreamingPmiEstimator estimator(options);
+
+  // Exact counting of the planted pairs only (two-pass-free: same stream).
+  std::unordered_map<uint64_t, uint64_t> pair_counts;
+  std::vector<uint64_t> unigram_counts(4096, 0);
+  uint64_t total_pairs = 0, total_tokens = 0;
+  SlidingWindowPairs window(options.window);
+  for (const Collocation& c : corpus.collocations()) {
+    pair_counts[(static_cast<uint64_t>(c.u) << 32) | c.v] = 0;
+  }
+  for (int i = 0; i < 600000; ++i) {
+    bool boundary = false;
+    const uint32_t tok = corpus.Next(&boundary);
+    estimator.ObserveToken(tok, boundary);
+    if (boundary) window.Reset();
+    ++total_tokens;
+    ++unigram_counts[tok];
+    window.Push(tok, [&](uint32_t u, uint32_t v) {
+      ++total_pairs;
+      auto it = pair_counts.find((static_cast<uint64_t>(u) << 32) | v);
+      if (it != pair_counts.end()) ++it->second;
+    });
+  }
+  int compared = 0;
+  for (const Collocation& c : corpus.collocations()) {
+    const uint64_t count = pair_counts[(static_cast<uint64_t>(c.u) << 32) | c.v];
+    if (count < 300) continue;
+    const double exact =
+        PmiFromCounts(count, total_pairs, unigram_counts[c.u], unigram_counts[c.v],
+                      total_tokens);
+    const double est = estimator.EstimatePmi(c.u, c.v);
+    EXPECT_NEAR(est, exact, 1.5) << "pair (" << c.u << "," << c.v << ")";
+    ++compared;
+  }
+  EXPECT_GE(compared, 3);
+}
+
+TEST(PmiTest, FrequentIndependentPairsGetLowWeight) {
+  CorpusGenerator corpus(4096, 0, 305);  // no collocations at all
+  PmiOptions options;
+  options.learner = AppOptions(306);
+  options.learner.rate = LearningRate::Constant(0.1);
+  options.sketch = AwmSketchConfig{1u << 14, 1, 256};
+  StreamingPmiEstimator estimator(options);
+  for (int i = 0; i < 200000; ++i) {
+    bool boundary = false;
+    const uint32_t tok = corpus.Next(&boundary);
+    estimator.ObserveToken(tok, boundary);
+  }
+  // The most frequent token pair (0,1)-style combinations have PMI ≈ 0
+  // (Table 3's right column): estimates must be small.
+  for (const auto& [u, v] : {std::pair<uint32_t, uint32_t>{0, 1}, {1, 0}, {0, 2}}) {
+    EXPECT_LT(std::fabs(estimator.EstimatePmi(u, v)), 1.5)
+        << "(" << u << "," << v << ")";
+  }
+}
+
+TEST(PmiTest, IdentityMapStaysBounded) {
+  CorpusGenerator corpus(4096, 4, 307);
+  PmiOptions options;
+  options.learner = AppOptions(308);
+  options.learner.rate = LearningRate::Constant(0.1);
+  options.sketch = AwmSketchConfig{1u << 12, 1, 128};
+  options.prune_interval = 1024;
+  StreamingPmiEstimator estimator(options);
+  for (int i = 0; i < 100000; ++i) {
+    bool boundary = false;
+    const uint32_t tok = corpus.Next(&boundary);
+    estimator.ObserveToken(tok, boundary);
+  }
+  // Identity storage must stay within a small multiple of the heap size.
+  EXPECT_LT(estimator.MemoryCostBytes(),
+            estimator.sketch().MemoryCostBytes() + 64u * 1024u);
+}
+
+}  // namespace
+}  // namespace wmsketch

@@ -1,0 +1,235 @@
+// Tests for the Active-Set WM-Sketch (Algorithm 2): active-set admission and
+// eviction mechanics, the fold-back invariant, exactness for small supports,
+// and recovery superiority over the basic WM-Sketch at equal budget.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/awm_sketch.h"
+#include "core/wm_sketch.h"
+#include "linear/dense_linear_model.h"
+#include "metrics/recovery.h"
+#include "util/random.h"
+
+namespace wmsketch {
+namespace {
+
+LearnerOptions Opts(double lambda, double eta, uint64_t seed = 42) {
+  LearnerOptions opts;
+  opts.lambda = lambda;
+  opts.rate = LearningRate::Constant(eta);
+  opts.seed = seed;
+  return opts;
+}
+
+TEST(AwmSketchTest, FirstFeaturesFillActiveSet) {
+  AwmSketchConfig cfg{64, 1, 4};
+  AwmSketch sketch(cfg, Opts(0.0, 0.5));
+  for (uint32_t f = 0; f < 4; ++f) sketch.Update(SparseVector::OneHot(f), 1);
+  EXPECT_EQ(sketch.active_set_size(), 4u);
+  for (uint32_t f = 0; f < 4; ++f) EXPECT_TRUE(sketch.InActiveSet(f));
+}
+
+TEST(AwmSketchTest, ActiveSetWeightsAreExactForSmallSupport) {
+  // With support <= capacity, AWM is an exact online learner: compare to the
+  // dense reference on an identical stream.
+  const uint32_t d = 16;
+  LearnerOptions opts = Opts(0.01, 0.3, 5);
+  AwmSketchConfig cfg{64, 1, d};  // capacity covers the whole support
+  AwmSketch sketch(cfg, opts);
+  DenseLinearModel reference(d, opts);
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng.Bounded(d));
+    const int8_t y = (a < d / 2) ? 1 : -1;
+    const SparseVector x = SparseVector::OneHot(a, 0.8f);
+    const double ref_margin = reference.Update(x, y);
+    const double awm_margin = sketch.Update(x, y);
+    ASSERT_NEAR(awm_margin, ref_margin, 1e-5) << "step " << i;
+  }
+  for (uint32_t f = 0; f < d; ++f) {
+    EXPECT_NEAR(sketch.WeightEstimate(f), reference.WeightEstimate(f), 1e-5) << f;
+  }
+}
+
+TEST(AwmSketchTest, EvictionFoldsExactWeightIntoSketch) {
+  AwmSketchConfig cfg{256, 1, 2};
+  AwmSketch sketch(cfg, Opts(0.0, 0.5, 11));
+  // Fill the active set with two strong features.
+  for (int i = 0; i < 8; ++i) {
+    sketch.Update(SparseVector::OneHot(100), 1);
+    sketch.Update(SparseVector::OneHot(200), 1);
+  }
+  const float w100 = sketch.WeightEstimate(100);
+  ASSERT_TRUE(sketch.InActiveSet(100));
+  // Drive a third feature strong enough to evict the weaker one.
+  float w_new = 0.0f;
+  for (int i = 0; i < 40 && !sketch.InActiveSet(300); ++i) {
+    sketch.Update(SparseVector::OneHot(300), 1);
+    w_new = sketch.WeightEstimate(300);
+  }
+  ASSERT_TRUE(sketch.InActiveSet(300));
+  EXPECT_GT(w_new, 0.0f);
+  // Exactly one of {100, 200} was evicted; its sketch estimate must be close
+  // to the exact weight it held (fold-back invariant; depth-1 collisions with
+  // feature 300's own tail mass allow small drift).
+  const bool evicted_100 = !sketch.InActiveSet(100);
+  const uint32_t evicted = evicted_100 ? 100u : 200u;
+  EXPECT_TRUE(!sketch.InActiveSet(evicted));
+  EXPECT_NEAR(sketch.WeightEstimate(evicted), w100, 0.25f);
+}
+
+TEST(AwmSketchTest, PredictionSplitsHeapAndSketch) {
+  AwmSketchConfig cfg{128, 1, 1};
+  AwmSketch sketch(cfg, Opts(0.0, 0.5, 13));
+  sketch.Update(SparseVector::OneHot(1), 1);  // lands in active set
+  ASSERT_TRUE(sketch.InActiveSet(1));
+  // Second feature trains into the sketch (heap full, too weak to evict
+  // after feature 1 strengthens).
+  for (int i = 0; i < 6; ++i) sketch.Update(SparseVector::OneHot(1), 1);
+  sketch.Update(SparseVector::OneHot(2, 0.1f), 1);
+  ASSERT_FALSE(sketch.InActiveSet(2));
+  const double margin =
+      sketch.PredictMargin(SparseVector::FromUnsorted({{1, 1.0f}, {2, 1.0f}}).value());
+  const double expected = static_cast<double>(sketch.WeightEstimate(1)) +
+                          static_cast<double>(sketch.WeightEstimate(2));
+  EXPECT_NEAR(margin, expected, 1e-6);
+}
+
+TEST(AwmSketchTest, RegularizationDecaysBothStores) {
+  LearnerOptions opts = Opts(0.1, 0.5, 17);
+  AwmSketchConfig cfg{128, 1, 1};
+  AwmSketch sketch(cfg, opts);
+  sketch.Update(SparseVector::OneHot(1), 1);   // heap member
+  for (int i = 0; i < 4; ++i) sketch.Update(SparseVector::OneHot(1), 1);
+  sketch.Update(SparseVector::OneHot(2, 0.01f), 1);  // sketch member
+  const float heap_w = sketch.WeightEstimate(1);
+  const float tail_w = sketch.WeightEstimate(2);
+  // An update touching a *disjoint* feature decays both by (1 − ηλ).
+  sketch.Update(SparseVector::OneHot(3, 0.01f), 1);
+  EXPECT_NEAR(sketch.WeightEstimate(1), heap_w * 0.95f, 1e-6);
+  EXPECT_NEAR(sketch.WeightEstimate(2), tail_w * 0.95f, 1e-5);
+}
+
+TEST(AwmSketchTest, TopKReturnsActiveSetSortedByMagnitude) {
+  AwmSketchConfig cfg{128, 1, 8};
+  AwmSketch sketch(cfg, Opts(0.0, 0.5, 19));
+  for (int i = 0; i < 1; ++i) sketch.Update(SparseVector::OneHot(1), 1);
+  for (int i = 0; i < 3; ++i) sketch.Update(SparseVector::OneHot(2), -1);
+  for (int i = 0; i < 6; ++i) sketch.Update(SparseVector::OneHot(3), 1);
+  const auto top = sketch.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].feature, 3u);
+  EXPECT_EQ(top[1].feature, 2u);
+  EXPECT_LT(top[1].weight, 0.0f);
+}
+
+TEST(AwmSketchTest, RecoversPlantedModelExactly) {
+  // Planted heavy features must all end in the active set with correct signs.
+  AwmSketchConfig cfg{512, 1, 16};
+  LearnerOptions opts = Opts(1e-5, 0.0, 23);
+  opts.rate = LearningRate::InverseSqrt(0.5);
+  AwmSketch sketch(cfg, opts);
+  Rng rng(24);
+  const std::vector<uint32_t> planted = {7, 77, 777, 7777};
+  for (int i = 0; i < 8000; ++i) {
+    const uint32_t signal = planted[rng.Bounded(planted.size())];
+    const uint32_t noise = static_cast<uint32_t>(rng.Bounded(10000));
+    auto x = SparseVector::FromUnsorted({{signal, 0.7f}, {noise, 0.3f}}).value();
+    const int8_t y = (signal == 7 || signal == 777) ? 1 : -1;
+    sketch.Update(x, y);
+  }
+  for (const uint32_t p : planted) {
+    EXPECT_TRUE(sketch.InActiveSet(p)) << p;
+  }
+  EXPECT_GT(sketch.WeightEstimate(7), 0.2f);
+  EXPECT_LT(sketch.WeightEstimate(77), -0.2f);
+}
+
+TEST(AwmSketchTest, BeatsWmSketchAtEqualBudgetOnRecovery) {
+  // The paper's core empirical claim (Fig. 3), miniaturized: same byte
+  // budget, same stream; AWM's top-K recovery error is lower than WM's.
+  const uint32_t d = 8192;
+  const size_t k_eval = 32;
+  LearnerOptions opts = Opts(1e-5, 0.0, 31);
+  opts.rate = LearningRate::InverseSqrt(0.3);
+
+  // 2 KB budget: AWM = 128-slot heap + 256-wide depth-1 sketch;
+  //              WM  = 128-slot heap + 128-wide depth-2 sketch.
+  AwmSketch awm(AwmSketchConfig{256, 1, 128}, opts);
+  WmSketch wm(WmSketchConfig{128, 2, 128}, opts);
+  ASSERT_EQ(awm.MemoryCostBytes(), wm.MemoryCostBytes());
+  DenseLinearModel reference(d, opts);
+
+  auto stream = [&](auto&& consume) {
+    Rng rng(32);
+    for (int i = 0; i < 30000; ++i) {
+      const uint32_t heavy = static_cast<uint32_t>(rng.Bounded(64));
+      const uint32_t tail1 = static_cast<uint32_t>(rng.Bounded(d));
+      const uint32_t tail2 = static_cast<uint32_t>(rng.Bounded(d));
+      auto x = SparseVector::FromUnsorted(
+                   {{heavy, 0.5f}, {tail1, 0.25f}, {tail2, 0.25f}})
+                   .value();
+      const int8_t y = (heavy % 2 == 0) ? 1 : -1;
+      consume(x, y);
+    }
+  };
+  stream([&](const SparseVector& x, int8_t y) {
+    awm.Update(x, y);
+    wm.Update(x, y);
+    reference.Update(x, y);
+  });
+
+  const std::vector<float> w_star = reference.Weights();
+  const double awm_err = RelErrTopK(awm.TopK(k_eval), w_star, k_eval);
+  const double wm_err = RelErrTopK(wm.TopK(k_eval), w_star, k_eval);
+  EXPECT_GE(wm_err, 1.0);
+  EXPECT_GE(awm_err, 1.0);
+  EXPECT_LT(awm_err, wm_err);
+}
+
+TEST(AwmSketchTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    AwmSketch sketch(AwmSketchConfig{128, 1, 16}, Opts(1e-4, 0.2, 77));
+    Rng rng(78);
+    for (int i = 0; i < 2000; ++i) {
+      const uint32_t f = static_cast<uint32_t>(rng.Bounded(512));
+      sketch.Update(SparseVector::OneHot(f), rng.Bernoulli(0.5) ? 1 : -1);
+    }
+    return sketch.TopK(16);
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].feature, b[i].feature);
+    EXPECT_EQ(a[i].weight, b[i].weight);
+  }
+}
+
+TEST(AwmSketchTest, MemoryCostMatchesTable2) {
+  // Table 2's AWM rows: budget = |S|·8 + width·4 at depth 1.
+  EXPECT_EQ((AwmSketchConfig{256, 1, 128}).MemoryCostBytes(), 2048u);
+  EXPECT_EQ((AwmSketchConfig{512, 1, 256}).MemoryCostBytes(), 4096u);
+  EXPECT_EQ((AwmSketchConfig{1024, 1, 512}).MemoryCostBytes(), 8192u);
+  EXPECT_EQ((AwmSketchConfig{2048, 1, 1024}).MemoryCostBytes(), 16384u);
+  EXPECT_EQ((AwmSketchConfig{4096, 1, 2048}).MemoryCostBytes(), 32768u);
+}
+
+TEST(AwmSketchTest, DepthGreaterThanOneSupported) {
+  AwmSketchConfig cfg{64, 3, 4};
+  AwmSketch sketch(cfg, Opts(1e-5, 0.3, 41));
+  Rng rng(42);
+  for (int i = 0; i < 3000; ++i) {
+    const uint32_t f = static_cast<uint32_t>(rng.Bounded(256));
+    sketch.Update(SparseVector::OneHot(f), f < 128 ? 1 : -1);
+  }
+  for (const auto& fw : sketch.TopK(4)) {
+    EXPECT_TRUE(std::isfinite(fw.weight));
+  }
+}
+
+}  // namespace
+}  // namespace wmsketch

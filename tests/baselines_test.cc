@@ -1,0 +1,269 @@
+// Tests for the baseline classifiers: Simple/Probabilistic Truncation
+// (Algorithms 3–4), Space-Saving Frequent, Count-Min Frequent, plus the
+// budget planner / factory they are built through.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "core/budget.h"
+#include "core/frequent_features.h"
+#include "core/truncation.h"
+#include "util/random.h"
+
+namespace wmsketch {
+namespace {
+
+LearnerOptions Opts(double lambda, double eta, uint64_t seed = 42) {
+  LearnerOptions opts;
+  opts.lambda = lambda;
+  opts.rate = LearningRate::Constant(eta);
+  opts.seed = seed;
+  return opts;
+}
+
+// --------------------------------------------------------- SimpleTruncation
+
+TEST(SimpleTruncationTest, KeepsOnlyBudgetedEntries) {
+  SimpleTruncation model(2, Opts(0.0, 0.5));
+  for (int i = 0; i < 5; ++i) model.Update(SparseVector::OneHot(1), 1);
+  for (int i = 0; i < 3; ++i) model.Update(SparseVector::OneHot(2), 1);
+  model.Update(SparseVector::OneHot(3), 1);  // too weak to displace
+  EXPECT_NE(model.WeightEstimate(1), 0.0f);
+  EXPECT_NE(model.WeightEstimate(2), 0.0f);
+  EXPECT_EQ(model.WeightEstimate(3), 0.0f);
+  EXPECT_EQ(model.TopK(10).size(), 2u);
+}
+
+TEST(SimpleTruncationTest, TruncatedFeatureRestartsFromZero) {
+  SimpleTruncation model(1, Opts(0.0, 0.5));
+  for (int i = 0; i < 10; ++i) model.Update(SparseVector::OneHot(1), 1);
+  const float strong = model.WeightEstimate(1);
+  // Feature 2's single-step mass is below |strong| → rejected, stays 0.
+  model.Update(SparseVector::OneHot(2), 1);
+  EXPECT_EQ(model.WeightEstimate(2), 0.0f);
+  EXPECT_NEAR(model.WeightEstimate(1), strong, 1e-5);
+}
+
+TEST(SimpleTruncationTest, PredictionIgnoresUntracked) {
+  SimpleTruncation model(1, Opts(0.0, 0.5));
+  for (int i = 0; i < 4; ++i) model.Update(SparseVector::OneHot(1), 1);
+  const double margin =
+      model.PredictMargin(SparseVector::FromUnsorted({{1, 1.0f}, {9, 100.0f}}).value());
+  EXPECT_NEAR(margin, model.WeightEstimate(1), 1e-6);
+}
+
+TEST(SimpleTruncationTest, MemoryCostModel) {
+  SimpleTruncation model(128, Opts(1e-6, 0.1));
+  EXPECT_EQ(model.MemoryCostBytes(), 1024u);  // the Sec. 7.1 example
+}
+
+// -------------------------------------------------- ProbabilisticTruncation
+
+TEST(ProbabilisticTruncationTest, CapacityRespected) {
+  ProbabilisticTruncation model(4, Opts(0.0, 0.5));
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    model.Update(SparseVector::OneHot(static_cast<uint32_t>(rng.Bounded(100))), 1);
+  }
+  EXPECT_LE(model.TopK(100).size(), 4u);
+}
+
+TEST(ProbabilisticTruncationTest, LargeWeightsSurvivePreferentially) {
+  // One dominant feature and many small ones: across seeds, the dominant
+  // feature should essentially always be retained (reservoir key r^{1/|w|}
+  // → 1 as |w| grows).
+  int retained = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    ProbabilisticTruncation model(8, Opts(0.0, 0.5, /*seed=*/100 + t));
+    Rng rng(200 + t);
+    for (int i = 0; i < 400; ++i) {
+      model.Update(SparseVector::OneHot(7), 1);  // dominant
+      model.Update(SparseVector::OneHot(static_cast<uint32_t>(8 + rng.Bounded(64)), 0.05f),
+                   rng.Bernoulli(0.5) ? 1 : -1);
+    }
+    retained += (model.WeightEstimate(7) != 0.0f);
+  }
+  EXPECT_GE(retained, trials - 1);
+}
+
+TEST(ProbabilisticTruncationTest, TrackedWeightsUpdateExactly) {
+  ProbabilisticTruncation model(4, Opts(0.0, 0.5, 9));
+  model.Update(SparseVector::OneHot(1), 1);
+  const float w1 = model.WeightEstimate(1);
+  EXPECT_NEAR(w1, 0.25f, 1e-6);  // η·|ℓ'(0)| = 0.5·0.5
+  model.Update(SparseVector::OneHot(1), 1);
+  EXPECT_GT(model.WeightEstimate(1), w1);
+}
+
+TEST(ProbabilisticTruncationTest, MemoryChargesReservoirKey) {
+  ProbabilisticTruncation model(128, Opts(1e-6, 0.1));
+  EXPECT_EQ(model.MemoryCostBytes(), 128u * 12u);
+}
+
+// ----------------------------------------------------- SpaceSavingFrequent
+
+TEST(SpaceSavingFrequentTest, LearnsWeightsForFrequentFeaturesOnly) {
+  SpaceSavingFrequent model(2, Opts(0.0, 0.5, 3));
+  for (int i = 0; i < 20; ++i) {
+    model.Update(SparseVector::OneHot(1), 1);
+    model.Update(SparseVector::OneHot(2), -1);
+  }
+  EXPECT_GT(model.WeightEstimate(1), 0.0f);
+  EXPECT_LT(model.WeightEstimate(2), 0.0f);
+  EXPECT_EQ(model.WeightEstimate(50), 0.0f);
+}
+
+TEST(SpaceSavingFrequentTest, EvictionDropsWeight) {
+  SpaceSavingFrequent model(2, Opts(0.0, 0.5, 3));
+  for (int i = 0; i < 3; ++i) model.Update(SparseVector::OneHot(1), 1);
+  model.Update(SparseVector::OneHot(2), 1);
+  // Item 3 arrives repeatedly: evicts the min-count item each time it is
+  // absent. After enough arrivals it must be monitored with a fresh weight.
+  for (int i = 0; i < 4; ++i) model.Update(SparseVector::OneHot(3), 1);
+  EXPECT_NE(model.WeightEstimate(3), 0.0f);
+  // Exactly 2 features have weights at any time.
+  int nonzero = 0;
+  for (uint32_t f = 0; f < 10; ++f) nonzero += (model.WeightEstimate(f) != 0.0f);
+  EXPECT_LE(nonzero, 2);
+}
+
+TEST(SpaceSavingFrequentTest, FrequentButUselessFeaturesWasteBudget) {
+  // The paper's central criticism, in miniature: a frequent neutral feature
+  // occupies the only slot while a rarer discriminative one gets no weight.
+  LearnerOptions opts = Opts(/*lambda=*/0.01, 0.0, 4);
+  opts.rate = LearningRate::InverseSqrt(0.3);
+  SpaceSavingFrequent model(1, opts);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    model.Update(SparseVector::OneHot(0), rng.Bernoulli(0.5) ? 1 : -1);  // frequent, neutral
+    if (i % 3 == 0) model.Update(SparseVector::OneHot(9), 1);            // rare, predictive
+  }
+  // The frequent feature holds the slot with a near-zero weight (its label
+  // is a coin flip and ℓ2 decay shrinks the random walk)...
+  EXPECT_NE(model.WeightEstimate(0), 0.0f);
+  EXPECT_LT(std::fabs(model.WeightEstimate(0)), 0.3f);
+  // ...while the predictive feature never accumulates any weight at all.
+  EXPECT_EQ(model.WeightEstimate(9), 0.0f);
+}
+
+TEST(SpaceSavingFrequentTest, MemoryCostModel) {
+  SpaceSavingFrequent model(128, Opts(1e-6, 0.1));
+  EXPECT_EQ(model.MemoryCostBytes(), 128u * 12u);
+}
+
+// -------------------------------------------------------- CountMinFrequent
+
+TEST(CountMinFrequentTest, TracksApparentHeavyHitters) {
+  CountMinFrequent model(256, 2, 2, Opts(0.0, 0.5, 6));
+  for (int i = 0; i < 20; ++i) {
+    model.Update(SparseVector::OneHot(1), 1);
+    model.Update(SparseVector::OneHot(2), -1);
+    if (i % 5 == 0) model.Update(SparseVector::OneHot(3), 1);
+  }
+  EXPECT_GT(model.WeightEstimate(1), 0.0f);
+  EXPECT_LT(model.WeightEstimate(2), 0.0f);
+  EXPECT_EQ(model.WeightEstimate(3), 0.0f);  // below the top-2 by count
+}
+
+TEST(CountMinFrequentTest, OvertakingFeatureEvictsMin) {
+  CountMinFrequent model(256, 2, 1, Opts(0.0, 0.5, 7));
+  model.Update(SparseVector::OneHot(1), 1);
+  for (int i = 0; i < 5; ++i) model.Update(SparseVector::OneHot(2), 1);
+  EXPECT_EQ(model.WeightEstimate(1), 0.0f);
+  EXPECT_NE(model.WeightEstimate(2), 0.0f);
+}
+
+TEST(CountMinFrequentTest, MemoryCostModel) {
+  CountMinFrequent model(512, 2, 128, Opts(1e-6, 0.1));
+  EXPECT_EQ(model.MemoryCostBytes(), 512u * 2 * 4 + 128u * 8);
+}
+
+// ------------------------------------------------------------------ Budget
+
+TEST(BudgetTest, DefaultConfigsMatchTable2) {
+  // AWM column of Table 2.
+  const struct {
+    size_t kb;
+    size_t heap;
+    uint32_t width;
+  } awm_rows[] = {{2, 128, 256}, {4, 256, 512}, {8, 512, 1024}, {16, 1024, 2048},
+                  {32, 2048, 4096}};
+  for (const auto& row : awm_rows) {
+    const BudgetConfig cfg = DefaultConfig(Method::kAwmSketch, KiB(row.kb));
+    EXPECT_EQ(cfg.heap_capacity, row.heap) << row.kb << "KB";
+    EXPECT_EQ(cfg.width, row.width) << row.kb << "KB";
+    EXPECT_EQ(cfg.depth, 1u);
+    EXPECT_EQ(cfg.MemoryCostBytes(), KiB(row.kb));
+  }
+  // WM at 8 KB: |S|=128, width 128, depth 14 (Table 2); 32 KB: width 256 d31.
+  const BudgetConfig wm8 = DefaultConfig(Method::kWmSketch, KiB(8));
+  EXPECT_EQ(wm8.heap_capacity, 128u);
+  EXPECT_EQ(wm8.width, 128u);
+  EXPECT_EQ(wm8.depth, 14u);
+  const BudgetConfig wm32 = DefaultConfig(Method::kWmSketch, KiB(32));
+  EXPECT_EQ(wm32.width, 256u);
+  EXPECT_EQ(wm32.depth, 31u);
+}
+
+TEST(BudgetTest, EveryDefaultFitsItsBudget) {
+  for (const Method m : AllMethods()) {
+    for (const size_t kb : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+      const BudgetConfig cfg = DefaultConfig(m, KiB(kb));
+      EXPECT_LE(cfg.MemoryCostBytes(), KiB(kb)) << MethodName(m) << " " << kb << "KB";
+      // Budgets must also be mostly used (>= 50%), not silently tiny.
+      EXPECT_GE(cfg.MemoryCostBytes(), KiB(kb) / 2) << MethodName(m) << " " << kb << "KB";
+    }
+  }
+}
+
+TEST(BudgetTest, EnumerationAllFitAndIncludeDefaultShape) {
+  for (const Method m : {Method::kWmSketch, Method::kAwmSketch, Method::kCountMinFrequent}) {
+    const auto configs = EnumerateConfigs(m, KiB(8));
+    EXPECT_GT(configs.size(), 3u) << MethodName(m);
+    for (const BudgetConfig& cfg : configs) {
+      EXPECT_LE(cfg.MemoryCostBytes(), KiB(8)) << cfg.ToString();
+      EXPECT_EQ(cfg.method, m);
+    }
+  }
+  // Single-shape methods return exactly the default.
+  EXPECT_EQ(EnumerateConfigs(Method::kFeatureHashing, KiB(8)).size(), 1u);
+}
+
+TEST(BudgetTest, FactoryProducesWorkingClassifiers) {
+  const LearnerOptions opts = Opts(1e-4, 0.2, 50);
+  for (const Method m : AllMethods()) {
+    const BudgetConfig cfg = DefaultConfig(m, KiB(4));
+    auto model = MakeClassifier(cfg, opts);
+    ASSERT_NE(model, nullptr) << MethodName(m);
+    EXPECT_EQ(model->Name(), MethodName(m));
+    EXPECT_LE(model->MemoryCostBytes(), KiB(4)) << MethodName(m);
+    // A few updates must run and produce a finite margin.
+    Rng rng(51);
+    for (int i = 0; i < 200; ++i) {
+      const uint32_t f = static_cast<uint32_t>(rng.Bounded(1000));
+      model->Update(SparseVector::OneHot(f), rng.Bernoulli(0.5) ? 1 : -1);
+    }
+    EXPECT_TRUE(std::isfinite(model->PredictMargin(SparseVector::OneHot(1))));
+    EXPECT_EQ(model->steps(), 200u);
+  }
+}
+
+TEST(BudgetTest, MethodNamesStable) {
+  EXPECT_EQ(MethodName(Method::kAwmSketch), "awm");
+  EXPECT_EQ(MethodName(Method::kWmSketch), "wm");
+  EXPECT_EQ(MethodName(Method::kFeatureHashing), "hash");
+  EXPECT_EQ(AllMethods().size(), 7u);
+}
+
+TEST(BudgetTest, ToStringIncludesShape) {
+  const BudgetConfig cfg = DefaultConfig(Method::kAwmSketch, KiB(2));
+  EXPECT_NE(cfg.ToString().find("awm"), std::string::npos);
+  EXPECT_NE(cfg.ToString().find("256"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wmsketch

@@ -1,0 +1,156 @@
+// Tests for binary snapshot serialization of the WM- and AWM-Sketches:
+// round-trip fidelity (estimates, predictions, and continued training agree
+// exactly), plus corruption/failure injection.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/serialization.h"
+#include "util/random.h"
+
+namespace wmsketch {
+namespace {
+
+LearnerOptions Opts(uint64_t seed = 42) {
+  LearnerOptions opts;
+  opts.lambda = 1e-4;
+  opts.rate = LearningRate::Constant(0.2);
+  opts.seed = seed;
+  return opts;
+}
+
+template <typename Sketch>
+void Train(Sketch& sketch, uint64_t stream_seed, int n) {
+  Rng rng(stream_seed);
+  for (int i = 0; i < n; ++i) {
+    const uint32_t f = static_cast<uint32_t>(rng.Bounded(2048));
+    sketch.Update(SparseVector::OneHot(f), (f % 3 == 0) ? 1 : -1);
+  }
+}
+
+TEST(SerializationTest, WmRoundTripPreservesEstimates) {
+  WmSketch original(WmSketchConfig{256, 3, 32}, Opts());
+  Train(original, 7, 3000);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveWmSketch(original, buffer).ok());
+  Result<WmSketch> restored = LoadWmSketch(buffer, Opts());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  for (uint32_t f = 0; f < 2048; ++f) {
+    EXPECT_EQ(restored.value().WeightEstimate(f), original.WeightEstimate(f)) << f;
+  }
+  EXPECT_EQ(restored.value().steps(), original.steps());
+  const auto top_a = original.TopK(16);
+  const auto top_b = restored.value().TopK(16);
+  ASSERT_EQ(top_a.size(), top_b.size());
+  for (size_t i = 0; i < top_a.size(); ++i) EXPECT_EQ(top_a[i], top_b[i]);
+}
+
+TEST(SerializationTest, WmContinuedTrainingAgreesExactly) {
+  // Snapshot mid-stream; training the restored copy on the remaining stream
+  // must match training the original straight through (state completeness).
+  WmSketch straight(WmSketchConfig{128, 3, 16}, Opts(9));
+  Train(straight, 11, 2000);
+
+  WmSketch first_half(WmSketchConfig{128, 3, 16}, Opts(9));
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t f = static_cast<uint32_t>(rng.Bounded(2048));
+    first_half.Update(SparseVector::OneHot(f), (f % 3 == 0) ? 1 : -1);
+  }
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveWmSketch(first_half, buffer).ok());
+  Result<WmSketch> resumed = LoadWmSketch(buffer, Opts(9));
+  ASSERT_TRUE(resumed.ok());
+  for (int i = 1000; i < 2000; ++i) {
+    const uint32_t f = static_cast<uint32_t>(rng.Bounded(2048));
+    resumed.value().Update(SparseVector::OneHot(f), (f % 3 == 0) ? 1 : -1);
+  }
+  for (uint32_t f = 0; f < 2048; ++f) {
+    EXPECT_EQ(resumed.value().WeightEstimate(f), straight.WeightEstimate(f)) << f;
+  }
+}
+
+TEST(SerializationTest, AwmRoundTripPreservesEverything) {
+  AwmSketch original(AwmSketchConfig{256, 1, 64}, Opts(13));
+  Train(original, 15, 4000);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveAwmSketch(original, buffer).ok());
+  Result<AwmSketch> restored = LoadAwmSketch(buffer, Opts(13));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  EXPECT_EQ(restored.value().active_set_size(), original.active_set_size());
+  for (uint32_t f = 0; f < 2048; ++f) {
+    EXPECT_EQ(restored.value().WeightEstimate(f), original.WeightEstimate(f)) << f;
+    EXPECT_EQ(restored.value().InActiveSet(f), original.InActiveSet(f)) << f;
+  }
+  // Identical predictions on fresh inputs.
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    const SparseVector x = SparseVector::OneHot(static_cast<uint32_t>(rng.Bounded(2048)));
+    EXPECT_EQ(restored.value().PredictMargin(x), original.PredictMargin(x));
+  }
+}
+
+TEST(SerializationTest, AwmContinuedTrainingAgreesExactly) {
+  AwmSketch straight(AwmSketchConfig{128, 1, 32}, Opts(19));
+  Train(straight, 21, 2000);
+
+  AwmSketch first_half(AwmSketchConfig{128, 1, 32}, Opts(19));
+  Rng rng(21);
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t f = static_cast<uint32_t>(rng.Bounded(2048));
+    first_half.Update(SparseVector::OneHot(f), (f % 3 == 0) ? 1 : -1);
+  }
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveAwmSketch(first_half, buffer).ok());
+  Result<AwmSketch> resumed = LoadAwmSketch(buffer, Opts(19));
+  ASSERT_TRUE(resumed.ok());
+  for (int i = 1000; i < 2000; ++i) {
+    const uint32_t f = static_cast<uint32_t>(rng.Bounded(2048));
+    resumed.value().Update(SparseVector::OneHot(f), (f % 3 == 0) ? 1 : -1);
+  }
+  for (uint32_t f = 0; f < 2048; ++f) {
+    EXPECT_EQ(resumed.value().WeightEstimate(f), straight.WeightEstimate(f)) << f;
+  }
+}
+
+TEST(SerializationTest, CorruptionRejected) {
+  AwmSketch original(AwmSketchConfig{64, 1, 8}, Opts(23));
+  Train(original, 25, 200);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveAwmSketch(original, buffer).ok());
+  const std::string bytes = buffer.str();
+
+  // Truncations at every prefix boundary must fail cleanly, never crash.
+  for (const size_t cut : {0ul, 3ul, 10ul, bytes.size() / 2, bytes.size() - 1}) {
+    std::stringstream cut_stream(bytes.substr(0, cut));
+    EXPECT_FALSE(LoadAwmSketch(cut_stream, Opts(23)).ok()) << "cut " << cut;
+  }
+  // Wrong magic (a WM load of an AWM snapshot and vice versa).
+  std::stringstream as_wm(bytes);
+  EXPECT_EQ(LoadWmSketch(as_wm, Opts(23)).status().code(), StatusCode::kCorruption);
+
+  // Corrupted shape field (width -> non-power-of-two).
+  std::string bad = bytes;
+  bad[4] = 0x03;
+  std::stringstream bad_stream(bad);
+  EXPECT_FALSE(LoadAwmSketch(bad_stream, Opts(23)).ok());
+}
+
+TEST(SerializationTest, SnapshotSizeIsCompact) {
+  // Snapshot ≈ table bytes + heap entries + small header; no bloat.
+  AwmSketch sketch(AwmSketchConfig{1024, 1, 128}, Opts(27));
+  Train(sketch, 29, 2000);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveAwmSketch(sketch, buffer).ok());
+  const size_t size = buffer.str().size();
+  EXPECT_LT(size, 1024 * 4 + 128 * 8 + 128);
+  EXPECT_GT(size, 1024 * 4);
+}
+
+}  // namespace
+}  // namespace wmsketch
