@@ -26,30 +26,34 @@ int main() {
     BudgetConfig cfg;
   };
   std::vector<Variant> variants;
-  variants.push_back({"awm (heap + d1 sketch)", DefaultConfig(Method::kAwmSketch, KiB(8))});
-  variants.push_back({"wm depth-14 (paper opt)", DefaultConfig(Method::kWmSketch, KiB(8))});
+  variants.push_back(
+      {"awm (heap + d1 sketch)", DefaultConfig(Method::kAwmSketch, KiB(8)).value()});
+  variants.push_back(
+      {"wm depth-14 (paper opt)", DefaultConfig(Method::kWmSketch, KiB(8)).value()});
   BudgetConfig wm_d1;
   wm_d1.method = Method::kWmSketch;
   wm_d1.heap_capacity = 128;
   wm_d1.width = 1024;  // 1KB heap + 4KB sketch... widen to fill: 7KB/4 → 1024 (4KB)
   wm_d1.depth = 1;
   variants.push_back({"wm depth-1 (passive)", wm_d1});
-  variants.push_back({"hash (no ids)", DefaultConfig(Method::kFeatureHashing, KiB(8))});
+  variants.push_back(
+      {"hash (no ids)", DefaultConfig(Method::kFeatureHashing, KiB(8)).value()});
 
   for (const Variant& v : variants) {
-    auto model = MakeClassifier(v.cfg, opts);
+    Learner model = BuildOrDie(PaperBuilder(1e-6, 91).SetConfig(v.cfg).Build());
     DenseLinearModel reference(profile.dimension, opts);
     OnlineErrorRate err;
     SyntheticClassificationGen gen(profile, 92);
     for (int i = 0; i < examples; ++i) {
       const Example ex = gen.Next();
-      err.Record(model->Update(ex.x, ex.y), ex.y);
+      err.Record(model.Update(ex), ex.y);
       reference.Update(ex.x, ex.y);
     }
-    std::vector<FeatureWeight> top = model->TopK(k);
-    if (top.empty()) top = ScanTopK(*model, k, profile.dimension);
+    const LearnerSnapshot snap = model.Snapshot(k);
+    std::vector<FeatureWeight> top = snap.top_k();
+    if (top.empty()) top = snap.ScanTopK(k, profile.dimension);
     PrintRow({v.name, Fmt(RelErrTopK(top, reference.Weights(), k)), Fmt(err.Rate()),
-              std::to_string(model->MemoryCostBytes())});
+              std::to_string(snap.memory_cost_bytes())});
   }
   return 0;
 }

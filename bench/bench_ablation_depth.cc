@@ -7,7 +7,6 @@
 #include <chrono>
 
 #include "bench/bench_common.h"
-#include "core/wm_sketch.h"
 
 int main() {
   using namespace wmsketch;
@@ -21,23 +20,28 @@ int main() {
   Banner("Ablation A5 — WM depth sweep at fixed k = 2048 cells (+1KB heap, rcv1)");
   PrintRow({"depth", "width", "RelErr@128", "error-rate", "us/update"});
   for (const uint32_t depth : {1u, 2u, 4u, 8u, 16u, 32u}) {
-    WmSketchConfig cfg{total_cells / depth, depth, 128};
-    WmSketch model(cfg, opts);
+    const uint32_t width = total_cells / depth;
+    Learner model = BuildOrDie(PaperBuilder(1e-6, 95)
+                                   .SetMethod(Method::kWmSketch)
+                                   .SetWidth(width)
+                                   .SetDepth(depth)
+                                   .SetHeapCapacity(128)
+                                   .Build());
     DenseLinearModel reference(profile.dimension, opts);
     OnlineErrorRate err;
     SyntheticClassificationGen gen(profile, 96);
     const auto start = std::chrono::steady_clock::now();
     for (int i = 0; i < examples; ++i) {
       const Example ex = gen.Next();
-      err.Record(model.Update(ex.x, ex.y), ex.y);
+      err.Record(model.Update(ex), ex.y);
       reference.Update(ex.x, ex.y);
     }
     const auto end = std::chrono::steady_clock::now();
     const double us =
         std::chrono::duration<double, std::micro>(end - start).count() / examples;
-    PrintRow({std::to_string(depth), std::to_string(cfg.width),
-              Fmt(RelErrTopK(model.TopK(k), reference.Weights(), k)), Fmt(err.Rate()),
-              Fmt(us, 2)});
+    PrintRow({std::to_string(depth), std::to_string(width),
+              Fmt(RelErrTopK(model.Snapshot(k).top_k(), reference.Weights(), k)),
+              Fmt(err.Rate()), Fmt(us, 2)});
   }
   return 0;
 }

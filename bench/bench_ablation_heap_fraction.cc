@@ -26,18 +26,19 @@ int main() {
     while (TableBytes(w * 2) <= sketch_bytes) w *= 2;
     cfg.width = w;
 
-    auto model = MakeClassifier(cfg, opts);
+    Learner model = BuildOrDie(PaperBuilder(1e-6, 93).SetConfig(cfg).Build());
     DenseLinearModel reference(profile.dimension, opts);
     OnlineErrorRate err;
     SyntheticClassificationGen gen(profile, 94);
     for (int i = 0; i < examples; ++i) {
       const Example ex = gen.Next();
-      err.Record(model->Update(ex.x, ex.y), ex.y);
+      err.Record(model.Update(ex), ex.y);
       reference.Update(ex.x, ex.y);
     }
     PrintRow({Fmt(fraction, 3), std::to_string(cfg.heap_capacity),
               std::to_string(cfg.width),
-              Fmt(RelErrTopK(model->TopK(k), reference.Weights(), k)), Fmt(err.Rate())});
+              Fmt(RelErrTopK(model.Snapshot(k).top_k(), reference.Weights(), k)),
+              Fmt(err.Rate())});
   }
   return 0;
 }

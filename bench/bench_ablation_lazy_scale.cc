@@ -7,7 +7,6 @@
 #include <chrono>
 
 #include "bench/bench_common.h"
-#include "core/wm_sketch.h"
 #include "hash/tabulation.h"
 #include "util/math.h"
 
@@ -91,7 +90,12 @@ int main() {
   PrintRow({"sketch size", "lazy us/upd", "eager us/upd", "speedup", "max|diff|"});
   for (const uint32_t width : {1024u, 4096u, 16384u}) {
     const uint32_t depth = 4;
-    WmSketch lazy(WmSketchConfig{width, depth, 0}, opts);
+    Learner lazy = BuildOrDie(PaperBuilder(1e-4, 97)
+                                  .SetMethod(Method::kWmSketch)
+                                  .SetWidth(width)
+                                  .SetDepth(depth)
+                                  .SetHeapCapacity(0)
+                                  .Build());
     EagerWmSketch eager(width, depth, opts);
 
     SyntheticClassificationGen gen(profile, 98);
@@ -99,7 +103,7 @@ int main() {
     for (int i = 0; i < examples; ++i) {
       const Example ex = gen.Next();
       auto t0 = std::chrono::steady_clock::now();
-      lazy.Update(ex.x, ex.y);
+      lazy.Update(ex);
       auto t1 = std::chrono::steady_clock::now();
       eager.Update(ex.x, ex.y);
       auto t2 = std::chrono::steady_clock::now();
@@ -109,11 +113,12 @@ int main() {
     lazy_us /= examples;
     eager_us /= examples;
 
-    // Numerical agreement on the most frequent features.
+    // Numerical agreement on the most frequent features (frozen snapshot).
+    const LearnerSnapshot lazy_snap = lazy.Snapshot();
     float max_diff = 0.0f;
     for (uint32_t f = 0; f < 2000; ++f) {
       max_diff = std::max(max_diff,
-                          std::fabs(lazy.WeightEstimate(f) - eager.WeightEstimate(f)));
+                          std::fabs(lazy_snap.Estimate(f) - eager.WeightEstimate(f)));
     }
     PrintRow({std::to_string(width) + "x" + std::to_string(depth), Fmt(lazy_us, 2),
               Fmt(eager_us, 2), Fmt(eager_us / lazy_us, 1) + "x", Fmt(max_diff, 6)});

@@ -6,14 +6,20 @@
 // Every binary prints the rows/series of one paper figure or table (see
 // DESIGN.md §3). Stream lengths are laptop-scale; set WMS_BENCH_SCALE
 // (a positive float, default 1.0) to shrink or grow them uniformly.
+//
+// All budgeted models are built through the LearnerBuilder facade, ingested
+// through UpdateBatch, and evaluated through LearnerSnapshot — the benches
+// exercise exactly the public API a production consumer would use.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "api/learner.h"
 #include "core/budget.h"
 #include "datagen/classification_gen.h"
 #include "linear/dense_linear_model.h"
@@ -62,6 +68,24 @@ inline LearnerOptions PaperOptions(double lambda, uint64_t seed) {
   return opts;
 }
 
+/// A builder pre-loaded with the paper's standard settings.
+inline LearnerBuilder PaperBuilder(double lambda, uint64_t seed) {
+  return LearnerBuilder()
+      .SetLambda(lambda)
+      .SetLearningRate(LearningRate::InverseSqrt(0.1))
+      .SetSeed(seed);
+}
+
+/// Unwraps a Result<Learner>, aborting with the status on failure. Bench
+/// configurations are static and known-valid; a failure here is a bug.
+inline Learner BuildOrDie(Result<Learner> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "learner build failed: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
 /// Result of training one budgeted method alongside the reference model.
 struct MethodRun {
   std::string name;
@@ -81,37 +105,51 @@ struct SweepOutput {
 inline SweepOutput RunMethodSweep(const ClassificationProfile& profile,
                                   const std::vector<Method>& methods, size_t budget_bytes,
                                   size_t k, double lambda, uint64_t seed, int examples) {
-  const LearnerOptions opts = PaperOptions(lambda, seed);
-  std::vector<std::unique_ptr<BudgetedClassifier>> models;
+  std::vector<Learner> models;
   models.reserve(methods.size());
   for (const Method m : methods) {
-    models.push_back(MakeClassifier(DefaultConfig(m, budget_bytes), opts));
+    models.push_back(
+        BuildOrDie(PaperBuilder(lambda, seed).SetMethod(m).SetBudgetBytes(budget_bytes).Build()));
   }
-  DenseLinearModel reference(profile.dimension, opts);
+  DenseLinearModel reference(profile.dimension, PaperOptions(lambda, seed));
 
   std::vector<OnlineErrorRate> errors(models.size());
   OnlineErrorRate lr_error;
   SyntheticClassificationGen gen(profile, seed ^ 0xabcdef12345ULL);
-  for (int i = 0; i < examples; ++i) {
-    const Example ex = gen.Next();
+
+  // Chunked ingest through the batch path: one virtual dispatch per model
+  // per chunk, with the pre-update margins driving progressive validation.
+  constexpr int kChunk = 512;
+  std::vector<Example> chunk;
+  std::vector<double> margins;
+  for (int consumed = 0; consumed < examples;) {
+    const int n = std::min(kChunk, examples - consumed);
+    chunk.clear();
+    for (int i = 0; i < n; ++i) chunk.push_back(gen.Next());
+    consumed += n;
     for (size_t m = 0; m < models.size(); ++m) {
-      errors[m].Record(models[m]->Update(ex.x, ex.y), ex.y);
+      margins.clear();
+      models[m].UpdateBatch(chunk, &margins);
+      for (int i = 0; i < n; ++i) errors[m].Record(margins[i], chunk[i].y);
     }
-    lr_error.Record(reference.Update(ex.x, ex.y), ex.y);
+    for (const Example& ex : chunk) {
+      lr_error.Record(reference.Update(ex.x, ex.y), ex.y);
+    }
   }
 
   SweepOutput out;
   const std::vector<float> w_star = reference.Weights();
   for (size_t m = 0; m < models.size(); ++m) {
+    const LearnerSnapshot snap = models[m].Snapshot(k);
     MethodRun run;
-    run.name = models[m]->Name();
-    std::vector<FeatureWeight> top = models[m]->TopK(k);
+    run.name = snap.name();
+    std::vector<FeatureWeight> top = snap.top_k();
     if (top.empty()) {
-      top = ScanTopK(*models[m], k, profile.dimension);  // feature hashing
+      top = snap.ScanTopK(k, profile.dimension);  // feature hashing
     }
     run.rel_err = RelErrTopK(top, w_star, k);
     run.error_rate = errors[m].Rate();
-    run.bytes = models[m]->MemoryCostBytes();
+    run.bytes = snap.memory_cost_bytes();
     out.runs.push_back(run);
   }
   out.lr_error_rate = lr_error.Rate();

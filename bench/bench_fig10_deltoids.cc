@@ -26,13 +26,19 @@ int main() {
 
   const LearnerOptions opts = PaperOptions(1e-6, 17);
   DenseLinearModel lr(universe, opts, kTopK);
-  RelativeDeltoidDetector lr_det(&lr);
-  auto awm = MakeClassifier(DefaultConfig(Method::kAwmSketch, KiB(32)), opts);
-  RelativeDeltoidDetector awm_det(awm.get());
-  auto trun = MakeClassifier(DefaultConfig(Method::kSimpleTruncation, KiB(32)), opts);
-  RelativeDeltoidDetector trun_det(trun.get());
-  auto ptrun = MakeClassifier(DefaultConfig(Method::kProbabilisticTruncation, KiB(32)), opts);
-  RelativeDeltoidDetector ptrun_det(ptrun.get());
+  Learner awm = BuildOrDie(
+      PaperBuilder(1e-6, 17).SetMethod(Method::kAwmSketch).SetBudgetBytes(KiB(32)).Build());
+  RelativeDeltoidDetector awm_det(&awm);
+  Learner trun = BuildOrDie(PaperBuilder(1e-6, 17)
+                                .SetMethod(Method::kSimpleTruncation)
+                                .SetBudgetBytes(KiB(32))
+                                .Build());
+  RelativeDeltoidDetector trun_det(&trun);
+  Learner ptrun = BuildOrDie(PaperBuilder(1e-6, 17)
+                                 .SetMethod(Method::kProbabilisticTruncation)
+                                 .SetBudgetBytes(KiB(32))
+                                 .Build());
+  RelativeDeltoidDetector ptrun_det(&ptrun);
   // Paired CM at 32 KB total: two sketches of 16 KB → width 2048, depth 2.
   PairedCmRatioEstimator cm(2048, 2, 19);
   // CMx8: 256 KB total → width 8192, depth 4.
@@ -41,7 +47,8 @@ int main() {
   std::vector<uint64_t> out_counts(universe, 0), in_counts(universe, 0);
   for (int i = 0; i < events; ++i) {
     const PacketEvent e = gen.Next();
-    lr_det.Observe(e.ip, e.outbound);
+    // The dense reference is not a budgeted Method; it observes directly.
+    lr.Update(SparseVector::OneHot(e.ip), e.outbound ? 1 : -1);
     awm_det.Observe(e.ip, e.outbound);
     trun_det.Observe(e.ip, e.outbound);
     ptrun_det.Observe(e.ip, e.outbound);
@@ -79,7 +86,7 @@ int main() {
     }
     PrintRow(row);
   };
-  print_curve("lr", retrieved_set(lr_det.TopDeltoids(kTopK)));
+  print_curve("lr", retrieved_set(lr.TopK(kTopK)));
   print_curve("trun", retrieved_set(trun_det.TopDeltoids(kTopK)));
   print_curve("ptrun", retrieved_set(ptrun_det.TopDeltoids(kTopK)));
   print_curve("cm", retrieved_set(cm.TopDeltoids(kTopK, universe)));

@@ -21,34 +21,42 @@ void RunDataset(const ClassificationProfile& profile, double lambda, int example
       Method::kFeatureHashing,     Method::kWmSketch,
       Method::kAwmSketch};
 
-  // Train once; evaluate RelErr at multiple K from the same final models.
+  // Train once; evaluate RelErr at multiple K from one snapshot per model.
   // (Re-running per K would triple the runtime for identical models.)
-  const LearnerOptions opts = PaperOptions(lambda, 1234);
-  std::vector<std::unique_ptr<BudgetedClassifier>> models;
+  std::vector<Learner> models;
   for (const Method m : methods) {
-    models.push_back(MakeClassifier(DefaultConfig(m, KiB(8)), opts));
+    models.push_back(
+        BuildOrDie(PaperBuilder(lambda, 1234).SetMethod(m).SetBudgetBytes(KiB(8)).Build()));
   }
-  DenseLinearModel reference(profile.dimension, opts);
+  DenseLinearModel reference(profile.dimension, PaperOptions(lambda, 1234));
   SyntheticClassificationGen gen(profile, 42);
-  for (int i = 0; i < examples; ++i) {
-    const Example ex = gen.Next();
-    for (auto& m : models) m->Update(ex.x, ex.y);
-    reference.Update(ex.x, ex.y);
+  std::vector<Example> chunk;
+  for (int consumed = 0; consumed < examples;) {
+    const int n = std::min(512, examples - consumed);
+    chunk.clear();
+    for (int i = 0; i < n; ++i) chunk.push_back(gen.Next());
+    consumed += n;
+    for (Learner& m : models) m.UpdateBatch(chunk);
+    for (const Example& ex : chunk) reference.Update(ex.x, ex.y);
   }
   const std::vector<float> w_star = reference.Weights();
 
+  std::vector<LearnerSnapshot> snaps;
   std::vector<std::string> header = {"K"};
-  for (const auto& m : models) header.push_back(m->Name());
+  for (const Learner& m : models) {
+    snaps.push_back(m.Snapshot(128));
+    header.push_back(m.Name());
+  }
   PrintRow(header);
   std::map<std::string, double> final_err;
   for (const size_t k : {8u, 16u, 32u, 64u, 96u, 128u}) {
     std::vector<std::string> row = {std::to_string(k)};
-    for (const auto& m : models) {
-      std::vector<FeatureWeight> top = m->TopK(k);
-      if (top.empty()) top = ScanTopK(*m, k, profile.dimension);
+    for (const LearnerSnapshot& snap : snaps) {
+      std::vector<FeatureWeight> top = snap.TopK(k);
+      if (top.empty()) top = snap.ScanTopK(k, profile.dimension);
       const double err = RelErrTopK(top, w_star, k);
       row.push_back(Fmt(err));
-      final_err[m->Name()] = err;
+      final_err[snap.name()] = err;
     }
     PrintRow(row);
   }

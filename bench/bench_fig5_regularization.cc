@@ -15,19 +15,20 @@ void RunDataset(const ClassificationProfile& profile, int examples) {
   Banner("Fig 5 — AWM RelErr@K vs lambda (" + profile.name + ", 8KB)");
   PrintRow({"lambda", "K=16", "K=32", "K=64", "K=128"});
   for (const double lambda : {1e-3, 1e-4, 1e-5, 1e-6}) {
-    const LearnerOptions opts = PaperOptions(lambda, 77);
-    auto model = MakeClassifier(DefaultConfig(Method::kAwmSketch, KiB(8)), opts);
-    DenseLinearModel reference(profile.dimension, opts);
+    Learner model = BuildOrDie(
+        PaperBuilder(lambda, 77).SetMethod(Method::kAwmSketch).SetBudgetBytes(KiB(8)).Build());
+    DenseLinearModel reference(profile.dimension, PaperOptions(lambda, 77));
     SyntheticClassificationGen gen(profile, 78);
     for (int i = 0; i < examples; ++i) {
       const Example ex = gen.Next();
-      model->Update(ex.x, ex.y);
+      model.Update(ex);
       reference.Update(ex.x, ex.y);
     }
     const std::vector<float> w_star = reference.Weights();
+    const LearnerSnapshot snap = model.Snapshot(128);
     std::vector<std::string> row = {Fmt(lambda, 6)};
     for (const size_t k : {16u, 32u, 64u, 128u}) {
-      row.push_back(Fmt(RelErrTopK(model->TopK(k), w_star, k)));
+      row.push_back(Fmt(RelErrTopK(snap.TopK(k), w_star, k)));
     }
     PrintRow(row);
   }

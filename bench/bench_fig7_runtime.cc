@@ -43,16 +43,34 @@ BENCHMARK(BM_UncompressedLR);
 
 void BM_Method(benchmark::State& state, Method method, size_t budget) {
   const auto& stream = SharedStream();
-  const LearnerOptions opts = PaperOptions(1e-6, 5);
-  auto model = MakeClassifier(DefaultConfig(method, budget), opts);
+  Learner model =
+      BuildOrDie(PaperBuilder(1e-6, 5).SetMethod(method).SetBudgetBytes(budget).Build());
   size_t i = 0;
   for (auto _ : state) {
     const Example& ex = stream[i++ % stream.size()];
-    benchmark::DoNotOptimize(model->Update(ex.x, ex.y));
+    benchmark::DoNotOptimize(model.Update(ex));
   }
   state.SetItemsProcessed(state.iterations());
-  state.SetLabel(DefaultConfig(method, budget).ToString());
+  state.SetLabel(model.config().ToString());
 }
+
+// Batch-ingest variant of the AWM benchmark: the same stream pushed through
+// UpdateBatch in 512-example chunks, isolating the facade's per-example
+// dispatch overhead from the per-update arithmetic.
+void BM_AwmBatch(benchmark::State& state) {
+  const auto& stream = SharedStream();
+  Learner model = BuildOrDie(
+      PaperBuilder(1e-6, 5).SetMethod(Method::kAwmSketch).SetBudgetBytes(KiB(8)).Build());
+  size_t i = 0;
+  constexpr size_t kChunk = 512;
+  for (auto _ : state) {
+    const size_t start = (i * kChunk) % (stream.size() - kChunk);
+    ++i;
+    model.UpdateBatch(std::span<const Example>(stream.data() + start, kChunk));
+  }
+  state.SetItemsProcessed(state.iterations() * kChunk);
+}
+BENCHMARK(BM_AwmBatch);
 
 void RegisterAll() {
   for (const size_t kb : {2u, 8u, 32u}) {

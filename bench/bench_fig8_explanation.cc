@@ -12,7 +12,6 @@
 
 #include "apps/explanation.h"
 #include "bench/bench_common.h"
-#include "core/awm_sketch.h"
 #include "datagen/fec_gen.h"
 #include "metrics/relative_risk.h"
 
@@ -56,17 +55,33 @@ int main() {
   // a dense model over the attribute space.
   LearnerOptions opts = PaperOptions(1e-6, 11);
   opts.rate = LearningRate::Constant(0.1);  // stationary 1-sparse objective
-  AwmSketch awm(AwmSketchConfig{4096, 1, 2048}, opts);
+  Learner awm = BuildOrDie(LearnerBuilder()
+                               .SetMethod(Method::kAwmSketch)
+                               .SetWidth(4096)
+                               .SetDepth(1)
+                               .SetHeapCapacity(2048)
+                               .SetLambda(1e-6)
+                               .SetLearningRate(LearningRate::Constant(0.1))
+                               .SetSeed(11)
+                               .Build());
   StreamingExplainer awm_explainer(&awm, /*outlier_repeats=*/4);
   DenseLinearModel lr(gen.FeatureDimension(), opts, /*heap_capacity=*/kTopK);
-  StreamingExplainer lr_explainer(&lr, /*outlier_repeats=*/4);
+  // The dense reference is not a budgeted Method, so it observes directly
+  // (same 1-sparse feeding and class rebalancing as StreamingExplainer).
+  const auto lr_observe = [&lr](const std::vector<uint32_t>& attributes, bool outlier) {
+    const int8_t y = outlier ? 1 : -1;
+    const uint32_t repeats = outlier ? 4 : 1;
+    for (uint32_t r = 0; r < repeats; ++r) {
+      for (const uint32_t f : attributes) lr.Update(SparseVector::OneHot(f), y);
+    }
+  };
   HeavyHitterExplainer hh_pos(kTopK, HeavyHitterExplainer::Mode::kPositiveOnly);
   HeavyHitterExplainer hh_both(kTopK, HeavyHitterExplainer::Mode::kBoth);
 
   for (int i = 0; i < rows; ++i) {
     const FecRow row = gen.Next();
     awm_explainer.Observe(row.attributes, row.outlier);
-    lr_explainer.Observe(row.attributes, row.outlier);
+    lr_observe(row.attributes, row.outlier);
     hh_pos.Observe(row.attributes, row.outlier);
     hh_both.Observe(row.attributes, row.outlier);
     for (const uint32_t f : row.attributes) exact.Observe(f, row.outlier);
@@ -87,7 +102,7 @@ int main() {
     for (const FeatureWeight& fw : fws) out.push_back(fw.feature);
     return out;
   };
-  PrintHistogram("lr-exact", RiskHistogram(extract(lr_explainer.TopAttributes(kTopK)), exact));
+  PrintHistogram("lr-exact", RiskHistogram(extract(lr.TopK(kTopK)), exact));
   PrintHistogram("awm", RiskHistogram(extract(awm_explainer.TopAttributes(kTopK)), exact));
 
   std::printf("\n(32KB AWM footprint: %zu bytes; attribute space: %u features)\n",

@@ -6,7 +6,6 @@
 
 #include "apps/explanation.h"
 #include "bench/bench_common.h"
-#include "core/awm_sketch.h"
 #include "datagen/fec_gen.h"
 #include "metrics/correlation.h"
 #include "metrics/relative_risk.h"
@@ -21,15 +20,30 @@ int main() {
   RelativeRiskTracker exact;
   LearnerOptions opts = PaperOptions(1e-6, 13);
   opts.rate = LearningRate::Constant(0.1);  // stationary 1-sparse objective
-  AwmSketch awm(AwmSketchConfig{4096, 1, 2048}, opts);
+  Learner awm = BuildOrDie(LearnerBuilder()
+                               .SetMethod(Method::kAwmSketch)
+                               .SetWidth(4096)
+                               .SetDepth(1)
+                               .SetHeapCapacity(2048)
+                               .SetLambda(1e-6)
+                               .SetLearningRate(LearningRate::Constant(0.1))
+                               .SetSeed(13)
+                               .Build());
   StreamingExplainer awm_explainer(&awm, /*outlier_repeats=*/4);
   DenseLinearModel lr(gen.FeatureDimension(), opts, kTopK);
-  StreamingExplainer lr_explainer(&lr, /*outlier_repeats=*/4);
+  // The dense reference observes directly (same feeding as the explainer).
+  const auto lr_observe = [&lr](const std::vector<uint32_t>& attributes, bool outlier) {
+    const int8_t y = outlier ? 1 : -1;
+    const uint32_t repeats = outlier ? 4 : 1;
+    for (uint32_t r = 0; r < repeats; ++r) {
+      for (const uint32_t f : attributes) lr.Update(SparseVector::OneHot(f), y);
+    }
+  };
 
   for (int i = 0; i < rows; ++i) {
     const FecRow row = gen.Next();
     awm_explainer.Observe(row.attributes, row.outlier);
-    lr_explainer.Observe(row.attributes, row.outlier);
+    lr_observe(row.attributes, row.outlier);
     for (const uint32_t f : row.attributes) exact.Observe(f, row.outlier);
   }
 
@@ -54,6 +68,7 @@ int main() {
               std::to_string(weights.size())});
   };
   correlate("lr", [&](uint32_t f) { return static_cast<double>(lr.WeightEstimate(f)); });
-  correlate("awm", [&](uint32_t f) { return static_cast<double>(awm.WeightEstimate(f)); });
+  const LearnerSnapshot awm_snap = awm.Snapshot();  // frozen read view
+  correlate("awm", [&](uint32_t f) { return static_cast<double>(awm_snap.Estimate(f)); });
   return 0;
 }

@@ -13,16 +13,19 @@ namespace {
 
 double EvalConfig(const BudgetConfig& cfg, const ClassificationProfile& profile,
                   int examples, size_t k) {
-  const LearnerOptions opts = PaperOptions(1e-6, 55);
-  auto model = MakeClassifier(cfg, opts);
-  DenseLinearModel reference(profile.dimension, opts);
+  Learner model = BuildOrDie(PaperBuilder(1e-6, 55).SetConfig(cfg).Build());
+  DenseLinearModel reference(profile.dimension, PaperOptions(1e-6, 55));
   SyntheticClassificationGen gen(profile, 56);
-  for (int i = 0; i < examples; ++i) {
-    const Example ex = gen.Next();
-    model->Update(ex.x, ex.y);
-    reference.Update(ex.x, ex.y);
+  std::vector<Example> chunk;
+  for (int consumed = 0; consumed < examples;) {
+    const int n = std::min(512, examples - consumed);
+    chunk.clear();
+    for (int i = 0; i < n; ++i) chunk.push_back(gen.Next());
+    consumed += n;
+    model.UpdateBatch(chunk);
+    for (const Example& ex : chunk) reference.Update(ex.x, ex.y);
   }
-  return RelErrTopK(model->TopK(k), reference.Weights(), k);
+  return RelErrTopK(model.Snapshot(k).top_k(), reference.Weights(), k);
 }
 
 }  // namespace

@@ -12,7 +12,7 @@
 #include <cstring>
 #include <filesystem>
 
-#include "core/budget.h"
+#include "api/learner.h"
 #include "datagen/classification_gen.h"
 #include "metrics/online_error.h"
 #include "stream/libsvm_io.h"
@@ -61,23 +61,34 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  LearnerOptions opts;
-  opts.lambda = 1e-6;
-  opts.rate = LearningRate::InverseSqrt(0.1);
-  const BudgetConfig config = DefaultConfig(method, budget);
-  auto model = MakeClassifier(config, opts);
+  Result<Learner> built = LearnerBuilder()
+                              .SetMethod(method)
+                              .SetBudgetBytes(budget)
+                              .SetLambda(1e-6)
+                              .SetLearningRate(LearningRate::InverseSqrt(0.1))
+                              .Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "error: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  Learner model = std::move(built).value();
 
+  // Whole-file batch ingest with progressive validation from the returned
+  // pre-update margins.
   OnlineErrorRate err;
-  for (const Example& ex : data.value()) {
-    err.Record(model->Update(ex.x, ex.y), ex.y);
+  std::vector<double> margins;
+  model.UpdateBatch(data.value(), &margins);
+  for (size_t i = 0; i < margins.size(); ++i) {
+    err.Record(margins[i], data.value()[i].y);
   }
 
+  const LearnerSnapshot snapshot = model.Snapshot(10);
   std::printf("file        : %s (%zu examples)\n", path.c_str(), data.value().size());
-  std::printf("model       : %s  (%zu bytes)\n", config.ToString().c_str(),
-              model->MemoryCostBytes());
+  std::printf("model       : %s  (%zu bytes)\n", model.config().ToString().c_str(),
+              snapshot.memory_cost_bytes());
   std::printf("error rate  : %.4f\n\n", err.Rate());
   std::printf("top-10 features by |weight|:\n");
-  for (const FeatureWeight& fw : model->TopK(10)) {
+  for (const FeatureWeight& fw : snapshot.top_k()) {
     std::printf("  %8u  %+.4f\n", fw.feature, fw.weight);
   }
   return 0;

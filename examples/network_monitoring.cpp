@@ -14,7 +14,6 @@
 #include <unordered_set>
 
 #include "apps/deltoid.h"
-#include "core/budget.h"
 #include "datagen/packet_gen.h"
 #include "metrics/recall.h"
 
@@ -24,12 +23,19 @@ int main() {
   const uint32_t kUniverse = 1u << 17;  // 131K addresses
   PacketTraceGenerator trace(kUniverse, /*num_deltoids=*/256, /*seed=*/99);
 
-  LearnerOptions opts;
-  opts.lambda = 1e-6;
-  opts.rate = LearningRate::InverseSqrt(0.1);
-  opts.seed = 3;
-  auto awm = MakeClassifier(DefaultConfig(Method::kAwmSketch, KiB(32)), opts);
-  RelativeDeltoidDetector detector(awm.get());
+  Result<Learner> built = LearnerBuilder()
+                              .SetMethod(Method::kAwmSketch)
+                              .SetBudgetBytes(KiB(32))
+                              .SetLambda(1e-6)
+                              .SetLearningRate(LearningRate::InverseSqrt(0.1))
+                              .SetSeed(3)
+                              .Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  Learner awm = std::move(built).value();
+  RelativeDeltoidDetector detector(&awm);
   PairedCmRatioEstimator cm(2048, 2, /*seed=*/4);  // equal 32 KB total
 
   std::vector<uint64_t> out_counts(kUniverse, 0), in_counts(kUniverse, 0);
@@ -43,7 +49,7 @@ int main() {
 
   std::printf("packets observed : %d over %u addresses\n", kPackets, kUniverse);
   std::printf("detector memory  : %zu bytes (paired CM: %zu)\n\n",
-              awm->MemoryCostBytes(), cm.MemoryCostBytes());
+              awm.MemoryCostBytes(), cm.MemoryCostBytes());
 
   std::printf("Top reported deltoids (positive = outbound-heavy):\n");
   std::printf("%-12s %12s %12s %10s\n", "address", "est-logratio", "true-count-lr", "planted");

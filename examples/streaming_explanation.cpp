@@ -13,7 +13,6 @@
 #include <cstdio>
 
 #include "apps/explanation.h"
-#include "core/awm_sketch.h"
 #include "datagen/fec_gen.h"
 #include "metrics/relative_risk.h"
 
@@ -22,12 +21,21 @@ using namespace wmsketch;
 int main() {
   FecLikeGenerator rows(/*seed=*/2026);
 
-  LearnerOptions opts;
-  opts.lambda = 1e-5;  // decays rarely-occurring noise
-  opts.rate = LearningRate::Constant(0.1);  // stationary 1-sparse objective
-  opts.seed = 1;
   // 32 KB: 2048 exact slots + 4096-bucket depth-1 sketch.
-  AwmSketch model(AwmSketchConfig{4096, 1, 2048}, opts);
+  Result<Learner> built = LearnerBuilder()
+                              .SetMethod(Method::kAwmSketch)
+                              .SetWidth(4096)
+                              .SetDepth(1)
+                              .SetHeapCapacity(2048)
+                              .SetLambda(1e-5)  // decays rarely-occurring noise
+                              .SetLearningRate(LearningRate::Constant(0.1))  // stationary
+                              .SetSeed(1)
+                              .Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  Learner model = std::move(built).value();
   StreamingExplainer explainer(&model, /*outlier_repeats=*/4);  // balance classes
 
   RelativeRiskTracker exact;  // evaluation oracle only

@@ -1,0 +1,340 @@
+#include "api/learner.h"
+
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "core/serialization.h"
+#include "util/memory_cost.h"
+
+namespace wmsketch {
+
+// ------------------------------------------------------------- snapshot
+
+LearnerSnapshot::LearnerSnapshot(std::shared_ptr<const State> state)
+    : state_(std::move(state)) {}
+
+Method LearnerSnapshot::method() const { return state_->method; }
+const std::string& LearnerSnapshot::name() const { return state_->name; }
+uint64_t LearnerSnapshot::steps() const { return state_->steps; }
+size_t LearnerSnapshot::memory_cost_bytes() const { return state_->memory_cost_bytes; }
+const BudgetConfig& LearnerSnapshot::config() const { return state_->config; }
+const std::vector<FeatureWeight>& LearnerSnapshot::top_k() const { return state_->top_k; }
+
+std::vector<FeatureWeight> LearnerSnapshot::TopK(size_t k) const {
+  const std::vector<FeatureWeight>& all = state_->top_k;
+  if (k >= all.size()) return all;
+  return std::vector<FeatureWeight>(all.begin(), all.begin() + static_cast<ptrdiff_t>(k));
+}
+
+float LearnerSnapshot::Estimate(uint32_t feature) const {
+  return state_->estimator(feature);
+}
+
+std::vector<FeatureWeight> LearnerSnapshot::ScanTopK(size_t k, uint32_t dimension) const {
+  return wmsketch::ScanTopK(state_->estimator, k, dimension);
+}
+
+// -------------------------------------------------------------- learner
+
+Learner::Learner(BudgetConfig config, LearnerOptions opts,
+                 std::unique_ptr<BudgetedClassifier> impl)
+    : config_(config), opts_(opts), impl_(std::move(impl)) {}
+
+double Learner::Update(const Example& example) { return impl_->Update(example.x, example.y); }
+
+void Learner::UpdateBatch(std::span<const Example> batch) { impl_->UpdateBatch(batch); }
+
+void Learner::UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) {
+  margins->reserve(margins->size() + batch.size());
+  impl_->UpdateBatch(batch, margins);  // margins come out of the same devirtualized loop
+}
+
+double Learner::PredictMargin(const SparseVector& x) const { return impl_->PredictMargin(x); }
+
+int8_t Learner::Classify(const SparseVector& x) const { return impl_->Classify(x); }
+
+float Learner::WeightEstimate(uint32_t feature) const {
+  return impl_->WeightEstimate(feature);
+}
+
+LearnerSnapshot Learner::Snapshot(size_t top_k) const {
+  auto state = std::make_shared<LearnerSnapshot::State>();
+  state->method = config_.method;
+  state->name = impl_->Name();
+  state->config = config_;
+  state->steps = impl_->steps();
+  state->memory_cost_bytes = impl_->MemoryCostBytes();
+  state->top_k = impl_->TopK(top_k);
+  state->estimator = impl_->EstimatorSnapshot();
+  return LearnerSnapshot(std::move(state));
+}
+
+std::vector<FeatureWeight> Learner::TopK(size_t k) const { return impl_->TopK(k); }
+
+size_t Learner::MemoryCostBytes() const { return impl_->MemoryCostBytes(); }
+uint64_t Learner::steps() const { return impl_->steps(); }
+std::string Learner::Name() const { return impl_->Name(); }
+
+// -------------------------------------------------------------- builder
+
+LearnerBuilder& LearnerBuilder::SetMethod(Method method) {
+  method_ = method;
+  method_set_ = true;
+  return *this;
+}
+
+LearnerBuilder& LearnerBuilder::SetBudgetBytes(size_t budget_bytes) {
+  budget_bytes_ = budget_bytes;
+  return *this;
+}
+
+LearnerBuilder& LearnerBuilder::SetWidth(uint32_t width) {
+  width_ = width;
+  return *this;
+}
+
+LearnerBuilder& LearnerBuilder::SetDepth(uint32_t depth) {
+  depth_ = depth;
+  return *this;
+}
+
+LearnerBuilder& LearnerBuilder::SetHeapCapacity(size_t heap_capacity) {
+  heap_capacity_ = heap_capacity;
+  return *this;
+}
+
+LearnerBuilder& LearnerBuilder::SetConfig(const BudgetConfig& config) {
+  config_ = config;
+  return *this;
+}
+
+LearnerBuilder& LearnerBuilder::SetLambda(double lambda) {
+  opts_.lambda = lambda;
+  return *this;
+}
+
+LearnerBuilder& LearnerBuilder::SetLearningRate(LearningRate rate) {
+  opts_.rate = rate;
+  return *this;
+}
+
+LearnerBuilder& LearnerBuilder::SetLoss(const LossFunction* loss) {
+  opts_.loss = loss;
+  return *this;
+}
+
+LearnerBuilder& LearnerBuilder::SetSeed(uint64_t seed) {
+  opts_.seed = seed;
+  return *this;
+}
+
+Result<Learner> LearnerBuilder::Build() const {
+  const bool has_shape =
+      width_.has_value() || depth_.has_value() || heap_capacity_.has_value();
+
+  BudgetConfig cfg;
+  if (config_.has_value()) {
+    if (budget_bytes_.has_value() || has_shape) {
+      return Status::InvalidArgument(
+          "SetConfig cannot be combined with a budget or explicit shape",
+          ToDetail(ConfigError::kShapeConflict));
+    }
+    if (method_set_ && config_->method != method_) {
+      return Status::InvalidArgument("SetMethod disagrees with SetConfig's method",
+                                     ToDetail(ConfigError::kShapeConflict));
+    }
+    cfg = *config_;
+  } else if (budget_bytes_.has_value()) {
+    if (has_shape) {
+      return Status::InvalidArgument(
+          "a byte budget and an explicit shape are mutually exclusive",
+          ToDetail(ConfigError::kShapeConflict));
+    }
+    WMS_ASSIGN_OR_RETURN(cfg, DefaultConfig(method_, *budget_bytes_));
+  } else if (has_shape) {
+    cfg.method = method_;
+    switch (method_) {
+      case Method::kSimpleTruncation:
+      case Method::kProbabilisticTruncation:
+      case Method::kSpaceSavingFrequent:
+        if (width_.has_value() || depth_.has_value()) {
+          return Status::InvalidArgument(
+              MethodName(method_) + " has no sketch table; only SetHeapCapacity applies",
+              ToDetail(ConfigError::kShapeConflict));
+        }
+        cfg.heap_capacity = heap_capacity_.value_or(0);
+        break;
+      case Method::kFeatureHashing:
+        if (depth_.has_value() || heap_capacity_.has_value()) {
+          return Status::InvalidArgument(
+              "feature hashing has no depth or heap; only SetWidth applies",
+              ToDetail(ConfigError::kShapeConflict));
+        }
+        cfg.width = width_.value_or(0);
+        break;
+      case Method::kCountMinFrequent:
+      case Method::kWmSketch:
+      case Method::kAwmSketch:
+        cfg.width = width_.value_or(0);
+        cfg.depth = depth_.value_or(0);
+        cfg.heap_capacity = heap_capacity_.value_or(0);
+        break;
+    }
+  } else {
+    return Status::InvalidArgument(
+        "specify a size: SetBudgetBytes, SetWidth/SetDepth/SetHeapCapacity, or SetConfig",
+        ToDetail(ConfigError::kShapeUnderspecified));
+  }
+
+  WMS_RETURN_NOT_OK(cfg.Validate());
+  return Learner(cfg, opts_, MakeClassifier(cfg, opts_));
+}
+
+// -------------------------------------------------------- serialization
+
+namespace {
+
+constexpr uint32_t kLearnerMagic = 0x31464c57;  // "WLF1"
+constexpr uint32_t kLearnerVersion = 1;
+
+template <typename T>
+void WriteRaw(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadRaw(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+// Rebuilds the planner-level view of a restored implementation's shape.
+BudgetConfig ConfigOf(Method method, const BudgetedClassifier& impl) {
+  BudgetConfig cfg;
+  cfg.method = method;
+  switch (method) {
+    case Method::kSimpleTruncation:
+      cfg.heap_capacity = static_cast<const SimpleTruncation&>(impl).capacity();
+      break;
+    case Method::kProbabilisticTruncation:
+      cfg.heap_capacity = static_cast<const ProbabilisticTruncation&>(impl).capacity();
+      break;
+    case Method::kSpaceSavingFrequent:
+      cfg.heap_capacity = static_cast<const SpaceSavingFrequent&>(impl).summary().capacity();
+      break;
+    case Method::kCountMinFrequent: {
+      const auto& cmff = static_cast<const CountMinFrequent&>(impl);
+      cfg.width = cmff.sketch().width();
+      cfg.depth = cmff.sketch().depth();
+      cfg.heap_capacity = cmff.capacity();
+      break;
+    }
+    case Method::kFeatureHashing:
+      cfg.width = static_cast<const FeatureHashingClassifier&>(impl).buckets();
+      break;
+    case Method::kWmSketch: {
+      const WmSketchConfig& c = static_cast<const WmSketch&>(impl).config();
+      cfg.width = c.width;
+      cfg.depth = c.depth;
+      cfg.heap_capacity = c.heap_capacity;
+      break;
+    }
+    case Method::kAwmSketch: {
+      const AwmSketchConfig& c = static_cast<const AwmSketch&>(impl).config();
+      cfg.width = c.width;
+      cfg.depth = c.depth;
+      cfg.heap_capacity = c.heap_capacity;
+      break;
+    }
+  }
+  return cfg;
+}
+
+}  // namespace
+
+Status SaveLearner(const Learner& learner, std::ostream& out) {
+  WriteRaw(out, kLearnerMagic);
+  WriteRaw(out, kLearnerVersion);
+  WriteRaw(out, static_cast<uint8_t>(learner.method()));
+  if (!out) return Status::IOError("write failed");
+  const BudgetedClassifier& impl = learner.impl();
+  switch (learner.method()) {
+    case Method::kSimpleTruncation:
+      return SaveSimpleTruncation(static_cast<const SimpleTruncation&>(impl), out);
+    case Method::kProbabilisticTruncation:
+      return SaveProbabilisticTruncation(static_cast<const ProbabilisticTruncation&>(impl),
+                                         out);
+    case Method::kSpaceSavingFrequent:
+      return SaveSpaceSavingFrequent(static_cast<const SpaceSavingFrequent&>(impl), out);
+    case Method::kCountMinFrequent:
+      return SaveCountMinFrequent(static_cast<const CountMinFrequent&>(impl), out);
+    case Method::kFeatureHashing:
+      return SaveFeatureHashing(static_cast<const FeatureHashingClassifier&>(impl), out);
+    case Method::kWmSketch:
+      return SaveWmSketch(static_cast<const WmSketch&>(impl), out);
+    case Method::kAwmSketch:
+      return SaveAwmSketch(static_cast<const AwmSketch&>(impl), out);
+  }
+  return Status::InvalidArgument("unknown method");
+}
+
+Result<Learner> LoadLearner(std::istream& in, const LearnerOptions& opts) {
+  uint32_t magic, version;
+  uint8_t tag;
+  if (!ReadRaw(in, &magic)) return Status::Corruption("truncated facade header");
+  if (magic != kLearnerMagic) return Status::Corruption("not a learner snapshot");
+  if (!ReadRaw(in, &version) || !ReadRaw(in, &tag)) {
+    return Status::Corruption("truncated facade header");
+  }
+  if (version != kLearnerVersion) return Status::Corruption("unsupported snapshot version");
+  if (tag > static_cast<uint8_t>(Method::kAwmSketch)) {
+    return Status::Corruption("unknown method tag");
+  }
+  const Method method = static_cast<Method>(tag);
+
+  std::unique_ptr<BudgetedClassifier> impl;
+  switch (method) {
+    case Method::kSimpleTruncation: {
+      WMS_ASSIGN_OR_RETURN(SimpleTruncation model, LoadSimpleTruncation(in, opts));
+      impl = std::make_unique<SimpleTruncation>(std::move(model));
+      break;
+    }
+    case Method::kProbabilisticTruncation: {
+      WMS_ASSIGN_OR_RETURN(ProbabilisticTruncation model,
+                           LoadProbabilisticTruncation(in, opts));
+      impl = std::make_unique<ProbabilisticTruncation>(std::move(model));
+      break;
+    }
+    case Method::kSpaceSavingFrequent: {
+      WMS_ASSIGN_OR_RETURN(SpaceSavingFrequent model, LoadSpaceSavingFrequent(in, opts));
+      impl = std::make_unique<SpaceSavingFrequent>(std::move(model));
+      break;
+    }
+    case Method::kCountMinFrequent: {
+      WMS_ASSIGN_OR_RETURN(CountMinFrequent model, LoadCountMinFrequent(in, opts));
+      impl = std::make_unique<CountMinFrequent>(std::move(model));
+      break;
+    }
+    case Method::kFeatureHashing: {
+      WMS_ASSIGN_OR_RETURN(FeatureHashingClassifier model, LoadFeatureHashing(in, opts));
+      impl = std::make_unique<FeatureHashingClassifier>(std::move(model));
+      break;
+    }
+    case Method::kWmSketch: {
+      WMS_ASSIGN_OR_RETURN(WmSketch model, LoadWmSketch(in, opts));
+      impl = std::make_unique<WmSketch>(std::move(model));
+      break;
+    }
+    case Method::kAwmSketch: {
+      WMS_ASSIGN_OR_RETURN(AwmSketch model, LoadAwmSketch(in, opts));
+      impl = std::make_unique<AwmSketch>(std::move(model));
+      break;
+    }
+  }
+  const BudgetConfig cfg = ConfigOf(method, *impl);
+  const LearnerOptions restored = impl->options();  // λ/seed from the snapshot
+  return Learner(cfg, restored, std::move(impl));
+}
+
+}  // namespace wmsketch

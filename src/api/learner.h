@@ -1,0 +1,243 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/budget.h"
+#include "linear/classifier.h"
+#include "util/status.h"
+
+namespace wmsketch {
+
+class Learner;
+
+/// An immutable, cheaply-copyable view of a learner's queryable state,
+/// decoupled from the live model: the top-K heaviest features materialized
+/// at snapshot time, a frozen per-feature weight estimator, and the scalar
+/// bookkeeping (step count, memory footprint). Because nothing in a snapshot
+/// aliases live learner state, read paths — report generation, the
+/// PMI/deltoid/explanation applications, concurrent query serving — can hold
+/// and share snapshots while ingestion continues, and two snapshots of the
+/// same learner at different times answer from their respective moments.
+///
+/// Copies share one reference-counted state block, so passing snapshots by
+/// value costs a pointer. The state itself is bounded by the learner's byte
+/// budget (that is the point of a budgeted classifier), so taking a snapshot
+/// is O(budget), not O(dimension).
+class LearnerSnapshot {
+ public:
+  /// The method that produced this snapshot.
+  Method method() const;
+  /// The method's short stable name ("awm", "hash", ...).
+  const std::string& name() const;
+  /// Number of updates the learner had absorbed when the snapshot was taken.
+  uint64_t steps() const;
+  /// Learner footprint under the Sec. 7.1 cost model at snapshot time.
+  size_t memory_cost_bytes() const;
+  /// The configuration of the learner that produced this snapshot.
+  const BudgetConfig& config() const;
+
+  /// The features materialized at snapshot time, sorted by descending
+  /// |weight| (at most the `top_k` requested from Learner::Snapshot; fewer
+  /// if the learner tracked fewer identifiers — empty for pure feature
+  /// hashing, which stores none).
+  const std::vector<FeatureWeight>& top_k() const;
+
+  /// The `k` heaviest materialized features (a prefix of top_k()).
+  std::vector<FeatureWeight> TopK(size_t k) const;
+
+  /// Frozen point estimate ŵᵢ for an arbitrary feature (works for features
+  /// outside the materialized top-K: sketch-backed methods answer from a
+  /// captured table copy, heap-backed methods return 0 for untracked ids).
+  float Estimate(uint32_t feature) const;
+
+  /// Exhaustive frozen top-k over an explicit universe [0, dimension) — the
+  /// snapshot analogue of ScanTopK, and the only ranking available for
+  /// identifier-free methods (feature hashing).
+  std::vector<FeatureWeight> ScanTopK(size_t k, uint32_t dimension) const;
+
+ private:
+  friend class Learner;
+
+  struct State {
+    Method method;
+    std::string name;
+    BudgetConfig config;
+    uint64_t steps;
+    size_t memory_cost_bytes;
+    std::vector<FeatureWeight> top_k;
+    WeightEstimator estimator;
+  };
+
+  explicit LearnerSnapshot(std::shared_ptr<const State> state);
+
+  std::shared_ptr<const State> state_;
+};
+
+/// The unified facade over every memory-budgeted streaming classifier in the
+/// library (Fig. 1 of the paper): construct through \ref LearnerBuilder,
+/// ingest labeled examples one at a time or in batches, query weights
+/// through immutable \ref LearnerSnapshot views, and persist with
+/// SaveLearner/LoadLearner. The concrete method (WM-Sketch, AWM-Sketch, or a
+/// Sec. 7 baseline) is a constructor-time choice, not a type: code written
+/// against Learner runs unchanged across all of them.
+///
+/// BudgetedClassifier remains the internal SPI that implementations
+/// subclass; impl() exposes it for tooling that genuinely needs the raw
+/// interface (e.g. ScanTopK over a live model).
+class Learner {
+ public:
+  Learner(Learner&&) noexcept = default;
+  Learner& operator=(Learner&&) noexcept = default;
+  Learner(const Learner&) = delete;
+  Learner& operator=(const Learner&) = delete;
+
+  /// One online-gradient-descent step. Returns the *pre-update* margin for
+  /// progressive validation (predict-then-update, Sec. 7.3).
+  double Update(const Example& example);
+
+  /// Batch ingest: equivalent to (and bit-identical with) updating example
+  /// by example, but pays one virtual dispatch per batch and keeps the whole
+  /// hot loop inside the concrete implementation.
+  void UpdateBatch(std::span<const Example> batch);
+
+  /// Batch ingest that also reports the pre-update margin of every example
+  /// (appended to `*margins`), for batched progressive validation.
+  void UpdateBatch(std::span<const Example> batch, std::vector<double>* margins);
+
+  /// The margin wᵀx under the current model (no state change).
+  double PredictMargin(const SparseVector& x) const;
+  /// The predicted label sign(wᵀx) ∈ {-1, +1}.
+  int8_t Classify(const SparseVector& x) const;
+  /// Live point estimate ŵᵢ (prefer Snapshot() for read paths that must not
+  /// race with ingestion).
+  float WeightEstimate(uint32_t feature) const;
+
+  /// Takes an immutable snapshot materializing the `top_k` heaviest tracked
+  /// features; see \ref LearnerSnapshot. Costs O(budget) — it captures the
+  /// frozen per-feature estimator. Read paths that only need the ranked
+  /// list should use TopK() instead.
+  LearnerSnapshot Snapshot(size_t top_k = kDefaultSnapshotTopK) const;
+  static constexpr size_t kDefaultSnapshotTopK = 128;
+
+  /// The k heaviest tracked features, materialized into a detached vector
+  /// (the same list a Snapshot would carry, without paying for the
+  /// estimator capture). Empty for identifier-free methods.
+  std::vector<FeatureWeight> TopK(size_t k) const;
+
+  /// The method this learner runs.
+  Method method() const { return config_.method; }
+  /// The concrete sizing the builder resolved (explicit or budget-planned).
+  const BudgetConfig& config() const { return config_; }
+  /// The hyperparameters the learner was built with.
+  const LearnerOptions& options() const { return opts_; }
+  /// Footprint under the Sec. 7.1 cost model.
+  size_t MemoryCostBytes() const;
+  /// Number of updates absorbed so far.
+  uint64_t steps() const;
+  /// Short stable method name ("awm", "hash", ...).
+  std::string Name() const;
+
+  /// The underlying SPI object (internal escape hatch; prefer the facade).
+  BudgetedClassifier& impl() { return *impl_; }
+  const BudgetedClassifier& impl() const { return *impl_; }
+
+ private:
+  friend class LearnerBuilder;
+  friend Result<Learner> LoadLearner(std::istream& in, const LearnerOptions& opts);
+
+  Learner(BudgetConfig config, LearnerOptions opts,
+          std::unique_ptr<BudgetedClassifier> impl);
+
+  BudgetConfig config_;
+  LearnerOptions opts_;
+  std::unique_ptr<BudgetedClassifier> impl_;
+};
+
+/// Fluent, validating constructor for \ref Learner — the single public entry
+/// point for building classifiers. Replaces the per-class throwing/asserting
+/// constructors: invalid shapes come back as typed errors (Status with a
+/// \ref ConfigError detail code), never as aborts.
+///
+/// Sizing is specified one of three ways (checked, mutually exclusive):
+///  * SetBudgetBytes(b): the paper's per-method budget planner picks the
+///    shape (Table 2 / Sec. 7.3 defaults);
+///  * SetWidth/SetDepth/SetHeapCapacity: an explicit shape for the chosen
+///    method (only the knobs that method uses);
+///  * SetConfig(cfg): a fully-specified BudgetConfig (e.g. one enumerated by
+///    EnumerateConfigs for a grid search).
+///
+///   Result<Learner> r = LearnerBuilder()
+///                           .SetMethod(Method::kAwmSketch)
+///                           .SetBudgetBytes(KiB(8))
+///                           .SetLambda(1e-6)
+///                           .SetSeed(42)
+///                           .Build();
+class LearnerBuilder {
+ public:
+  LearnerBuilder() = default;
+
+  /// Chooses the method (default: the AWM-Sketch, the paper's best).
+  LearnerBuilder& SetMethod(Method method);
+  /// Sizes the learner by byte budget via the per-method planner.
+  LearnerBuilder& SetBudgetBytes(size_t budget_bytes);
+  /// Explicit sketch/table width (power of two; WM/AWM/CM-FF/hash).
+  LearnerBuilder& SetWidth(uint32_t width);
+  /// Explicit sketch depth (WM/AWM/CM-FF).
+  LearnerBuilder& SetDepth(uint32_t depth);
+  /// Explicit heap / active-set / tracked-entry capacity.
+  LearnerBuilder& SetHeapCapacity(size_t heap_capacity);
+  /// A fully-specified configuration (method included).
+  LearnerBuilder& SetConfig(const BudgetConfig& config);
+  /// ℓ2-regularization strength λ (default 1e-6, the paper's default).
+  LearnerBuilder& SetLambda(double lambda);
+  /// Learning-rate schedule (default η_t = 0.1/√t).
+  LearnerBuilder& SetLearningRate(LearningRate rate);
+  /// Loss function; `loss` must outlive the learner (default logistic).
+  LearnerBuilder& SetLoss(const LossFunction* loss);
+  /// Seed for all hashing/randomized internals (default 42).
+  LearnerBuilder& SetSeed(uint64_t seed);
+
+  /// Validates the accumulated specification and constructs the learner.
+  /// Error cases (each with its ConfigError detail code):
+  ///  * no budget and no shape            -> kShapeUnderspecified
+  ///  * budget combined with a shape, or
+  ///    SetConfig combined with either    -> kShapeConflict
+  ///  * budget below kMinBudgetBytes      -> kBudgetTooSmall
+  ///  * width zero / not a power of two   -> kWidthNotPowerOfTwo
+  ///  * depth 0 where a table is needed   -> kDepthZero
+  ///  * depth above kMaxSketchDepth       -> kDepthTooLarge
+  ///  * empty active set / tracked set    -> kActiveSetEmpty
+  /// Build() is const: one builder can stamp out many learners (e.g. the
+  /// per-tenant fleet in a multi-tenant server), varying a knob between
+  /// builds.
+  Result<Learner> Build() const;
+
+ private:
+  Method method_ = Method::kAwmSketch;
+  std::optional<size_t> budget_bytes_;
+  std::optional<uint32_t> width_;
+  std::optional<uint32_t> depth_;
+  std::optional<size_t> heap_capacity_;
+  std::optional<BudgetConfig> config_;
+  bool method_set_ = false;
+  LearnerOptions opts_;
+};
+
+/// Writes a self-describing snapshot of any learner: a facade header with a
+/// method tag, then the method-specific payload (the core/serialization.h
+/// format for that method). Works for every Method.
+Status SaveLearner(const Learner& learner, std::ostream& out);
+
+/// Restores a learner from a SaveLearner stream, dispatching on the stored
+/// method tag. As with the per-method loaders, `opts.loss` and `opts.rate`
+/// are adopted from the caller while λ, seed, and all learned state come
+/// from the snapshot. Returns Corruption for malformed input.
+Result<Learner> LoadLearner(std::istream& in, const LearnerOptions& opts);
+
+}  // namespace wmsketch

@@ -3,7 +3,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "linear/classifier.h"
+#include "api/learner.h"
 #include "sketch/count_min.h"
 #include "util/top_k_heap.h"
 
@@ -21,27 +21,30 @@ namespace wmsketch {
 /// classifier's top-K retrieval does the detection.
 class RelativeDeltoidDetector {
  public:
-  /// Wraps a budgeted classifier over item-id feature space; not owned.
-  explicit RelativeDeltoidDetector(BudgetedClassifier* model) : model_(model) {}
+  /// Wraps a learner over item-id feature space (built through
+  /// LearnerBuilder); not owned.
+  explicit RelativeDeltoidDetector(Learner* learner) : learner_(learner) {}
 
   /// Observes one item occurrence from stream 1 (`first_stream` = true) or
   /// stream 2.
   void Observe(uint32_t item, bool first_stream) {
-    model_->Update(SparseVector::OneHot(item), first_stream ? 1 : -1);
+    learner_->Update(Example{SparseVector::OneHot(item),
+                             static_cast<int8_t>(first_stream ? 1 : -1)});
   }
 
   /// Estimated log occurrence ratio for an item (the model weight).
   double EstimateLogRatio(uint32_t item) const {
-    return static_cast<double>(model_->WeightEstimate(item));
+    return static_cast<double>(learner_->WeightEstimate(item));
   }
 
-  /// The k items with the largest |estimated log ratio| among tracked ones.
-  std::vector<FeatureWeight> TopDeltoids(size_t k) const { return model_->TopK(k); }
+  /// The k items with the largest |estimated log ratio| among tracked ones,
+  /// materialized into a detached list.
+  std::vector<FeatureWeight> TopDeltoids(size_t k) const { return learner_->TopK(k); }
 
-  const BudgetedClassifier& model() const { return *model_; }
+  const Learner& learner() const { return *learner_; }
 
  private:
-  BudgetedClassifier* model_;
+  Learner* learner_;
 };
 
 /// The paired Count-Min ratio estimator baseline (Cormode–Muthukrishnan

@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cmath>
+#include <memory>
+#include <unordered_map>
 
 #include "util/math.h"
 #include "util/random.h"
@@ -108,6 +110,50 @@ double AwmSketch::Update(const SparseVector& x, int8_t y) {
   }
   MaybeRescale();
   return margin;
+}
+
+void AwmSketch::UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) {
+  for (const Example& ex : batch) {
+    const double margin = Update(ex.x, ex.y);
+    if (margins != nullptr) margins->push_back(margin);
+  }
+}
+
+WeightEstimator AwmSketch::EstimatorSnapshot() const {
+  struct State {
+    std::unordered_map<uint32_t, float> active;  // raw active-set weights
+    std::vector<SignedBucketHash> rows;
+    std::vector<float> table;
+    uint32_t width;
+    uint32_t depth;
+    double heap_scale;
+    double sketch_scale;  // √s·α, the factor SketchQuery applies
+  };
+  State st;
+  st.active.reserve(heap_.size());
+  for (const FeatureWeight& fw : heap_.Entries()) st.active.emplace(fw.feature, fw.weight);
+  st.rows = rows_;
+  st.table = table_;
+  st.width = config_.width;
+  st.depth = config_.depth;
+  st.heap_scale = heap_scale_;
+  st.sketch_scale = sqrt_depth_ * sketch_scale_;
+  auto shared = std::make_shared<const State>(std::move(st));
+  return [shared](uint32_t feature) {
+    const auto it = shared->active.find(feature);
+    if (it != shared->active.end()) {
+      return static_cast<float>(shared->heap_scale * static_cast<double>(it->second));
+    }
+    float est[kMaxDepth];
+    for (uint32_t j = 0; j < shared->depth; ++j) {
+      uint32_t bucket;
+      float sign;
+      shared->rows[j].BucketAndSign(feature, &bucket, &sign);
+      est[j] = sign * shared->table[static_cast<size_t>(j) * shared->width + bucket];
+    }
+    return static_cast<float>(shared->sketch_scale *
+                              static_cast<double>(MedianInPlace(est, shared->depth)));
+  };
 }
 
 void AwmSketch::MaybeRescale() {

@@ -54,12 +54,19 @@ class AwmSketch final : public BudgetedClassifier {
 
   double PredictMargin(const SparseVector& x) const override;
   double Update(const SparseVector& x, int8_t y) override;
+  /// Devirtualized batch ingest: bit-identical to updating example by
+  /// example (`final` lets the loop inline the update step).
+  void UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) override;
   float WeightEstimate(uint32_t feature) const override;
+  /// Frozen estimator capturing the active-set weights plus copies of the
+  /// hash rows, tail table, and scales.
+  WeightEstimator EstimatorSnapshot() const override;
   /// The top-k of the active set (exact weights); the active set *is* the
   /// AWM-Sketch's answer to top-K queries.
   std::vector<FeatureWeight> TopK(size_t k) const override;
   size_t MemoryCostBytes() const override { return config_.MemoryCostBytes(); }
   uint64_t steps() const override { return t_; }
+  const LearnerOptions& options() const override { return opts_; }
   std::string Name() const override { return "awm"; }
 
   const AwmSketchConfig& config() const { return config_; }

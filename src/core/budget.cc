@@ -44,6 +44,71 @@ const std::vector<Method>& AllMethods() {
   return kAll;
 }
 
+static_assert(kMaxSketchDepth == WmSketch::kMaxDepth &&
+                  kMaxSketchDepth == AwmSketch::kMaxDepth,
+              "budget planner depth cap out of sync with the sketches");
+
+namespace {
+
+Status ShapeError(ConfigError error, const std::string& what) {
+  return Status::InvalidArgument(what, ToDetail(error));
+}
+
+// Shared table-shape checks for the sketch-backed methods.
+Status ValidateTable(uint32_t width, uint32_t depth) {
+  if (!IsPowerOfTwo(width)) {
+    return ShapeError(ConfigError::kWidthNotPowerOfTwo,
+                      "width must be a nonzero power of two, got " + std::to_string(width));
+  }
+  if (depth < 1) return ShapeError(ConfigError::kDepthZero, "depth must be >= 1");
+  if (depth > kMaxSketchDepth) {
+    return ShapeError(ConfigError::kDepthTooLarge,
+                      "depth " + std::to_string(depth) + " exceeds the maximum " +
+                          std::to_string(kMaxSketchDepth));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BudgetConfig::Validate() const {
+  switch (method) {
+    case Method::kSimpleTruncation:
+    case Method::kProbabilisticTruncation:
+    case Method::kSpaceSavingFrequent:
+      if (heap_capacity < 1) {
+        return ShapeError(ConfigError::kActiveSetEmpty,
+                          MethodName(method) + " requires at least one tracked entry");
+      }
+      return Status::OK();
+    case Method::kFeatureHashing:
+      if (!IsPowerOfTwo(width)) {
+        return ShapeError(ConfigError::kWidthNotPowerOfTwo,
+                          "bucket count must be a nonzero power of two, got " +
+                              std::to_string(width));
+      }
+      return Status::OK();
+    case Method::kCountMinFrequent:
+      WMS_RETURN_NOT_OK(ValidateTable(width, depth));
+      if (heap_capacity < 1) {
+        return ShapeError(ConfigError::kActiveSetEmpty,
+                          "cmff requires at least one monitored entry");
+      }
+      return Status::OK();
+    case Method::kWmSketch:
+      // heap_capacity 0 is legal for WM (it disables passive top-K tracking).
+      return ValidateTable(width, depth);
+    case Method::kAwmSketch:
+      WMS_RETURN_NOT_OK(ValidateTable(width, depth));
+      if (heap_capacity < 1) {
+        return ShapeError(ConfigError::kActiveSetEmpty,
+                          "awm requires a non-empty active set");
+      }
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown method");
+}
+
 size_t BudgetConfig::MemoryCostBytes() const {
   switch (method) {
     case Method::kSimpleTruncation:
@@ -83,10 +148,11 @@ std::string BudgetConfig::ToString() const {
 
 namespace {
 
-// Largest power of two with `cells` * 4 bytes <= `bytes`.
+// Largest power of two with `cells` * 4 bytes <= `bytes` (>= 1 even for
+// degenerate inputs; DefaultConfig rejects sub-minimum budgets before this
+// can matter).
 uint32_t WidthFittingBytes(size_t bytes) {
   const size_t cells = bytes / kBytesPerWeight;
-  assert(cells >= 1);
   uint64_t w = 1;
   while (w * 2 <= cells) w *= 2;
   return static_cast<uint32_t>(w);
@@ -94,8 +160,13 @@ uint32_t WidthFittingBytes(size_t bytes) {
 
 }  // namespace
 
-BudgetConfig DefaultConfig(Method method, size_t budget_bytes) {
-  assert(budget_bytes >= KiB(1));
+Result<BudgetConfig> DefaultConfig(Method method, size_t budget_bytes) {
+  if (budget_bytes < kMinBudgetBytes) {
+    return Status::OutOfRange(
+        "budget " + std::to_string(budget_bytes) + " bytes is below the " +
+            std::to_string(kMinBudgetBytes) + "-byte minimum",
+        ToDetail(ConfigError::kBudgetTooSmall));
+  }
   BudgetConfig cfg;
   cfg.method = method;
   switch (method) {
@@ -140,17 +211,19 @@ BudgetConfig DefaultConfig(Method method, size_t budget_bytes) {
     }
   }
   assert(cfg.MemoryCostBytes() <= budget_bytes);
+  assert(cfg.Validate().ok());
   return cfg;
 }
 
 std::vector<BudgetConfig> EnumerateConfigs(Method method, size_t budget_bytes) {
   std::vector<BudgetConfig> out;
+  if (budget_bytes < kMinBudgetBytes) return out;
   switch (method) {
     case Method::kSimpleTruncation:
     case Method::kProbabilisticTruncation:
     case Method::kSpaceSavingFrequent:
     case Method::kFeatureHashing:
-      out.push_back(DefaultConfig(method, budget_bytes));
+      out.push_back(DefaultConfig(method, budget_bytes).value());
       return out;
     case Method::kCountMinFrequent: {
       for (const double heap_fraction : {0.25, 0.5, 0.75}) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <unordered_map>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "sketch/space_saving.h"
 #include "util/indexed_heap.h"
 #include "util/memory_cost.h"
+#include "util/status.h"
 
 namespace wmsketch {
 
@@ -29,16 +31,23 @@ class SpaceSavingFrequent final : public BudgetedClassifier {
 
   double PredictMargin(const SparseVector& x) const override;
   double Update(const SparseVector& x, int8_t y) override;
+  /// Devirtualized batch ingest (bit-identical to a loop of Update).
+  void UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) override;
   float WeightEstimate(uint32_t feature) const override;
   std::vector<FeatureWeight> TopK(size_t k) const override;
   /// (id, count, weight) per monitored slot.
   size_t MemoryCostBytes() const override { return ss_.MemoryCostBytes(); }
   uint64_t steps() const override { return t_; }
+  const LearnerOptions& options() const override { return opts_; }
   std::string Name() const override { return "ss"; }
 
   const SpaceSaving& summary() const { return ss_; }
 
  private:
+  friend Status SaveSpaceSavingFrequent(const SpaceSavingFrequent&, std::ostream&);
+  friend Result<SpaceSavingFrequent> LoadSpaceSavingFrequent(std::istream&,
+                                                             const LearnerOptions&);
+
   void MaybeRescale();
 
   LearnerOptions opts_;
@@ -62,6 +71,8 @@ class CountMinFrequent final : public BudgetedClassifier {
 
   double PredictMargin(const SparseVector& x) const override;
   double Update(const SparseVector& x, int8_t y) override;
+  /// Devirtualized batch ingest (bit-identical to a loop of Update).
+  void UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) override;
   float WeightEstimate(uint32_t feature) const override;
   std::vector<FeatureWeight> TopK(size_t k) const override;
   /// CM counters + (id, weight) per monitored slot.
@@ -69,9 +80,18 @@ class CountMinFrequent final : public BudgetedClassifier {
     return cm_.MemoryCostBytes() + HeapBytes(capacity_);
   }
   uint64_t steps() const override { return t_; }
+  const LearnerOptions& options() const override { return opts_; }
   std::string Name() const override { return "cmff"; }
 
+  /// The frequency-filter sketch (shape introspection).
+  const CountMinSketch& sketch() const { return cm_; }
+  /// Number of monitored (feature, weight) slots.
+  size_t capacity() const { return capacity_; }
+
  private:
+  friend Status SaveCountMinFrequent(const CountMinFrequent&, std::ostream&);
+  friend Result<CountMinFrequent> LoadCountMinFrequent(std::istream&, const LearnerOptions&);
+
   void MaybeRescale();
 
   LearnerOptions opts_;

@@ -47,6 +47,10 @@ size_t MulticlassClassifier::Update(const SparseVector& x, size_t label) {
   return predicted;
 }
 
+void MulticlassClassifier::UpdateBatch(std::span<const MulticlassExample> batch) {
+  for (const MulticlassExample& ex : batch) Update(ex.x, ex.label);
+}
+
 size_t MulticlassClassifier::MemoryCostBytes() const {
   size_t total = 0;
   for (const auto& m : models_) total += m->MemoryCostBytes();

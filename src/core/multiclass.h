@@ -2,12 +2,20 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/budget.h"
 #include "linear/classifier.h"
 
 namespace wmsketch {
+
+/// A labeled multiclass example: sparse features and a class index in
+/// [0, num_classes).
+struct MulticlassExample {
+  SparseVector x;
+  uint32_t label = 0;
+};
 
 /// Multiclass extension of the sketched classifiers (Sec. 9): one budgeted
 /// binary model per class, trained one-vs-all; inference returns the class
@@ -30,6 +38,10 @@ class MulticlassClassifier {
   /// One-vs-all update: class `label` sees +1, all others see −1.
   /// Requires label < num_classes. Returns the pre-update predicted class.
   size_t Update(const SparseVector& x, size_t label);
+
+  /// Batch ingest, equivalent to updating example by example; mirrors
+  /// BudgetedClassifier::UpdateBatch for the multiclass extension.
+  void UpdateBatch(std::span<const MulticlassExample> batch);
 
   /// Per-class margins (diagnostics).
   std::vector<double> Margins(const SparseVector& x) const;

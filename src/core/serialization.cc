@@ -3,6 +3,8 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <utility>
+#include <vector>
 
 #include "util/math.h"
 
@@ -10,8 +12,13 @@ namespace wmsketch {
 
 namespace {
 
-constexpr uint32_t kWmMagic = 0x314d5357;   // "WSM1"
-constexpr uint32_t kAwmMagic = 0x314d5741;  // "AWM1"
+constexpr uint32_t kWmMagic = 0x314d5357;    // "WSM1"
+constexpr uint32_t kAwmMagic = 0x314d5741;   // "AWM1"
+constexpr uint32_t kTrunMagic = 0x314e5254;  // "TRN1"
+constexpr uint32_t kPtrnMagic = 0x31525450;  // "PTR1"
+constexpr uint32_t kSsfMagic = 0x31465353;   // "SSF1"
+constexpr uint32_t kCmfMagic = 0x31464d43;   // "CMF1"
+constexpr uint32_t kFhsMagic = 0x31534846;   // "FHS1"
 
 template <typename T>
 void WriteRaw(std::ostream& out, const T& value) {
@@ -31,6 +38,26 @@ void WriteHeapEntries(std::ostream& out, const TopKHeap& heap) {
     WriteRaw(out, fw.feature);
     WriteRaw(out, fw.weight);
   }
+}
+
+template <typename T>
+void WriteArray(std::ostream& out, const std::vector<T>& values) {
+  WriteRaw(out, static_cast<uint64_t>(values.size()));
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(T)));
+}
+
+// Reads an array whose element count must equal `expected`.
+template <typename T>
+Status ReadArrayExact(std::istream& in, std::vector<T>* values, size_t expected) {
+  uint64_t n = 0;
+  if (!ReadRaw(in, &n)) return Status::Corruption("truncated array header");
+  if (n != expected) return Status::Corruption("array size mismatch");
+  values->resize(expected);
+  in.read(reinterpret_cast<char*>(values->data()),
+          static_cast<std::streamsize>(expected * sizeof(T)));
+  if (!in) return Status::Corruption("truncated array");
+  return Status::OK();
 }
 
 Status ReadHeapEntries(std::istream& in, TopKHeap* heap) {
@@ -145,6 +172,255 @@ Result<AwmSketch> LoadAwmSketch(std::istream& in, const LearnerOptions& opts) {
   if (!in) return Status::Corruption("truncated table");
   WMS_RETURN_NOT_OK(ReadHeapEntries(in, &sketch.heap_));
   return sketch;
+}
+
+// ------------------------------------------------------------- baselines
+
+Status SaveSimpleTruncation(const SimpleTruncation& model, std::ostream& out) {
+  WriteRaw(out, kTrunMagic);
+  WriteRaw(out, static_cast<uint64_t>(model.heap_.capacity()));
+  WriteRaw(out, model.opts_.lambda);
+  WriteRaw(out, model.opts_.seed);
+  WriteRaw(out, model.t_);
+  WriteRaw(out, model.scale_);
+  WriteHeapEntries(out, model.heap_);
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Result<SimpleTruncation> LoadSimpleTruncation(std::istream& in, const LearnerOptions& opts) {
+  uint32_t magic;
+  if (!ReadRaw(in, &magic)) return Status::Corruption("truncated header");
+  if (magic != kTrunMagic) return Status::Corruption("not a truncation snapshot");
+  uint64_t capacity;
+  LearnerOptions restored = opts;
+  if (!ReadRaw(in, &capacity) || !ReadRaw(in, &restored.lambda) ||
+      !ReadRaw(in, &restored.seed)) {
+    return Status::Corruption("truncated configuration");
+  }
+  if (capacity < 1) return Status::Corruption("empty truncation capacity");
+  SimpleTruncation model(capacity, restored);
+  if (!ReadRaw(in, &model.t_) || !ReadRaw(in, &model.scale_)) {
+    return Status::Corruption("truncated state");
+  }
+  WMS_RETURN_NOT_OK(ReadHeapEntries(in, &model.heap_));
+  return model;
+}
+
+Status SaveProbabilisticTruncation(const ProbabilisticTruncation& model, std::ostream& out) {
+  WriteRaw(out, kPtrnMagic);
+  WriteRaw(out, static_cast<uint64_t>(model.capacity_));
+  WriteRaw(out, model.opts_.lambda);
+  WriteRaw(out, model.opts_.seed);
+  WriteRaw(out, model.t_);
+  WriteRaw(out, model.scale_);
+  WriteRaw(out, static_cast<uint64_t>(model.heap_.size()));
+  for (const IndexedMinHeap::Entry& e : model.heap_.entries()) {
+    WriteRaw(out, e.key);
+    WriteRaw(out, e.priority);
+    WriteRaw(out, e.value);
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Result<ProbabilisticTruncation> LoadProbabilisticTruncation(std::istream& in,
+                                                            const LearnerOptions& opts) {
+  uint32_t magic;
+  if (!ReadRaw(in, &magic)) return Status::Corruption("truncated header");
+  if (magic != kPtrnMagic) return Status::Corruption("not a ptrun snapshot");
+  uint64_t capacity;
+  LearnerOptions restored = opts;
+  if (!ReadRaw(in, &capacity) || !ReadRaw(in, &restored.lambda) ||
+      !ReadRaw(in, &restored.seed)) {
+    return Status::Corruption("truncated configuration");
+  }
+  if (capacity < 1) return Status::Corruption("empty ptrun capacity");
+  ProbabilisticTruncation model(capacity, restored);
+  uint64_t entries;
+  if (!ReadRaw(in, &model.t_) || !ReadRaw(in, &model.scale_) || !ReadRaw(in, &entries)) {
+    return Status::Corruption("truncated state");
+  }
+  if (entries > capacity) return Status::Corruption("ptrun entries exceed capacity");
+  std::vector<IndexedMinHeap::Entry> heap_entries(entries);
+  for (IndexedMinHeap::Entry& e : heap_entries) {
+    if (!ReadRaw(in, &e.key) || !ReadRaw(in, &e.priority) || !ReadRaw(in, &e.value)) {
+      return Status::Corruption("truncated ptrun entry");
+    }
+  }
+  {
+    const Status st = model.heap_.RestoreHeapOrder(std::move(heap_entries));
+    if (!st.ok()) return Status::Corruption(st.message());
+  }
+  return model;
+}
+
+Status SaveSpaceSavingFrequent(const SpaceSavingFrequent& model, std::ostream& out) {
+  WriteRaw(out, kSsfMagic);
+  WriteRaw(out, static_cast<uint64_t>(model.ss_.capacity()));
+  WriteRaw(out, model.opts_.lambda);
+  WriteRaw(out, model.opts_.seed);
+  WriteRaw(out, model.t_);
+  WriteRaw(out, model.scale_);
+  WriteRaw(out, model.ss_.TotalCount());
+  // Raw heap order: restore must reproduce eviction tie-breaking exactly.
+  const std::vector<SpaceSavingEntry> entries = model.ss_.RawEntries();
+  WriteRaw(out, static_cast<uint64_t>(entries.size()));
+  for (const SpaceSavingEntry& e : entries) {
+    WriteRaw(out, e.item);
+    WriteRaw(out, e.count);
+    WriteRaw(out, e.error);
+  }
+  WriteRaw(out, static_cast<uint64_t>(model.weights_.size()));
+  for (const auto& [feature, weight] : model.weights_) {
+    WriteRaw(out, feature);
+    WriteRaw(out, weight);
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Result<SpaceSavingFrequent> LoadSpaceSavingFrequent(std::istream& in,
+                                                    const LearnerOptions& opts) {
+  uint32_t magic;
+  if (!ReadRaw(in, &magic)) return Status::Corruption("truncated header");
+  if (magic != kSsfMagic) return Status::Corruption("not a Space-Saving snapshot");
+  uint64_t capacity;
+  LearnerOptions restored = opts;
+  if (!ReadRaw(in, &capacity) || !ReadRaw(in, &restored.lambda) ||
+      !ReadRaw(in, &restored.seed)) {
+    return Status::Corruption("truncated configuration");
+  }
+  if (capacity < 1) return Status::Corruption("empty Space-Saving capacity");
+  SpaceSavingFrequent model(capacity, restored);
+  uint64_t total, entries;
+  if (!ReadRaw(in, &model.t_) || !ReadRaw(in, &model.scale_) || !ReadRaw(in, &total) ||
+      !ReadRaw(in, &entries)) {
+    return Status::Corruption("truncated state");
+  }
+  if (entries > capacity) return Status::Corruption("summary entries exceed capacity");
+  std::vector<SpaceSavingEntry> summary(entries);
+  for (SpaceSavingEntry& e : summary) {
+    if (!ReadRaw(in, &e.item) || !ReadRaw(in, &e.count) || !ReadRaw(in, &e.error)) {
+      return Status::Corruption("truncated summary entry");
+    }
+  }
+  {
+    const Status st = model.ss_.RestoreEntries(summary, total);
+    if (!st.ok()) return Status::Corruption(st.message());
+  }
+  uint64_t weights;
+  if (!ReadRaw(in, &weights)) return Status::Corruption("truncated weight header");
+  if (weights > capacity) return Status::Corruption("weights exceed capacity");
+  for (uint64_t i = 0; i < weights; ++i) {
+    uint32_t feature;
+    float weight;
+    if (!ReadRaw(in, &feature) || !ReadRaw(in, &weight)) {
+      return Status::Corruption("truncated weight entry");
+    }
+    // A weight's feature must be monitored: an unmonitored feature can never
+    // be evicted, so its weight would persist (and predict) forever.
+    if (!model.ss_.Contains(feature)) {
+      return Status::Corruption("weight for unmonitored feature");
+    }
+    model.weights_[feature] = weight;
+  }
+  return model;
+}
+
+Status SaveCountMinFrequent(const CountMinFrequent& model, std::ostream& out) {
+  WriteRaw(out, kCmfMagic);
+  WriteRaw(out, model.cm_.width());
+  WriteRaw(out, model.cm_.depth());
+  WriteRaw(out, static_cast<uint64_t>(model.capacity_));
+  WriteRaw(out, model.opts_.lambda);
+  WriteRaw(out, model.opts_.seed);
+  WriteRaw(out, model.t_);
+  WriteRaw(out, model.scale_);
+  WriteRaw(out, model.cm_.TotalMass());
+  WriteArray(out, model.cm_.table());
+  WriteRaw(out, static_cast<uint64_t>(model.heap_.size()));
+  for (const IndexedMinHeap::Entry& e : model.heap_.entries()) {
+    WriteRaw(out, e.key);
+    WriteRaw(out, e.priority);
+    WriteRaw(out, e.value);
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Result<CountMinFrequent> LoadCountMinFrequent(std::istream& in, const LearnerOptions& opts) {
+  uint32_t magic;
+  if (!ReadRaw(in, &magic)) return Status::Corruption("truncated header");
+  if (magic != kCmfMagic) return Status::Corruption("not a CM-FF snapshot");
+  uint32_t width, depth;
+  uint64_t capacity;
+  LearnerOptions restored = opts;
+  if (!ReadRaw(in, &width) || !ReadRaw(in, &depth) || !ReadRaw(in, &capacity) ||
+      !ReadRaw(in, &restored.lambda) || !ReadRaw(in, &restored.seed)) {
+    return Status::Corruption("truncated configuration");
+  }
+  if (!IsPowerOfTwo(width) || depth < 1 || depth > CountMinSketch::kMaxDepth ||
+      capacity < 1) {
+    return Status::Corruption("invalid CM-FF shape");
+  }
+  CountMinFrequent model(width, depth, capacity, restored);
+  double total;
+  if (!ReadRaw(in, &model.t_) || !ReadRaw(in, &model.scale_) || !ReadRaw(in, &total)) {
+    return Status::Corruption("truncated state");
+  }
+  std::vector<double> table;
+  WMS_RETURN_NOT_OK(ReadArrayExact(in, &table, model.cm_.cells()));
+  {
+    const Status st = model.cm_.RestoreState(table, total);
+    if (!st.ok()) return Status::Corruption(st.message());
+  }
+  uint64_t entries;
+  if (!ReadRaw(in, &entries)) return Status::Corruption("truncated heap header");
+  if (entries > capacity) return Status::Corruption("CM-FF entries exceed capacity");
+  std::vector<IndexedMinHeap::Entry> heap_entries(entries);
+  for (IndexedMinHeap::Entry& e : heap_entries) {
+    if (!ReadRaw(in, &e.key) || !ReadRaw(in, &e.priority) || !ReadRaw(in, &e.value)) {
+      return Status::Corruption("truncated CM-FF entry");
+    }
+  }
+  {
+    const Status st = model.heap_.RestoreHeapOrder(std::move(heap_entries));
+    if (!st.ok()) return Status::Corruption(st.message());
+  }
+  return model;
+}
+
+Status SaveFeatureHashing(const FeatureHashingClassifier& model, std::ostream& out) {
+  WriteRaw(out, kFhsMagic);
+  WriteRaw(out, model.buckets());
+  WriteRaw(out, model.opts_.lambda);
+  WriteRaw(out, model.opts_.seed);
+  WriteRaw(out, model.t_);
+  WriteRaw(out, model.scale_);
+  WriteArray(out, model.table_);
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Result<FeatureHashingClassifier> LoadFeatureHashing(std::istream& in,
+                                                    const LearnerOptions& opts) {
+  uint32_t magic;
+  if (!ReadRaw(in, &magic)) return Status::Corruption("truncated header");
+  if (magic != kFhsMagic) return Status::Corruption("not a feature-hashing snapshot");
+  uint32_t buckets;
+  LearnerOptions restored = opts;
+  if (!ReadRaw(in, &buckets) || !ReadRaw(in, &restored.lambda) ||
+      !ReadRaw(in, &restored.seed)) {
+    return Status::Corruption("truncated configuration");
+  }
+  if (!IsPowerOfTwo(buckets)) return Status::Corruption("invalid bucket count");
+  FeatureHashingClassifier model(buckets, restored);
+  if (!ReadRaw(in, &model.t_) || !ReadRaw(in, &model.scale_)) {
+    return Status::Corruption("truncated state");
+  }
+  WMS_RETURN_NOT_OK(ReadArrayExact(in, &model.table_, buckets));
+  return model;
 }
 
 }  // namespace wmsketch

@@ -3,7 +3,10 @@
 #include <iosfwd>
 
 #include "core/awm_sketch.h"
+#include "core/frequent_features.h"
+#include "core/truncation.h"
 #include "core/wm_sketch.h"
+#include "linear/feature_hashing.h"
 #include "util/status.h"
 
 namespace wmsketch {
@@ -37,5 +40,32 @@ Status SaveAwmSketch(const AwmSketch& sketch, std::ostream& out);
 
 /// Restores an AWM-Sketch from `in` (conventions as LoadWmSketch).
 Result<AwmSketch> LoadAwmSketch(std::istream& in, const LearnerOptions& opts);
+
+/// Snapshots for the Sec. 7 baseline classifiers, with the same conventions
+/// as the sketches: λ and seed are restored from the snapshot; loss and
+/// learning-rate schedule come from the caller's options. These exist so the
+/// facade-level SaveLearner/LoadLearner (src/api/learner.h) covers *every*
+/// Method, not just the sketches.
+
+Status SaveSimpleTruncation(const SimpleTruncation& model, std::ostream& out);
+Result<SimpleTruncation> LoadSimpleTruncation(std::istream& in, const LearnerOptions& opts);
+
+/// Note: the reservoir RNG is re-derived from the restored seed rather than
+/// resumed mid-sequence, so post-restore *evictions* draw a fresh random
+/// stream; all weights, keys, and predictions round-trip exactly.
+Status SaveProbabilisticTruncation(const ProbabilisticTruncation& model, std::ostream& out);
+Result<ProbabilisticTruncation> LoadProbabilisticTruncation(std::istream& in,
+                                                            const LearnerOptions& opts);
+
+Status SaveSpaceSavingFrequent(const SpaceSavingFrequent& model, std::ostream& out);
+Result<SpaceSavingFrequent> LoadSpaceSavingFrequent(std::istream& in,
+                                                    const LearnerOptions& opts);
+
+Status SaveCountMinFrequent(const CountMinFrequent& model, std::ostream& out);
+Result<CountMinFrequent> LoadCountMinFrequent(std::istream& in, const LearnerOptions& opts);
+
+Status SaveFeatureHashing(const FeatureHashingClassifier& model, std::ostream& out);
+Result<FeatureHashingClassifier> LoadFeatureHashing(std::istream& in,
+                                                    const LearnerOptions& opts);
 
 }  // namespace wmsketch

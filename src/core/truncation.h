@@ -1,12 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "linear/classifier.h"
 #include "util/indexed_heap.h"
 #include "util/memory_cost.h"
 #include "util/random.h"
+#include "util/status.h"
 #include "util/top_k_heap.h"
 
 namespace wmsketch {
@@ -27,14 +29,23 @@ class SimpleTruncation final : public BudgetedClassifier {
 
   double PredictMargin(const SparseVector& x) const override;
   double Update(const SparseVector& x, int8_t y) override;
+  /// Devirtualized batch ingest (bit-identical to a loop of Update).
+  void UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) override;
   float WeightEstimate(uint32_t feature) const override;
   std::vector<FeatureWeight> TopK(size_t k) const override;
   /// (id, weight) per tracked entry.
   size_t MemoryCostBytes() const override { return HeapBytes(heap_.capacity()); }
   uint64_t steps() const override { return t_; }
+  const LearnerOptions& options() const override { return opts_; }
   std::string Name() const override { return "trun"; }
 
+  /// Number of tracked entries the budget allows.
+  size_t capacity() const { return heap_.capacity(); }
+
  private:
+  friend Status SaveSimpleTruncation(const SimpleTruncation&, std::ostream&);
+  friend Result<SimpleTruncation> LoadSimpleTruncation(std::istream&, const LearnerOptions&);
+
   void MaybeRescale();
 
   LearnerOptions opts_;
@@ -57,14 +68,24 @@ class ProbabilisticTruncation final : public BudgetedClassifier {
 
   double PredictMargin(const SparseVector& x) const override;
   double Update(const SparseVector& x, int8_t y) override;
+  /// Devirtualized batch ingest (bit-identical to a loop of Update).
+  void UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) override;
   float WeightEstimate(uint32_t feature) const override;
   std::vector<FeatureWeight> TopK(size_t k) const override;
   /// (id, weight, reservoir key) per tracked entry.
   size_t MemoryCostBytes() const override { return HeapBytes(capacity_, /*aux_per_entry=*/1); }
   uint64_t steps() const override { return t_; }
+  const LearnerOptions& options() const override { return opts_; }
   std::string Name() const override { return "ptrun"; }
 
+  /// Number of tracked entries the budget allows.
+  size_t capacity() const { return capacity_; }
+
  private:
+  friend Status SaveProbabilisticTruncation(const ProbabilisticTruncation&, std::ostream&);
+  friend Result<ProbabilisticTruncation> LoadProbabilisticTruncation(std::istream&,
+                                                                     const LearnerOptions&);
+
   void MaybeRescale();
   // Priority of an entry: -A/|raw w| with A = -log r ~ Exp(1). The reservoir
   // key r^{1/|w|} is monotone in this, the heap-min is the eviction victim,

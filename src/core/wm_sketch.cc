@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <memory>
 
 #include "util/math.h"
 #include "util/random.h"
@@ -70,6 +71,36 @@ double WmSketch::Update(const SparseVector& x, int8_t y) {
   }
   MaybeRescale();
   return margin;
+}
+
+void WmSketch::UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) {
+  for (const Example& ex : batch) {
+    const double margin = Update(ex.x, ex.y);
+    if (margins != nullptr) margins->push_back(margin);
+  }
+}
+
+WeightEstimator WmSketch::EstimatorSnapshot() const {
+  struct State {
+    std::vector<SignedBucketHash> rows;
+    std::vector<float> table;
+    uint32_t width;
+    uint32_t depth;
+    double scale;  // √s·α, the factor WeightEstimate applies to raw medians
+  };
+  auto st = std::make_shared<const State>(
+      State{rows_, table_, config_.width, config_.depth, sqrt_depth_ * scale_});
+  return [st](uint32_t feature) {
+    float est[kMaxDepth];
+    for (uint32_t j = 0; j < st->depth; ++j) {
+      uint32_t bucket;
+      float sign;
+      st->rows[j].BucketAndSign(feature, &bucket, &sign);
+      est[j] = sign * st->table[static_cast<size_t>(j) * st->width + bucket];
+    }
+    return static_cast<float>(st->scale *
+                              static_cast<double>(MedianInPlace(est, st->depth)));
+  };
 }
 
 float WmSketch::RawMedian(uint32_t feature) const {

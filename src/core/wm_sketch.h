@@ -54,10 +54,16 @@ class WmSketch final : public BudgetedClassifier {
 
   double PredictMargin(const SparseVector& x) const override;
   double Update(const SparseVector& x, int8_t y) override;
+  /// Devirtualized batch ingest: bit-identical to updating example by
+  /// example (`final` lets the loop inline the update step).
+  void UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) override;
   float WeightEstimate(uint32_t feature) const override;
+  /// Frozen estimator capturing copies of the hash rows, table, and scale.
+  WeightEstimator EstimatorSnapshot() const override;
   std::vector<FeatureWeight> TopK(size_t k) const override;
   size_t MemoryCostBytes() const override { return config_.MemoryCostBytes(); }
   uint64_t steps() const override { return t_; }
+  const LearnerOptions& options() const override { return opts_; }
   std::string Name() const override { return "wm"; }
 
   const WmSketchConfig& config() const { return config_; }

@@ -1,12 +1,34 @@
 #include "linear/classifier.h"
 
+#include <limits>
+#include <memory>
+#include <unordered_map>
+
 namespace wmsketch {
+
+WeightEstimator BudgetedClassifier::EstimatorSnapshot() const {
+  // Heap-backed methods (truncation, Space-Saving, CM-FF) keep every nonzero
+  // weight behind a tracked identifier, so the full TopK *is* the model.
+  auto weights = std::make_shared<std::unordered_map<uint32_t, float>>();
+  for (const FeatureWeight& fw : TopK(std::numeric_limits<size_t>::max())) {
+    weights->emplace(fw.feature, fw.weight);
+  }
+  return [weights](uint32_t feature) {
+    const auto it = weights->find(feature);
+    return it == weights->end() ? 0.0f : it->second;
+  };
+}
 
 std::vector<FeatureWeight> ScanTopK(const BudgetedClassifier& model, size_t k,
                                     uint32_t dimension) {
+  return ScanTopK([&model](uint32_t i) { return model.WeightEstimate(i); }, k, dimension);
+}
+
+std::vector<FeatureWeight> ScanTopK(const WeightEstimator& estimator, size_t k,
+                                    uint32_t dimension) {
   TopKHeap heap(k);
   for (uint32_t i = 0; i < dimension; ++i) {
-    const float w = model.WeightEstimate(i);
+    const float w = estimator(i);
     if (w == 0.0f) continue;
     heap.Offer(i, w);
   }

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -10,6 +12,13 @@
 #include "util/top_k_heap.h"
 
 namespace wmsketch {
+
+/// A self-contained per-feature weight estimator: captures (copies of)
+/// whatever state it needs at creation time, so it stays valid — and keeps
+/// answering from the same frozen model — after the classifier that produced
+/// it is further trained or destroyed. The budget constraint is what makes
+/// this cheap: a classifier's entire state is at most its byte budget.
+using WeightEstimator = std::function<float(uint32_t)>;
 
 /// Hyperparameters shared by every online linear learner in the library.
 struct LearnerOptions {
@@ -46,6 +55,29 @@ class BudgetedClassifier {
   /// validation (predict-then-update, Sec. 7.3) with no extra pass.
   virtual double Update(const SparseVector& x, int8_t y) = 0;
 
+  /// Ingests a batch of labeled examples, equivalent to calling Update() on
+  /// each in order (implementations guarantee bit-identical state). The
+  /// batch path exists so high-throughput ingest pays one virtual dispatch
+  /// per batch instead of one per example; every concrete classifier
+  /// overrides it with a devirtualized loop over its own update step. When
+  /// `margins` is non-null the pre-update margin of every example is
+  /// appended to it (batched progressive validation) without leaving the
+  /// devirtualized loop.
+  virtual void UpdateBatch(std::span<const Example> batch,
+                           std::vector<double>* margins = nullptr) {
+    for (const Example& ex : batch) {
+      const double margin = Update(ex.x, ex.y);
+      if (margins != nullptr) margins->push_back(margin);
+    }
+  }
+
+  /// Returns a frozen, self-contained weight estimator (see
+  /// \ref WeightEstimator). The default materializes every tracked entry
+  /// from TopK(); classifiers whose estimates are not exhausted by their
+  /// tracked identifiers (the sketches, feature hashing, the dense model)
+  /// override it to capture their table state instead.
+  virtual WeightEstimator EstimatorSnapshot() const;
+
   /// Point estimate ŵᵢ of the uncompressed model's weight for `feature`.
   virtual float WeightEstimate(uint32_t feature) const = 0;
 
@@ -62,6 +94,10 @@ class BudgetedClassifier {
   /// Number of Update() calls so far.
   virtual uint64_t steps() const = 0;
 
+  /// The hyperparameters the classifier was constructed with (for restored
+  /// models: λ and seed from the snapshot, loss/rate from the caller).
+  virtual const LearnerOptions& options() const = 0;
+
   /// Short stable name for reports ("awm", "hash", ...).
   virtual std::string Name() const = 0;
 };
@@ -71,6 +107,12 @@ class BudgetedClassifier {
 /// only way to rank features for methods without identifier storage, and is
 /// also how the recovery metric treats every method uniformly.
 std::vector<FeatureWeight> ScanTopK(const BudgetedClassifier& model, size_t k,
+                                    uint32_t dimension);
+
+/// The same exhaustive scan over any point-estimate source (e.g. a frozen
+/// \ref WeightEstimator); the model overload and LearnerSnapshot::ScanTopK
+/// both delegate here.
+std::vector<FeatureWeight> ScanTopK(const WeightEstimator& estimator, size_t k,
                                     uint32_t dimension);
 
 }  // namespace wmsketch

@@ -1,6 +1,7 @@
 #include "linear/dense_linear_model.h"
 
 #include <cassert>
+#include <memory>
 
 namespace wmsketch {
 
@@ -41,6 +42,20 @@ double DenseLinearModel::Update(const SparseVector& x, int8_t y) {
   }
   MaybeRescale();
   return margin;
+}
+
+void DenseLinearModel::UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) {
+  for (const Example& ex : batch) {
+    const double margin = Update(ex.x, ex.y);
+    if (margins != nullptr) margins->push_back(margin);
+  }
+}
+
+WeightEstimator DenseLinearModel::EstimatorSnapshot() const {
+  auto weights = std::make_shared<const std::vector<float>>(Weights());
+  return [weights](uint32_t feature) {
+    return feature < weights->size() ? (*weights)[feature] : 0.0f;
+  };
 }
 
 void DenseLinearModel::MaybeRescale() {

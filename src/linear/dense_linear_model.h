@@ -31,12 +31,18 @@ class DenseLinearModel final : public BudgetedClassifier {
 
   double PredictMargin(const SparseVector& x) const override;
   double Update(const SparseVector& x, int8_t y) override;
+  /// Devirtualized batch ingest (bit-identical to a loop of Update).
+  void UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) override;
   float WeightEstimate(uint32_t feature) const override;
+  /// Frozen estimator over a materialized copy of the full weight vector
+  /// (0 for features outside [0, dimension)).
+  WeightEstimator EstimatorSnapshot() const override;
   std::vector<FeatureWeight> TopK(size_t k) const override;
   size_t MemoryCostBytes() const override {
     return TableBytes(weights_.size()) + HeapBytes(heap_.capacity());
   }
   uint64_t steps() const override { return t_; }
+  const LearnerOptions& options() const override { return opts_; }
   std::string Name() const override { return "lr"; }
 
   uint32_t dimension() const { return static_cast<uint32_t>(weights_.size()); }

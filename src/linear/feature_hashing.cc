@@ -1,6 +1,7 @@
 #include "linear/feature_hashing.h"
 
 #include <cassert>
+#include <memory>
 
 #include "util/math.h"
 
@@ -43,6 +44,29 @@ double FeatureHashingClassifier::Update(const SparseVector& x, int8_t y) {
   }
   MaybeRescale();
   return margin;
+}
+
+void FeatureHashingClassifier::UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) {
+  for (const Example& ex : batch) {
+    const double margin = Update(ex.x, ex.y);
+    if (margins != nullptr) margins->push_back(margin);
+  }
+}
+
+WeightEstimator FeatureHashingClassifier::EstimatorSnapshot() const {
+  struct State {
+    SignedBucketHash hash;
+    std::vector<float> table;
+    double scale;
+  };
+  auto st = std::make_shared<const State>(State{hash_, table_, scale_});
+  return [st](uint32_t feature) {
+    uint32_t bucket;
+    float sign;
+    st->hash.BucketAndSign(feature, &bucket, &sign);
+    return static_cast<float>(st->scale * static_cast<double>(sign) *
+                              static_cast<double>(st->table[bucket]));
+  };
 }
 
 void FeatureHashingClassifier::MaybeRescale() {

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "hash/tabulation.h"
 #include "linear/classifier.h"
 #include "util/memory_cost.h"
+#include "util/status.h"
 
 namespace wmsketch {
 
@@ -26,17 +28,26 @@ class FeatureHashingClassifier final : public BudgetedClassifier {
 
   double PredictMargin(const SparseVector& x) const override;
   double Update(const SparseVector& x, int8_t y) override;
+  /// Devirtualized batch ingest (bit-identical to a loop of Update).
+  void UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) override;
   float WeightEstimate(uint32_t feature) const override;
+  /// Frozen estimator capturing copies of the bucket hash and table.
+  WeightEstimator EstimatorSnapshot() const override;
   /// Feature hashing stores no identifiers; native top-K is empty (use
   /// ScanTopK to rank an explicit universe).
   std::vector<FeatureWeight> TopK(size_t k) const override;
   size_t MemoryCostBytes() const override { return TableBytes(table_.size()); }
   uint64_t steps() const override { return t_; }
+  const LearnerOptions& options() const override { return opts_; }
   std::string Name() const override { return "hash"; }
 
   uint32_t buckets() const { return hash_.width(); }
 
  private:
+  friend Status SaveFeatureHashing(const FeatureHashingClassifier&, std::ostream&);
+  friend Result<FeatureHashingClassifier> LoadFeatureHashing(std::istream&,
+                                                             const LearnerOptions&);
+
   void MaybeRescale();
 
   LearnerOptions opts_;

@@ -50,4 +50,13 @@ void CountMinSketch::Clear() {
   total_ = 0.0;
 }
 
+Status CountMinSketch::RestoreState(const std::vector<double>& table, double total) {
+  if (table.size() != table_.size()) {
+    return Status::InvalidArgument("counter array size does not match sketch shape");
+  }
+  table_ = table;
+  total_ = total;
+  return Status::OK();
+}
+
 }  // namespace wmsketch

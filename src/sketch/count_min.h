@@ -5,6 +5,7 @@
 
 #include "hash/tabulation.h"
 #include "util/memory_cost.h"
+#include "util/status.h"
 
 namespace wmsketch {
 
@@ -33,6 +34,14 @@ class CountMinSketch {
 
   /// Resets all counters.
   void Clear();
+
+  /// The raw counter array in row-major order (snapshot-save support).
+  const std::vector<double>& table() const { return table_; }
+
+  /// Replaces the counter array and total mass (snapshot-restore support;
+  /// hash rows stay as constructed from the seed). Returns InvalidArgument
+  /// if `table` does not match this sketch's cell count.
+  Status RestoreState(const std::vector<double>& table, double total);
 
   uint32_t width() const { return width_; }
   uint32_t depth() const { return depth_; }

@@ -1,6 +1,7 @@
 #include "sketch/space_saving.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace wmsketch {
 
@@ -46,6 +47,32 @@ std::vector<SpaceSavingEntry> SpaceSaving::Entries() const {
     return a.item < b.item;
   });
   return out;
+}
+
+std::vector<SpaceSavingEntry> SpaceSaving::RawEntries() const {
+  std::vector<SpaceSavingEntry> out;
+  out.reserve(heap_.size());
+  for (const auto& e : heap_.entries()) {
+    out.push_back(SpaceSavingEntry{e.key, static_cast<uint64_t>(e.priority),
+                                   static_cast<uint64_t>(e.value)});
+  }
+  return out;
+}
+
+Status SpaceSaving::RestoreEntries(const std::vector<SpaceSavingEntry>& entries,
+                                   uint64_t total) {
+  if (entries.size() > capacity_) {
+    return Status::InvalidArgument("more Space-Saving entries than capacity");
+  }
+  std::vector<IndexedMinHeap::Entry> heap_entries;
+  heap_entries.reserve(entries.size());
+  for (const SpaceSavingEntry& e : entries) {
+    heap_entries.push_back(IndexedMinHeap::Entry{e.item, static_cast<double>(e.count),
+                                                 static_cast<float>(e.error)});
+  }
+  WMS_RETURN_NOT_OK(heap_.RestoreHeapOrder(std::move(heap_entries)));
+  total_ = total;
+  return Status::OK();
 }
 
 std::vector<SpaceSavingEntry> SpaceSaving::HeavyHitters(double threshold_fraction,

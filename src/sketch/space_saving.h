@@ -5,6 +5,7 @@
 
 #include "util/indexed_heap.h"
 #include "util/memory_cost.h"
+#include "util/status.h"
 
 namespace wmsketch {
 
@@ -48,11 +49,24 @@ class SpaceSaving {
   /// All monitored entries, sorted by descending estimated count.
   std::vector<SpaceSavingEntry> Entries() const;
 
+  /// All monitored entries in internal heap-array order (snapshot-save
+  /// support: RestoreEntries preserves this order exactly, because eviction
+  /// tie-breaking among equal counts depends on it).
+  std::vector<SpaceSavingEntry> RawEntries() const;
+
   /// Items whose guaranteed count (estimate - error) exceeds
   /// `threshold_fraction * TotalCount()` — no false positives; plus items
   /// whose estimate exceeds it — no false negatives (set `guaranteed` to
   /// choose which side of the guarantee you want).
   std::vector<SpaceSavingEntry> HeavyHitters(double threshold_fraction, bool guaranteed) const;
+
+  /// Replaces the summary's state with serialized entries (snapshot-restore
+  /// support): the (item, count, error) triples are installed in the given
+  /// order as the internal heap array (pass a RawEntries() sequence), and
+  /// the observed stream length is set. Returns InvalidArgument for more
+  /// entries than capacity, duplicate items, or a non-heap-ordered
+  /// sequence.
+  Status RestoreEntries(const std::vector<SpaceSavingEntry>& entries, uint64_t total);
 
   size_t capacity() const { return capacity_; }
   size_t size() const { return heap_.size(); }

@@ -4,7 +4,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
+
+#include "util/status.h"
 
 namespace wmsketch {
 
@@ -107,6 +110,28 @@ class IndexedMinHeap {
 
   /// All entries in unspecified (heap) order.
   const std::vector<Entry>& entries() const { return heap_; }
+
+  /// Replaces the heap's contents with `entries`, preserving their array
+  /// order exactly (snapshot-restore support). Array order matters because
+  /// eviction tie-breaking among equal priorities depends on it: restoring
+  /// a sorted or re-sifted copy would make post-restore evictions diverge
+  /// from the never-serialized run. Returns InvalidArgument for duplicate
+  /// keys or a sequence violating the heap property.
+  Status RestoreHeapOrder(std::vector<Entry> entries) {
+    std::unordered_map<uint32_t, size_t> pos;
+    pos.reserve(entries.size());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (!pos.emplace(entries[i].key, i).second) {
+        return Status::InvalidArgument("duplicate heap key");
+      }
+      if (i > 0 && entries[(i - 1) / 2].priority > entries[i].priority) {
+        return Status::InvalidArgument("entries violate the heap property");
+      }
+    }
+    heap_ = std::move(entries);
+    pos_ = std::move(pos);
+    return Status::OK();
+  }
 
   /// Removes all entries.
   void Clear() {

@@ -34,17 +34,21 @@ class Status {
   Status() : code_(StatusCode::kOk) {}
 
   /// Constructs a status with the given code and diagnostic message.
-  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+  /// `detail` is an optional domain-specific subcode (e.g. a
+  /// \ref ConfigError value) that lets callers distinguish failure cases of
+  /// the same top-level code programmatically; 0 means "no detail".
+  Status(StatusCode code, std::string msg, uint16_t detail = 0)
+      : code_(code), detail_(detail), msg_(std::move(msg)) {}
 
   /// Returns an OK status.
   static Status OK() { return Status(); }
   /// Returns an InvalidArgument status with the given message.
-  static Status InvalidArgument(std::string msg) {
-    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  static Status InvalidArgument(std::string msg, uint16_t detail = 0) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg), detail);
   }
   /// Returns an OutOfRange status with the given message.
-  static Status OutOfRange(std::string msg) {
-    return Status(StatusCode::kOutOfRange, std::move(msg));
+  static Status OutOfRange(std::string msg, uint16_t detail = 0) {
+    return Status(StatusCode::kOutOfRange, std::move(msg), detail);
   }
   /// Returns a NotFound status with the given message.
   static Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
@@ -63,6 +67,8 @@ class Status {
   bool ok() const { return code_ == StatusCode::kOk; }
   /// The status code.
   StatusCode code() const { return code_; }
+  /// The domain-specific subcode (0 when none was attached).
+  uint16_t detail() const { return detail_; }
   /// The diagnostic message (empty for OK).
   const std::string& message() const { return msg_; }
 
@@ -70,11 +76,12 @@ class Status {
   std::string ToString() const;
 
   bool operator==(const Status& other) const {
-    return code_ == other.code_ && msg_ == other.msg_;
+    return code_ == other.code_ && detail_ == other.detail_ && msg_ == other.msg_;
   }
 
  private:
   StatusCode code_;
+  uint16_t detail_ = 0;
   std::string msg_;
 };
 

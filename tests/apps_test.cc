@@ -6,11 +6,11 @@
 
 #include <cmath>
 #include <unordered_set>
+#include <utility>
 
 #include "apps/deltoid.h"
 #include "apps/explanation.h"
 #include "apps/pmi.h"
-#include "core/awm_sketch.h"
 #include "datagen/corpus_gen.h"
 #include "datagen/fec_gen.h"
 #include "datagen/packet_gen.h"
@@ -29,6 +29,22 @@ LearnerOptions AppOptions(uint64_t seed = 42) {
   return opts;
 }
 
+// A 32 KB-class AWM learner (4096-bucket depth-1 sketch + 2048 exact slots)
+// built through the public facade.
+Learner AwmLearner(uint32_t width, size_t heap, const LearnerOptions& opts) {
+  Result<Learner> built = LearnerBuilder()
+                              .SetMethod(Method::kAwmSketch)
+                              .SetWidth(width)
+                              .SetDepth(1)
+                              .SetHeapCapacity(heap)
+                              .SetLambda(opts.lambda)
+                              .SetLearningRate(opts.rate)
+                              .SetSeed(opts.seed)
+                              .Build();
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(built).value();
+}
+
 // ------------------------------------------------------------ Explanation
 
 TEST(ExplanationTest, ClassifierSurfacesHighRiskAttributes) {
@@ -36,7 +52,7 @@ TEST(ExplanationTest, ClassifierSurfacesHighRiskAttributes) {
   LearnerOptions opts = AppOptions(102);
   opts.rate = LearningRate::Constant(0.1);  // stationary 1-sparse objective
   opts.lambda = 1e-4;  // decays rarely-occurring noise out of the ranking
-  AwmSketch model(AwmSketchConfig{4096, 1, 2048}, opts);
+  Learner model = AwmLearner(4096, 2048, opts);
   StreamingExplainer explainer(&model, /*outlier_repeats=*/4);
   RelativeRiskTracker exact;
   for (int i = 0; i < 80000; ++i) {
@@ -88,7 +104,7 @@ TEST(ExplanationTest, PositiveOnlyModeIgnoresInliers) {
 
 TEST(DeltoidTest, ClassifierWeightsApproximateLogRatios) {
   PacketTraceGenerator gen(4096, 24, 201);
-  AwmSketch model(AwmSketchConfig{4096, 1, 2048}, AppOptions(202));
+  Learner model = AwmLearner(4096, 2048, AppOptions(202));
   RelativeDeltoidDetector detector(&model);
   for (int i = 0; i < 300000; ++i) {
     const PacketEvent e = gen.Next();

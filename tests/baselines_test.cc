@@ -193,18 +193,18 @@ TEST(BudgetTest, DefaultConfigsMatchTable2) {
   } awm_rows[] = {{2, 128, 256}, {4, 256, 512}, {8, 512, 1024}, {16, 1024, 2048},
                   {32, 2048, 4096}};
   for (const auto& row : awm_rows) {
-    const BudgetConfig cfg = DefaultConfig(Method::kAwmSketch, KiB(row.kb));
+    const BudgetConfig cfg = DefaultConfig(Method::kAwmSketch, KiB(row.kb)).value();
     EXPECT_EQ(cfg.heap_capacity, row.heap) << row.kb << "KB";
     EXPECT_EQ(cfg.width, row.width) << row.kb << "KB";
     EXPECT_EQ(cfg.depth, 1u);
     EXPECT_EQ(cfg.MemoryCostBytes(), KiB(row.kb));
   }
   // WM at 8 KB: |S|=128, width 128, depth 14 (Table 2); 32 KB: width 256 d31.
-  const BudgetConfig wm8 = DefaultConfig(Method::kWmSketch, KiB(8));
+  const BudgetConfig wm8 = DefaultConfig(Method::kWmSketch, KiB(8)).value();
   EXPECT_EQ(wm8.heap_capacity, 128u);
   EXPECT_EQ(wm8.width, 128u);
   EXPECT_EQ(wm8.depth, 14u);
-  const BudgetConfig wm32 = DefaultConfig(Method::kWmSketch, KiB(32));
+  const BudgetConfig wm32 = DefaultConfig(Method::kWmSketch, KiB(32)).value();
   EXPECT_EQ(wm32.width, 256u);
   EXPECT_EQ(wm32.depth, 31u);
 }
@@ -212,7 +212,7 @@ TEST(BudgetTest, DefaultConfigsMatchTable2) {
 TEST(BudgetTest, EveryDefaultFitsItsBudget) {
   for (const Method m : AllMethods()) {
     for (const size_t kb : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-      const BudgetConfig cfg = DefaultConfig(m, KiB(kb));
+      const BudgetConfig cfg = DefaultConfig(m, KiB(kb)).value();
       EXPECT_LE(cfg.MemoryCostBytes(), KiB(kb)) << MethodName(m) << " " << kb << "KB";
       // Budgets must also be mostly used (>= 50%), not silently tiny.
       EXPECT_GE(cfg.MemoryCostBytes(), KiB(kb) / 2) << MethodName(m) << " " << kb << "KB";
@@ -236,7 +236,7 @@ TEST(BudgetTest, EnumerationAllFitAndIncludeDefaultShape) {
 TEST(BudgetTest, FactoryProducesWorkingClassifiers) {
   const LearnerOptions opts = Opts(1e-4, 0.2, 50);
   for (const Method m : AllMethods()) {
-    const BudgetConfig cfg = DefaultConfig(m, KiB(4));
+    const BudgetConfig cfg = DefaultConfig(m, KiB(4)).value();
     auto model = MakeClassifier(cfg, opts);
     ASSERT_NE(model, nullptr) << MethodName(m);
     EXPECT_EQ(model->Name(), MethodName(m));
@@ -260,7 +260,7 @@ TEST(BudgetTest, MethodNamesStable) {
 }
 
 TEST(BudgetTest, ToStringIncludesShape) {
-  const BudgetConfig cfg = DefaultConfig(Method::kAwmSketch, KiB(2));
+  const BudgetConfig cfg = DefaultConfig(Method::kAwmSketch, KiB(2)).value();
   EXPECT_NE(cfg.ToString().find("awm"), std::string::npos);
   EXPECT_NE(cfg.ToString().find("256"), std::string::npos);
 }

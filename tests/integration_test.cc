@@ -41,7 +41,7 @@ SweepResult RunSweep(const ClassificationProfile& profile, size_t budget, size_t
   const LearnerOptions opts = BenchOptions(1e-6, seed);
   std::vector<std::unique_ptr<BudgetedClassifier>> models;
   for (const Method m : AllMethods()) {
-    models.push_back(MakeClassifier(DefaultConfig(m, budget), opts));
+    models.push_back(MakeClassifier(DefaultConfig(m, budget).value(), opts));
   }
   DenseLinearModel reference(profile.dimension, opts);
 
@@ -94,7 +94,7 @@ TEST(IntegrationTest, EveryMethodRespectsBudget) {
   const LearnerOptions opts = BenchOptions(1e-6, 3);
   for (const size_t budget : {KiB(2), KiB(8), KiB(32)}) {
     for (const Method m : AllMethods()) {
-      auto model = MakeClassifier(DefaultConfig(m, budget), opts);
+      auto model = MakeClassifier(DefaultConfig(m, budget).value(), opts);
       EXPECT_LE(model->MemoryCostBytes(), budget) << MethodName(m);
     }
   }
@@ -150,7 +150,7 @@ TEST(IntegrationTest, HigherRegularizationLowersAwmRecoveryError) {
   const ClassificationProfile profile = ClassificationProfile::SmallTest();
   auto run_lambda = [&](double lambda) {
     const LearnerOptions opts = BenchOptions(lambda, 61);
-    auto model = MakeClassifier(DefaultConfig(Method::kAwmSketch, KiB(2)), opts);
+    auto model = MakeClassifier(DefaultConfig(Method::kAwmSketch, KiB(2)).value(), opts);
     DenseLinearModel reference(profile.dimension, opts);
     SyntheticClassificationGen gen(profile, 62);
     for (int i = 0; i < 25000; ++i) {
@@ -169,7 +169,7 @@ TEST(IntegrationTest, HigherRegularizationLowersAwmRecoveryError) {
 
 TEST(MulticlassTest, LearnsThreeClassProblem) {
   // Three classes, each signaled by its own feature block.
-  const BudgetConfig cfg = DefaultConfig(Method::kAwmSketch, KiB(2));
+  const BudgetConfig cfg = DefaultConfig(Method::kAwmSketch, KiB(2)).value();
   MulticlassClassifier model(3, cfg, BenchOptions(1e-6, 71));
   Rng rng(72);
   int late_mistakes = 0;
@@ -186,7 +186,7 @@ TEST(MulticlassTest, LearnsThreeClassProblem) {
 }
 
 TEST(MulticlassTest, PerClassTopKIdentifiesSignalFeatures) {
-  const BudgetConfig cfg = DefaultConfig(Method::kAwmSketch, KiB(2));
+  const BudgetConfig cfg = DefaultConfig(Method::kAwmSketch, KiB(2)).value();
   MulticlassClassifier model(2, cfg, BenchOptions(1e-6, 73));
   Rng rng(74);
   for (int i = 0; i < 4000; ++i) {
@@ -208,7 +208,7 @@ TEST(MulticlassTest, PerClassTopKIdentifiesSignalFeatures) {
 }
 
 TEST(MulticlassTest, MemoryIsSumOfClassModels) {
-  const BudgetConfig cfg = DefaultConfig(Method::kAwmSketch, KiB(2));
+  const BudgetConfig cfg = DefaultConfig(Method::kAwmSketch, KiB(2)).value();
   MulticlassClassifier model(5, cfg, BenchOptions(1e-6, 75));
   EXPECT_EQ(model.MemoryCostBytes(), 5u * KiB(2));
   EXPECT_EQ(model.num_classes(), 5u);
