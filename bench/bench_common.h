@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
@@ -58,6 +59,95 @@ inline std::string Fmt(double v, int precision = 4) {
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
 }
+
+/// Scans argv for `--json <path>`; returns the path, or "" when the flag is
+/// absent. Benches print their human-readable tables unconditionally and
+/// additionally write machine-readable rows when the flag is given, e.g.
+///   ./bench_fig4_budget_sweep --json BENCH_fig4.json
+inline std::string JsonPathArg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return "";
+}
+
+/// Collector for a bench's machine-readable output: flat rows of named
+/// numbers/strings, written as {"bench": <name>, "rows": [{...}, ...]}.
+/// Append with Row() then Num/Str (which attach to the latest row):
+///
+///   BenchJson json("fig4_budget_sweep");
+///   json.Row().Num("budget_kb", kb).Str("method", name).Num("rel_err", e);
+///   json.WriteIfRequested(argc, argv);
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  /// Starts a new (empty) row; Num/Str calls fill it until the next Row().
+  BenchJson& Row() {
+    rows_.emplace_back();
+    return *this;
+  }
+  BenchJson& Num(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    CurrentRow().emplace_back(key, buf);
+    return *this;
+  }
+  BenchJson& Str(const std::string& key, const std::string& value) {
+    CurrentRow().emplace_back(key, Quote(value));
+    return *this;
+  }
+
+  /// Writes to `path`; returns false (with a note on stderr) on I/O failure.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\": %s, \"rows\": [", Quote(name_).c_str());
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "%s\n  {", r == 0 ? "" : ",");
+      for (size_t c = 0; c < rows_[r].size(); ++c) {
+        std::fprintf(f, "%s%s: %s", c == 0 ? "" : ", ", Quote(rows_[r][c].first).c_str(),
+                     rows_[r][c].second.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    return true;
+  }
+
+  /// WriteTo the `--json <path>` argument if present; no-op otherwise.
+  void WriteIfRequested(int argc, char** argv) const {
+    const std::string path = JsonPathArg(argc, argv);
+    if (!path.empty() && WriteTo(path)) {
+      std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    }
+  }
+
+ private:
+  /// Num/Str before any Row() open one implicitly rather than indexing into
+  /// an empty vector.
+  std::vector<std::pair<std::string, std::string>>& CurrentRow() {
+    if (rows_.empty()) rows_.emplace_back();
+    return rows_.back();
+  }
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 /// The paper's standard learner settings (η0 = 0.1, inverse-sqrt decay).
 inline LearnerOptions PaperOptions(double lambda, uint64_t seed) {

@@ -13,7 +13,8 @@
 namespace wmsketch::bench {
 namespace {
 
-void RunDataset(const ClassificationProfile& profile, double lambda, int examples) {
+void RunDataset(const ClassificationProfile& profile, double lambda, int examples,
+                BenchJson& json) {
   Banner("Fig 3 — " + profile.name + " (8KB, lambda=" + Fmt(lambda, 7) + ")");
   const std::vector<Method> methods = {
       Method::kSimpleTruncation, Method::kProbabilisticTruncation,
@@ -57,6 +58,11 @@ void RunDataset(const ClassificationProfile& profile, double lambda, int example
       const double err = RelErrTopK(top, w_star, k);
       row.push_back(Fmt(err));
       final_err[snap.name()] = err;
+      json.Row()
+          .Str("dataset", profile.name)
+          .Num("k", static_cast<double>(k))
+          .Str("method", snap.name())
+          .Num("rel_err", err);
     }
     PrintRow(row);
   }
@@ -74,12 +80,14 @@ void RunDataset(const ClassificationProfile& profile, double lambda, int example
 }  // namespace
 }  // namespace wmsketch::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmsketch;
   using namespace wmsketch::bench;
+  BenchJson json("fig3_recovery");
   // Paper's λ per dataset (Fig. 3 captions): RCV1 1e-6, URL 1e-5, KDDA 1e-5.
-  RunDataset(ClassificationProfile::Rcv1Like(), 1e-6, ScaledCount(120000));
-  RunDataset(ClassificationProfile::UrlLike(), 1e-5, ScaledCount(80000));
-  RunDataset(ClassificationProfile::KddaLike(), 1e-5, ScaledCount(80000));
+  RunDataset(ClassificationProfile::Rcv1Like(), 1e-6, ScaledCount(120000), json);
+  RunDataset(ClassificationProfile::UrlLike(), 1e-5, ScaledCount(80000), json);
+  RunDataset(ClassificationProfile::KddaLike(), 1e-5, ScaledCount(80000), json);
+  json.WriteIfRequested(argc, argv);
   return 0;
 }

@@ -6,9 +6,10 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmsketch;
   using namespace wmsketch::bench;
+  BenchJson json("fig4_budget_sweep");
   const ClassificationProfile profile = ClassificationProfile::Rcv1Like();
   const std::vector<Method> methods = {
       Method::kSimpleTruncation, Method::kProbabilisticTruncation,
@@ -24,8 +25,16 @@ int main() {
     const SweepOutput out =
         RunMethodSweep(profile, methods, KiB(kb), /*k=*/128, 1e-6, 7, examples);
     std::vector<std::string> row = {std::to_string(kb) + "KB"};
-    for (const MethodRun& run : out.runs) row.push_back(Fmt(run.rel_err));
+    for (const MethodRun& run : out.runs) {
+      row.push_back(Fmt(run.rel_err));
+      json.Row()
+          .Num("budget_kb", static_cast<double>(kb))
+          .Str("method", run.name)
+          .Num("rel_err", run.rel_err)
+          .Num("bytes", static_cast<double>(run.bytes));
+    }
     PrintRow(row);
   }
+  json.WriteIfRequested(argc, argv);
   return 0;
 }

@@ -12,7 +12,8 @@
 namespace wmsketch::bench {
 namespace {
 
-void RunDataset(const ClassificationProfile& profile, double lambda, int examples) {
+void RunDataset(const ClassificationProfile& profile, double lambda, int examples,
+                BenchJson& json) {
   Banner("Fig 6 — online error rate (" + profile.name + ", lambda=" + Fmt(lambda, 7) + ")");
   const std::vector<Method> methods = AllMethods();
   std::vector<std::string> header = {"budget"};
@@ -23,7 +24,15 @@ void RunDataset(const ClassificationProfile& profile, double lambda, int example
     const SweepOutput out =
         RunMethodSweep(profile, methods, KiB(kb), /*k=*/128, lambda, 17, examples);
     std::vector<std::string> row = {std::to_string(kb) + "KB"};
-    for (const MethodRun& run : out.runs) row.push_back(Fmt(run.error_rate));
+    for (const MethodRun& run : out.runs) {
+      row.push_back(Fmt(run.error_rate));
+      json.Row()
+          .Str("dataset", profile.name)
+          .Num("budget_kb", static_cast<double>(kb))
+          .Str("method", run.name)
+          .Num("error_rate", run.error_rate)
+          .Num("lr_error_rate", out.lr_error_rate);
+    }
     row.push_back(Fmt(out.lr_error_rate));
     PrintRow(row);
   }
@@ -32,11 +41,13 @@ void RunDataset(const ClassificationProfile& profile, double lambda, int example
 }  // namespace
 }  // namespace wmsketch::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmsketch;
   using namespace wmsketch::bench;
-  RunDataset(ClassificationProfile::Rcv1Like(), 1e-6, ScaledCount(80000));
-  RunDataset(ClassificationProfile::UrlLike(), 1e-6, ScaledCount(60000));
-  RunDataset(ClassificationProfile::KddaLike(), 1e-6, ScaledCount(60000));
+  BenchJson json("fig6_error_rate");
+  RunDataset(ClassificationProfile::Rcv1Like(), 1e-6, ScaledCount(80000), json);
+  RunDataset(ClassificationProfile::UrlLike(), 1e-6, ScaledCount(60000), json);
+  RunDataset(ClassificationProfile::KddaLike(), 1e-6, ScaledCount(60000), json);
+  json.WriteIfRequested(argc, argv);
   return 0;
 }

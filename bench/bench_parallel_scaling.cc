@@ -1,0 +1,124 @@
+// Parallel scaling of the sharded training engine (src/engine/): sustained
+// updates/sec at 1/2/4/8 shards vs. the plain sequential Learner on the
+// identical synthetic classification stream, plus the recovery-quality cost
+// of sharding (RelErr@K of each collapsed model against the uncompressed
+// reference, compared with the sequential learner's).
+//
+// Expected shape: near-linear updates/sec scaling while shard count <=
+// physical cores (the workers share nothing between syncs), flat or
+// declining beyond; rel_err within a few percent of sequential at every
+// shard count (the schedule-matched mixing rule, see src/engine/).
+//
+//   ./bench_parallel_scaling [--json BENCH_parallel_scaling.json]
+
+#include <chrono>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "engine/sharded_learner.h"
+
+namespace wmsketch::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+struct ScalingRow {
+  std::string mode;
+  uint32_t shards = 0;
+  double updates_per_sec = 0.0;
+  double rel_err = 0.0;
+};
+
+int Run(int argc, char** argv) {
+  const ClassificationProfile profile = ClassificationProfile::Rcv1Like();
+  const int examples = ScaledCount(400000);
+  const size_t kTopK = 128;
+  const double lambda = 1e-6;
+  const uint64_t seed = 21;
+  const uint64_t kSyncInterval = 16384;
+
+  Banner("Parallel scaling — awm 16KB, rcv1 profile, " + std::to_string(examples) +
+         " examples, " + std::to_string(std::thread::hardware_concurrency()) +
+         " hardware threads");
+
+  std::vector<Example> stream;
+  stream.reserve(static_cast<size_t>(examples));
+  SyntheticClassificationGen gen(profile, seed ^ 0xabcdef12345ULL);
+  for (int i = 0; i < examples; ++i) stream.push_back(gen.Next());
+
+  // Uncompressed reference for recovery quality (untimed).
+  DenseLinearModel reference(profile.dimension, PaperOptions(lambda, seed));
+  for (const Example& ex : stream) reference.Update(ex.x, ex.y);
+  const std::vector<float> w_star = reference.Weights();
+
+  const LearnerBuilder builder =
+      PaperBuilder(lambda, seed).SetMethod(Method::kAwmSketch).SetBudgetBytes(KiB(16));
+
+  std::vector<ScalingRow> rows;
+
+  {
+    Learner sequential = BuildOrDie(builder.Build());
+    const auto begin = Clock::now();
+    sequential.UpdateBatch(stream);
+    const double secs = Seconds(begin, Clock::now());
+    rows.push_back(ScalingRow{"sequential", 0, examples / secs,
+                              RelErrTopK(sequential.TopK(kTopK), w_star, kTopK)});
+  }
+
+  for (const uint32_t shards : {1u, 2u, 4u, 8u}) {
+    LearnerBuilder sharded_builder = builder;
+    sharded_builder.Shards(shards).SetSyncInterval(kSyncInterval);
+    Result<ShardedLearner> engine = sharded_builder.BuildSharded();
+    if (!engine.ok()) {
+      std::fprintf(stderr, "BuildSharded failed: %s\n", engine.status().ToString().c_str());
+      return 1;
+    }
+    // Timed region covers ingestion *and* Collapse: the cost of producing a
+    // final queryable model, not just of filling queues.
+    const auto begin = Clock::now();
+    const Status pushed = engine.value().PushBatch(stream);
+    if (!pushed.ok()) {
+      std::fprintf(stderr, "PushBatch failed: %s\n", pushed.ToString().c_str());
+      return 1;
+    }
+    Result<Learner> collapsed = engine.value().Collapse();
+    const double secs = Seconds(begin, Clock::now());
+    if (!collapsed.ok()) {
+      std::fprintf(stderr, "Collapse failed: %s\n", collapsed.status().ToString().c_str());
+      return 1;
+    }
+    rows.push_back(ScalingRow{"sharded", shards, examples / secs,
+                              RelErrTopK(collapsed.value().TopK(kTopK), w_star, kTopK)});
+  }
+
+  const double base_ups = rows[1].updates_per_sec;  // 1-shard engine
+  const double seq_err = rows[0].rel_err;
+  PrintRow({"mode", "shards", "updates/s", "speedup", "rel_err", "err_delta"});
+  BenchJson json("parallel_scaling");
+  for (const ScalingRow& row : rows) {
+    // Throughput relative to the 1-shard engine for every row — for the
+    // sequential learner this is the (real, measured) engine overhead ratio.
+    const double speedup = row.updates_per_sec / base_ups;
+    PrintRow({row.mode, row.shards == 0 ? "-" : std::to_string(row.shards),
+              Fmt(row.updates_per_sec, 0), Fmt(speedup, 2), Fmt(row.rel_err),
+              Fmt(row.rel_err - seq_err)});
+    json.Row()
+        .Str("mode", row.mode)
+        .Num("shards", row.shards)
+        .Num("updates_per_sec", row.updates_per_sec)
+        .Num("speedup_vs_1shard", speedup)
+        .Num("rel_err", row.rel_err)
+        .Num("rel_err_delta_vs_sequential", row.rel_err - seq_err);
+  }
+  json.WriteIfRequested(argc, argv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace wmsketch::bench
+
+int main(int argc, char** argv) { return wmsketch::bench::Run(argc, argv); }

@@ -58,6 +58,12 @@ float Learner::WeightEstimate(uint32_t feature) const {
   return impl_->WeightEstimate(feature);
 }
 
+Status Learner::CanMerge(const Learner& other) const {
+  return impl_->CanMerge(*other.impl_);
+}
+
+Status Learner::Merge(const Learner& other) { return impl_->Merge(*other.impl_); }
+
 LearnerSnapshot Learner::Snapshot(size_t top_k) const {
   auto state = std::make_shared<LearnerSnapshot::State>();
   state->method = config_.method;
@@ -126,6 +132,16 @@ LearnerBuilder& LearnerBuilder::SetLoss(const LossFunction* loss) {
 
 LearnerBuilder& LearnerBuilder::SetSeed(uint64_t seed) {
   opts_.seed = seed;
+  return *this;
+}
+
+LearnerBuilder& LearnerBuilder::Shards(uint32_t shards) {
+  shards_ = shards;
+  return *this;
+}
+
+LearnerBuilder& LearnerBuilder::SetSyncInterval(uint64_t interval) {
+  sync_interval_ = interval;
   return *this;
 }
 

@@ -15,6 +15,7 @@
 namespace wmsketch {
 
 class Learner;
+class ShardedLearner;
 
 /// An immutable, cheaply-copyable view of a learner's queryable state,
 /// decoupled from the live model: the top-K heaviest features materialized
@@ -118,6 +119,19 @@ class Learner {
   /// race with ingestion).
   float WeightEstimate(uint32_t feature) const;
 
+  /// OK iff `other`'s model can be merged into this one: same method, same
+  /// shape, same seed. Only the linear sketch methods (WM/AWM) merge; the
+  /// non-linear baselines report Unimplemented.
+  Status CanMerge(const Learner& other) const;
+
+  /// Merges `other`'s model into this one: weight vectors sum and step
+  /// counts add — the combination rule for learners trained on *disjoint*
+  /// stream partitions (the sketch is a linear projection, so the sum of
+  /// sketches is the sketch of the summed weights). On error this learner is
+  /// unchanged. To average N models instead (parameter mixing), merge N-1 of
+  /// them in and scale via impl().ScaleWeights(1.0/N).
+  Status Merge(const Learner& other);
+
   /// Takes an immutable snapshot materializing the `top_k` heaviest tracked
   /// features; see \ref LearnerSnapshot. Costs O(budget) — it captures the
   /// frozen per-feature estimator. Read paths that only need the ranked
@@ -149,6 +163,7 @@ class Learner {
 
  private:
   friend class LearnerBuilder;
+  friend class ShardedLearner;  // Collapse() wraps the merged impl directly
   friend Result<Learner> LoadLearner(std::istream& in, const LearnerOptions& opts);
 
   Learner(BudgetConfig config, LearnerOptions opts,
@@ -203,6 +218,13 @@ class LearnerBuilder {
   /// Seed for all hashing/randomized internals (default 42).
   LearnerBuilder& SetSeed(uint64_t seed);
 
+  /// Number of parallel ingestion shards for BuildSharded (default 1).
+  /// Build() is unaffected: it always constructs the sequential learner.
+  LearnerBuilder& Shards(uint32_t shards);
+  /// Examples between the sharded engine's periodic merge-average
+  /// synchronizations (0, the default, synchronizes only at Collapse).
+  LearnerBuilder& SetSyncInterval(uint64_t interval);
+
   /// Validates the accumulated specification and constructs the learner.
   /// Error cases (each with its ConfigError detail code):
   ///  * no budget and no shape            -> kShapeUnderspecified
@@ -218,6 +240,14 @@ class LearnerBuilder {
   /// builds.
   Result<Learner> Build() const;
 
+  /// Builds the sharded parallel ingestion engine configured by Shards(n)
+  /// and SetSyncInterval: n identically-seeded replicas trained on worker
+  /// threads, merge-averaged into one ordinary Learner by
+  /// ShardedLearner::Collapse(). Shards(n > 1) requires a mergeable method
+  /// (WM/AWM) and returns Unimplemented otherwise. Defined in
+  /// src/engine/sharded_learner.cc so the api layer stays engine-free.
+  Result<ShardedLearner> BuildSharded() const;
+
  private:
   Method method_ = Method::kAwmSketch;
   std::optional<size_t> budget_bytes_;
@@ -226,6 +256,8 @@ class LearnerBuilder {
   std::optional<size_t> heap_capacity_;
   std::optional<BudgetConfig> config_;
   bool method_set_ = false;
+  uint32_t shards_ = 1;
+  uint64_t sync_interval_ = 0;
   LearnerOptions opts_;
 };
 

@@ -1,10 +1,12 @@
 #include "core/awm_sketch.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <memory>
 #include <unordered_map>
 
+#include "sketch/merge_compat.h"
 #include "util/math.h"
 #include "util/random.h"
 
@@ -117,6 +119,95 @@ void AwmSketch::UpdateBatch(std::span<const Example> batch, std::vector<double>*
     const double margin = Update(ex.x, ex.y);
     if (margins != nullptr) margins->push_back(margin);
   }
+}
+
+Status AwmSketch::CanMerge(const BudgetedClassifier& other) const {
+  const auto* o = dynamic_cast<const AwmSketch*>(&other);
+  if (o == nullptr) {
+    return Status::InvalidArgument("awm merge: cannot merge a '" + other.Name() +
+                                   "' model into an awm sketch");
+  }
+  WMS_RETURN_NOT_OK(CheckMergeCompatible(
+      "awm", SketchShape{config_.width, config_.depth, opts_.seed},
+      SketchShape{o->config_.width, o->config_.depth, o->opts_.seed}));
+  return CheckCapacityCompatible("awm", "active-set capacity", config_.heap_capacity,
+                                 o->config_.heap_capacity);
+}
+
+Status AwmSketch::MergeScaled(const BudgetedClassifier& other, double coeff) {
+  WMS_RETURN_NOT_OK(CanMerge(other));
+  if (!std::isfinite(coeff)) {
+    return Status::InvalidArgument("awm merge: coefficient must be finite");
+  }
+  const AwmSketch& o = static_cast<const AwmSketch&>(other);
+
+  // 1. Combined weights of the union of the two active sets, computed
+  //    *before* any table mutation. Each side contributes its model's
+  //    estimate: the exact active weight when tracked, the tail-sketch
+  //    estimate otherwise. (A member's stale sketch mass — left in place by
+  //    the lazy eviction scheme — is ignored here exactly as each side's
+  //    WeightEstimate ignores it.)
+  std::vector<uint32_t> union_ids;
+  union_ids.reserve(heap_.size() + o.heap_.size());
+  for (const FeatureWeight& fw : heap_.Entries()) union_ids.push_back(fw.feature);
+  for (const FeatureWeight& fw : o.heap_.Entries()) union_ids.push_back(fw.feature);
+  std::sort(union_ids.begin(), union_ids.end());
+  union_ids.erase(std::unique(union_ids.begin(), union_ids.end()), union_ids.end());
+  std::vector<std::pair<uint32_t, double>> merged;
+  merged.reserve(union_ids.size());
+  for (const uint32_t feature : union_ids) {
+    merged.emplace_back(feature, static_cast<double>(WeightEstimate(feature)) +
+                                     coeff * static_cast<double>(o.WeightEstimate(feature)));
+  }
+
+  // 2. Combine the tail tables in this sketch's raw representation:
+  //    z = α_a·v_a + c·α_b·v_b = α_a·(v_a + (c·α_b/α_a)·v_b).
+  const double ratio = coeff * o.sketch_scale_ / sketch_scale_;
+  for (size_t i = 0; i < table_.size(); ++i) {
+    table_[i] += static_cast<float>(ratio * static_cast<double>(o.table_[i]));
+  }
+
+  // 3. The |S| largest-magnitude union members (ties: ascending id, for
+  //    determinism) take the exact active-set slots; every other member is
+  //    folded into the merged tail sketch exactly as an eviction would be —
+  //    its slot's estimate is corrected to its merged weight.
+  std::stable_sort(merged.begin(), merged.end(), [](const auto& a, const auto& b) {
+    const double ma = std::fabs(a.second), mb = std::fabs(b.second);
+    if (ma != mb) return ma > mb;
+    return a.first < b.first;
+  });
+  const size_t keep = std::min(config_.heap_capacity, merged.size());
+  TopKHeap rebuilt(config_.heap_capacity);
+  for (size_t i = 0; i < keep; ++i) {
+    rebuilt.Set(merged[i].first, static_cast<float>(merged[i].second / heap_scale_));
+  }
+  heap_ = std::move(rebuilt);
+  for (size_t i = keep; i < merged.size(); ++i) {
+    SketchAdd(merged[i].first,
+              merged[i].second - static_cast<double>(SketchQuery(merged[i].first)));
+  }
+  MaybeRescale();
+  return Status::OK();
+}
+
+Status AwmSketch::ScaleWeights(double factor) {
+  if (!(factor > 0.0)) {
+    return Status::InvalidArgument("awm scale: factor must be positive");
+  }
+  // Both structures carry a lazy global scale, so this is O(1).
+  heap_scale_ *= factor;
+  sketch_scale_ *= factor;
+  MaybeRescale();
+  return Status::OK();
+}
+
+Status AwmSketch::SetSteps(uint64_t steps) {
+  t_ = steps;
+  return Status::OK();
+}
+
+std::unique_ptr<BudgetedClassifier> AwmSketch::Clone() const {
+  return std::make_unique<AwmSketch>(*this);
 }
 
 WeightEstimator AwmSketch::EstimatorSnapshot() const {

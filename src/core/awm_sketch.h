@@ -58,6 +58,20 @@ class AwmSketch final : public BudgetedClassifier {
   /// example (`final` lets the loop inline the update step).
   void UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) override;
   float WeightEstimate(uint32_t feature) const override;
+  /// OK iff `other` is an AwmSketch with identical (width, depth, active-set
+  /// capacity) and seed — equal projection matrices, so tables can be summed.
+  Status CanMerge(const BudgetedClassifier& other) const override;
+  /// w ← w + coeff·w_other: tail sketches combine linearly (scales resolved
+  /// first) and the merged active set is rebuilt as the top-|S| of the union
+  /// of both active sets under the combined estimates — union members that
+  /// lose their slot are folded back into the tail sketch exactly as an
+  /// eviction would (Algorithm 2's invariant is preserved). Steps are not
+  /// touched (see Merge for the disjoint-partition semantics).
+  Status MergeScaled(const BudgetedClassifier& other, double coeff) override;
+  /// w ← factor·w in O(1) via the two lazy global scales (factor > 0).
+  Status ScaleWeights(double factor) override;
+  Status SetSteps(uint64_t steps) override;
+  std::unique_ptr<BudgetedClassifier> Clone() const override;
   /// Frozen estimator capturing the active-set weights plus copies of the
   /// hash rows, tail table, and scales.
   WeightEstimator EstimatorSnapshot() const override;

@@ -1,9 +1,11 @@
 #include "core/wm_sketch.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <memory>
 
+#include "sketch/merge_compat.h"
 #include "util/math.h"
 #include "util/random.h"
 
@@ -101,6 +103,71 @@ WeightEstimator WmSketch::EstimatorSnapshot() const {
     return static_cast<float>(st->scale *
                               static_cast<double>(MedianInPlace(est, st->depth)));
   };
+}
+
+Status WmSketch::CanMerge(const BudgetedClassifier& other) const {
+  const auto* o = dynamic_cast<const WmSketch*>(&other);
+  if (o == nullptr) {
+    return Status::InvalidArgument("wm merge: cannot merge a '" + other.Name() +
+                                   "' model into a wm sketch");
+  }
+  WMS_RETURN_NOT_OK(CheckMergeCompatible(
+      "wm", SketchShape{config_.width, config_.depth, opts_.seed},
+      SketchShape{o->config_.width, o->config_.depth, o->opts_.seed}));
+  return CheckCapacityCompatible("wm", "heap capacity", config_.heap_capacity,
+                                 o->config_.heap_capacity);
+}
+
+Status WmSketch::MergeScaled(const BudgetedClassifier& other, double coeff) {
+  WMS_RETURN_NOT_OK(CanMerge(other));
+  if (!std::isfinite(coeff)) {
+    return Status::InvalidArgument("wm merge: coefficient must be finite");
+  }
+  const WmSketch& o = static_cast<const WmSketch&>(other);
+
+  // Resolve the two lazy global scales into this sketch's representation:
+  // z = α_a·v_a + c·α_b·v_b = α_a·(v_a + (c·α_b/α_a)·v_b).
+  const double ratio = coeff * o.scale_ / scale_;
+  for (size_t i = 0; i < table_.size(); ++i) {
+    table_[i] += static_cast<float>(ratio * static_cast<double>(o.table_[i]));
+  }
+
+  // The merged table shifts every bucket, so neither heap's cached raw
+  // medians are current. Rebuild over the union of tracked candidates,
+  // offered in ascending feature order for determinism.
+  if (config_.heap_capacity > 0) {
+    std::vector<uint32_t> candidates;
+    candidates.reserve(heap_.size() + o.heap_.size());
+    for (const FeatureWeight& fw : heap_.Entries()) candidates.push_back(fw.feature);
+    for (const FeatureWeight& fw : o.heap_.Entries()) candidates.push_back(fw.feature);
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+    TopKHeap rebuilt(config_.heap_capacity);
+    for (const uint32_t feature : candidates) rebuilt.Offer(feature, RawMedian(feature));
+    heap_ = std::move(rebuilt);
+  }
+  MaybeRescale();
+  return Status::OK();
+}
+
+Status WmSketch::ScaleWeights(double factor) {
+  if (!(factor > 0.0)) {
+    return Status::InvalidArgument("wm scale: factor must be positive");
+  }
+  // The heap stores *raw* medians, which are untouched by a pure change of
+  // the global scale, so this is O(1).
+  scale_ *= factor;
+  MaybeRescale();
+  return Status::OK();
+}
+
+Status WmSketch::SetSteps(uint64_t steps) {
+  t_ = steps;
+  return Status::OK();
+}
+
+std::unique_ptr<BudgetedClassifier> WmSketch::Clone() const {
+  return std::make_unique<WmSketch>(*this);
 }
 
 float WmSketch::RawMedian(uint32_t feature) const {

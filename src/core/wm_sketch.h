@@ -58,6 +58,18 @@ class WmSketch final : public BudgetedClassifier {
   /// example (`final` lets the loop inline the update step).
   void UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) override;
   float WeightEstimate(uint32_t feature) const override;
+  /// OK iff `other` is a WmSketch with identical (width, depth, heap
+  /// capacity) and seed — equal projection matrices, so tables can be summed.
+  Status CanMerge(const BudgetedClassifier& other) const override;
+  /// z ← z_a + coeff·z_b (resolving the two lazy global scales first), then
+  /// rebuilds the top-K heap from the merged estimates over the union of
+  /// tracked candidates. Steps are not touched (see Merge for the
+  /// disjoint-partition semantics that also sums them).
+  Status MergeScaled(const BudgetedClassifier& other, double coeff) override;
+  /// w ← factor·w in O(1) via the lazy global scale (factor > 0).
+  Status ScaleWeights(double factor) override;
+  Status SetSteps(uint64_t steps) override;
+  std::unique_ptr<BudgetedClassifier> Clone() const override;
   /// Frozen estimator capturing copies of the hash rows, table, and scale.
   WeightEstimator EstimatorSnapshot() const override;
   std::vector<FeatureWeight> TopK(size_t k) const override;

@@ -1,0 +1,352 @@
+#include "engine/sharded_learner.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "core/budget.h"
+#include "engine/spsc_ring.h"
+
+namespace wmsketch {
+
+namespace {
+
+/// Per-worker queue depth. Deep enough to absorb bursts and keep workers
+/// busy across scheduling jitter, small enough that a drain barrier is fast.
+constexpr size_t kQueueCapacity = 1024;
+
+/// How long an idle worker spin-checks its queue before sleeping; bounds the
+/// cost of a missed wakeup alongside the timed wait below.
+constexpr auto kIdleWait = std::chrono::microseconds(200);
+
+/// Content hash of an example's feature indices (splitmix64-style mixing).
+/// Examples are partitioned by feature content, not arrival index, so the
+/// shard assignment is a pure function of the example itself.
+uint64_t ExampleHash(const SparseVector& x) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (size_t i = 0; i < x.nnz(); ++i) {
+    h ^= x.index(i);
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+  }
+  h *= 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+/// The decay exponent p of the learning-rate schedule η_t ∝ t^{-p}. With N
+/// shards over T examples, one shard's cumulative step mass is
+/// Σ_{t≤T/N} η_t ∝ (T/N)^{1-p}, so the N-way *sum* of shard models carries
+/// N^p times the step mass of a sequential pass over all T examples. The
+/// schedule-matched combination is therefore N^{-p}·Σᵢwᵢ: a plain sum for a
+/// constant rate, N^{-1/2}·Σ for the paper's η₀/√t, and the plain average
+/// for the Pegasos-style η_t ∝ 1/t. (Empirically on the synthetic
+/// classification streams the N^{-1/2} rule recovers within a few percent of
+/// the sequential model's top-K error where plain averaging loses 2×.)
+double MixingExponent(const LearningRate& rate) {
+  switch (rate.kind()) {
+    case LearningRate::Kind::kConstant:
+      return 0.0;
+    case LearningRate::Kind::kInverseSqrt:
+      return 0.5;
+    case LearningRate::Kind::kInverse:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+struct ShardedLearner::Impl {
+  struct Worker {
+    Worker() : ring(kQueueCapacity) {}
+
+    SpscRing<Example> ring;
+    std::unique_ptr<BudgetedClassifier> model;
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<bool> sleeping{false};
+    /// The pause epoch this worker last parked in (0 = never). A worker
+    /// counts as parked for barrier k only when this equals k, so a stale
+    /// park from barrier k-1 — with examples pushed since still sitting in
+    /// the ring — can never satisfy barrier k.
+    std::atomic<uint64_t> parked_epoch{0};
+    std::atomic<uint64_t> processed{0};
+  };
+
+  BudgetConfig config;
+  LearnerOptions opts;
+  uint32_t shards = 1;
+  uint64_t sync_interval = 0;
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> pause{false};
+  /// Barrier generation counter; incremented (before `pause` is raised) by
+  /// each PauseAll.
+  std::atomic<uint64_t> pause_epoch{0};
+
+  /// The shared model every replica was reset to at the last sync (null
+  /// before the first sync, i.e. the zero model): the subtracted base of the
+  /// base-corrected mixing rule below.
+  std::unique_ptr<BudgetedClassifier> base;
+
+  // Owner-thread-only bookkeeping.
+  uint64_t pushed = 0;
+  uint64_t since_sync = 0;
+  uint64_t syncs = 0;
+  bool collapsed = false;
+
+  void WorkerLoop(Worker& w) {
+    Example ex;
+    for (;;) {
+      if (w.ring.TryPop(&ex)) {
+        w.model->Update(ex.x, ex.y);
+        w.processed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      // Queue empty: park, stop, or sleep until there is work.
+      if (stop.load(std::memory_order_acquire)) return;
+      if (pause.load(std::memory_order_acquire)) {
+        std::unique_lock<std::mutex> lk(w.mu);
+        for (;;) {
+          if (stop.load(std::memory_order_acquire)) break;
+          if (!pause.load(std::memory_order_acquire)) break;
+          // Work that arrived after a *previous* barrier's park: leave and
+          // drain it before this park can count toward the current barrier.
+          if (!w.ring.Empty()) break;
+          w.parked_epoch.store(pause_epoch.load(std::memory_order_acquire),
+                               std::memory_order_release);
+          w.cv.wait(lk);
+        }
+        continue;
+      }
+      std::unique_lock<std::mutex> lk(w.mu);
+      w.sleeping.store(true, std::memory_order_relaxed);
+      w.cv.wait_for(lk, kIdleWait, [&] {
+        return !w.ring.Empty() || stop.load(std::memory_order_acquire) ||
+               pause.load(std::memory_order_acquire);
+      });
+      w.sleeping.store(false, std::memory_order_relaxed);
+    }
+  }
+
+  void Wake(Worker& w) {
+    std::lock_guard<std::mutex> lk(w.mu);
+    w.cv.notify_one();
+  }
+
+  /// Barrier: every queued example is trained and every worker is parked in
+  /// *this* barrier's epoch on return. Must be called from the owner thread
+  /// (so no concurrent pushes).
+  void PauseAll() {
+    // Epoch before pause: a worker that observes pause==true is guaranteed
+    // (release/acquire through `pause`) to read at least this epoch.
+    const uint64_t epoch = pause_epoch.fetch_add(1, std::memory_order_release) + 1;
+    pause.store(true, std::memory_order_release);
+    for (auto& w : workers) Wake(*w);
+    for (auto& w : workers) {
+      while (w->parked_epoch.load(std::memory_order_acquire) != epoch) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  void ResumeAll() {
+    pause.store(false, std::memory_order_release);
+    for (auto& w : workers) Wake(*w);
+  }
+
+  /// Combines the (quiescent) replicas with the schedule-matched,
+  /// base-corrected mixing rule
+  ///
+  ///   w ← w_base + N^{-p}·Σᵢ (wᵢ − w_base) = N^{-p}·Σᵢwᵢ + (1 − N^{1-p})·w_base,
+  ///
+  /// where p is the learning-rate decay exponent (see MixingExponent) and
+  /// w_base the shared model the replicas diverged from at the last sync
+  /// (zero before the first, collapsing the rule to N^{-p}·Σᵢwᵢ). The result
+  /// carries the true global step count. Requires all workers parked or
+  /// stopped.
+  Result<std::unique_ptr<BudgetedClassifier>> CombineLocked() {
+    std::unique_ptr<BudgetedClassifier> acc = workers[0]->model->Clone();
+    if (acc == nullptr) {
+      return Status::Unimplemented(workers[0]->model->Name() +
+                                   " does not support cloning");
+    }
+    for (size_t i = 1; i < workers.size(); ++i) {
+      WMS_RETURN_NOT_OK(acc->MergeScaled(*workers[i]->model, 1.0));
+    }
+    const double n = static_cast<double>(workers.size());
+    const double p = MixingExponent(opts.rate);
+    WMS_RETURN_NOT_OK(acc->ScaleWeights(std::pow(n, -p)));
+    const double base_coeff = 1.0 - std::pow(n, 1.0 - p);
+    if (base != nullptr && base_coeff != 0.0) {
+      WMS_RETURN_NOT_OK(acc->MergeScaled(*base, base_coeff));
+    }
+    WMS_RETURN_NOT_OK(acc->SetSteps(pushed));
+    return acc;
+  }
+
+  /// One synchronization round: barrier, combine, redistribute.
+  Status Sync() {
+    PauseAll();
+    Status st;
+    if (shards > 1) {
+      Result<std::unique_ptr<BudgetedClassifier>> combined = CombineLocked();
+      if (combined.ok()) {
+        base = std::move(combined).value();
+        for (auto& w : workers) {
+          w->model = base->Clone();
+          // Each replica resumes on its *local* learning-rate schedule
+          // (iterative parameter mixing): a worker has taken ~1/N of the
+          // global steps, and resetting it to the global count would shrink
+          // η_t by ~√N and stall per-shard progress after the first sync.
+          st = w->model->SetSteps(w->processed.load(std::memory_order_relaxed));
+          if (!st.ok()) break;
+        }
+      } else {
+        st = combined.status();
+      }
+    }
+    if (st.ok()) {
+      ++syncs;
+      since_sync = 0;
+    }
+    ResumeAll();
+    return st;
+  }
+
+  void Shutdown() {
+    stop.store(true, std::memory_order_release);
+    for (auto& w : workers) Wake(*w);
+    for (auto& w : workers) {
+      if (w->thread.joinable()) w->thread.join();
+    }
+  }
+
+  // Every destruction path must join the workers — including replacement by
+  // move assignment, which destroys the old Impl without going through
+  // ~ShardedLearner's guard. Idempotent after an explicit Shutdown.
+  ~Impl() { Shutdown(); }
+};
+
+ShardedLearner::ShardedLearner(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+ShardedLearner::ShardedLearner(ShardedLearner&&) noexcept = default;
+ShardedLearner& ShardedLearner::operator=(ShardedLearner&&) noexcept = default;
+
+ShardedLearner::~ShardedLearner() = default;
+
+Status ShardedLearner::Push(Example example) {
+  Impl& impl = *impl_;
+  if (impl.collapsed) {
+    return Status::FailedPrecondition("sharded learner already collapsed");
+  }
+  if (impl.sync_interval > 0 && impl.since_sync >= impl.sync_interval) {
+    WMS_RETURN_NOT_OK(impl.Sync());
+  }
+  const size_t shard =
+      impl.shards > 1 ? static_cast<size_t>(ExampleHash(example.x) % impl.shards) : 0;
+  Impl::Worker& w = *impl.workers[shard];
+  while (!w.ring.TryPush(std::move(example))) {
+    if (w.sleeping.load(std::memory_order_relaxed)) impl.Wake(w);
+    std::this_thread::yield();
+  }
+  if (w.sleeping.load(std::memory_order_relaxed)) impl.Wake(w);
+  ++impl.pushed;
+  ++impl.since_sync;
+  return Status::OK();
+}
+
+Status ShardedLearner::PushBatch(std::span<const Example> batch) {
+  for (const Example& ex : batch) {
+    WMS_RETURN_NOT_OK(Push(ex));
+  }
+  return Status::OK();
+}
+
+Status ShardedLearner::SyncNow() {
+  if (impl_->collapsed) {
+    return Status::FailedPrecondition("sharded learner already collapsed");
+  }
+  return impl_->Sync();
+}
+
+Result<Learner> ShardedLearner::Collapse() {
+  Impl& impl = *impl_;
+  if (impl.collapsed) {
+    return Status::FailedPrecondition("sharded learner already collapsed");
+  }
+  impl.PauseAll();  // drain every queue so all pushed examples are trained
+  impl.Shutdown();
+  impl.collapsed = true;
+
+  // A single shard's replica passes through untouched (bit-identical to
+  // sequential training); multiple shards combine under the mixing rule.
+  std::unique_ptr<BudgetedClassifier> model;
+  if (impl.shards == 1) {
+    model = std::move(impl.workers[0]->model);
+  } else {
+    WMS_ASSIGN_OR_RETURN(model, impl.CombineLocked());
+  }
+  return Learner(impl.config, impl.opts, std::move(model));
+}
+
+uint32_t ShardedLearner::shards() const { return impl_->shards; }
+uint64_t ShardedLearner::sync_interval() const { return impl_->sync_interval; }
+
+ShardedLearnerStats ShardedLearner::Stats() const {
+  ShardedLearnerStats stats;
+  stats.pushed = impl_->pushed;
+  stats.syncs = impl_->syncs;
+  stats.per_shard.reserve(impl_->workers.size());
+  for (const auto& w : impl_->workers) {
+    stats.per_shard.push_back(w->processed.load(std::memory_order_relaxed));
+  }
+  return stats;
+}
+
+// Defined here rather than in api/learner.cc so the api layer carries no
+// dependency on the engine (or on <thread>); the builder declaration
+// forward-declares ShardedLearner only.
+Result<ShardedLearner> LearnerBuilder::BuildSharded() const {
+  if (shards_ == 0) {
+    return Status::InvalidArgument("Shards(0): at least one shard is required");
+  }
+  // Validate the specification once through the ordinary build path; the
+  // prototype also answers whether the method is mergeable at all.
+  WMS_ASSIGN_OR_RETURN(Learner prototype, Build());
+  if (shards_ > 1) {
+    const Status mergeable = prototype.impl().CanMerge(prototype.impl());
+    if (!mergeable.ok()) {
+      return Status::Unimplemented(
+          "Shards(" + std::to_string(shards_) + ") requires a mergeable method: " +
+          mergeable.message());
+    }
+  }
+
+  auto impl = std::make_unique<ShardedLearner::Impl>();
+  impl->config = prototype.config();
+  impl->opts = prototype.options();
+  impl->shards = shards_;
+  impl->sync_interval = sync_interval_;
+  impl->workers.reserve(shards_);
+  for (uint32_t i = 0; i < shards_; ++i) {
+    auto worker = std::make_unique<ShardedLearner::Impl::Worker>();
+    // Every replica is stamped from the identical validated configuration
+    // (same seed, hence identical hash rows — the merge prerequisite).
+    worker->model = MakeClassifier(impl->config, impl->opts);
+    impl->workers.push_back(std::move(worker));
+  }
+  ShardedLearner::Impl* raw = impl.get();
+  for (auto& worker : impl->workers) {
+    ShardedLearner::Impl::Worker* w = worker.get();
+    w->thread = std::thread([raw, w] { raw->WorkerLoop(*w); });
+  }
+  return ShardedLearner(std::move(impl));
+}
+
+}  // namespace wmsketch

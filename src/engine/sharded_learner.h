@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "api/learner.h"
+#include "util/status.h"
+
+namespace wmsketch {
+
+/// Ingestion counters of a \ref ShardedLearner. `per_shard` counts are read
+/// from the workers' relaxed atomics, so they are exact after a barrier
+/// (SyncNow/Collapse) and momentarily approximate while ingestion runs.
+struct ShardedLearnerStats {
+  /// Examples accepted by Push/PushBatch.
+  uint64_t pushed = 0;
+  /// Merge-average synchronizations performed so far (periodic + explicit).
+  uint64_t syncs = 0;
+  /// Examples each worker has trained on.
+  std::vector<uint64_t> per_shard;
+};
+
+/// Sharded parallel training engine over mergeable learners (the linearity
+/// dividend of the Weight-Median Sketch: sketches with equal projection
+/// matrices sum, so disjoint-partition models combine into one valid model).
+///
+/// N worker threads each own a *private* replica of the configured learner,
+/// fed through a bounded SPSC ring buffer. The calling thread hash-partitions
+/// examples across workers by feature content, so a given example always
+/// lands on the same shard regardless of arrival order. Periodically (every
+/// `SetSyncInterval` examples, if enabled) all workers are drained and parked
+/// while the replicas are merge-averaged and redistributed — one-pass
+/// iterative parameter mixing. `Collapse()` performs the final merge-average
+/// and returns an ordinary \ref Learner, so snapshots, queries, and
+/// serialization work unchanged on the result; with `Shards(1)` the collapsed
+/// model is bit-identical to a sequential Learner fed the same stream.
+///
+/// Threading contract: Push/PushBatch/SyncNow/Collapse/Stats must be called
+/// from one thread (the owner); the engine manages its worker threads
+/// internally. Construct via LearnerBuilder::BuildSharded().
+class ShardedLearner {
+ public:
+  ShardedLearner(ShardedLearner&&) noexcept;
+  ShardedLearner& operator=(ShardedLearner&&) noexcept;
+  ShardedLearner(const ShardedLearner&) = delete;
+  ShardedLearner& operator=(const ShardedLearner&) = delete;
+  /// Stops and joins the workers; un-collapsed training state is discarded.
+  ~ShardedLearner();
+
+  /// Routes one example to its shard's queue (blocking only while that queue
+  /// is full), and runs a synchronization first if the sync interval has
+  /// elapsed. FailedPrecondition after Collapse().
+  Status Push(Example example);
+
+  /// Push() for every example in `batch`, in order.
+  Status PushBatch(std::span<const Example> batch);
+
+  /// Explicit barrier: drains every queue, parks the workers, merge-averages
+  /// the replicas, redistributes the result, and resumes. A no-op model-wise
+  /// for a single shard (still drains). FailedPrecondition after Collapse().
+  Status SyncNow();
+
+  /// Drains and stops the workers, merges the N replicas into one averaged
+  /// model with the true global step count, and returns it as an ordinary
+  /// \ref Learner. The engine is spent afterwards: further Push/SyncNow/
+  /// Collapse calls return FailedPrecondition.
+  Result<Learner> Collapse();
+
+  /// Number of parallel shards (fixed at build time).
+  uint32_t shards() const;
+  /// Examples between periodic synchronizations (0 = only at Collapse).
+  uint64_t sync_interval() const;
+  /// Current ingestion counters.
+  ShardedLearnerStats Stats() const;
+
+ private:
+  friend class LearnerBuilder;
+
+  struct Impl;
+  explicit ShardedLearner(std::unique_ptr<Impl> impl);
+
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace wmsketch

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wmsketch {
+
+/// A bounded lock-free single-producer/single-consumer ring buffer — the
+/// hand-off queue between the sharding thread and one training worker.
+///
+/// Exactly one thread may call TryPush and exactly one thread may call
+/// TryPop; under that contract the only shared state is the two monotonic
+/// cursors, synchronized release/acquire. Each side keeps a local cache of
+/// the other side's cursor so the common case touches one shared atomic, not
+/// two (the folly/rigtorp ProducerConsumerQueue layout). Capacity is rounded
+/// up to a power of two so the cursor-to-slot mapping is a mask.
+template <typename T>
+class SpscRing {
+ public:
+  /// Constructs a ring holding at most `capacity` items (rounded up to a
+  /// power of two; minimum 2).
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side: enqueues `item` unless the ring is full.
+  bool TryPush(T&& item) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= capacity_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= capacity_) return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: dequeues into `*out` unless the ring is empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// True iff no items are in flight (callable from either side; the answer
+  /// is exact only once the other side has quiesced).
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) == tail_.load(std::memory_order_acquire);
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_ = 0;
+  uint64_t mask_ = 0;
+  std::vector<T> slots_;
+  // Consumer cursor + the producer's cached copy of it, on separate cache
+  // lines from the producer cursor to avoid false sharing on the hot path.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  alignas(64) uint64_t head_cache_ = 0;  // producer-owned
+  alignas(64) uint64_t tail_cache_ = 0;  // consumer-owned
+};
+
+}  // namespace wmsketch

@@ -6,6 +6,29 @@
 
 namespace wmsketch {
 
+Status BudgetedClassifier::CanMerge(const BudgetedClassifier& other) const {
+  (void)other;
+  return Status::Unimplemented(Name() + " does not support merging");
+}
+
+Status BudgetedClassifier::MergeScaled(const BudgetedClassifier& other, double coeff) {
+  (void)other;
+  (void)coeff;
+  return Status::Unimplemented(Name() + " does not support merging");
+}
+
+Status BudgetedClassifier::ScaleWeights(double factor) {
+  (void)factor;
+  return Status::Unimplemented(Name() + " does not support weight scaling");
+}
+
+Status BudgetedClassifier::SetSteps(uint64_t steps) {
+  (void)steps;
+  return Status::Unimplemented(Name() + " does not support step overrides");
+}
+
+std::unique_ptr<BudgetedClassifier> BudgetedClassifier::Clone() const { return nullptr; }
+
 WeightEstimator BudgetedClassifier::EstimatorSnapshot() const {
   // Heap-backed methods (truncation, Space-Saving, CM-FF) keep every nonzero
   // weight behind a tracked identifier, so the full TopK *is* the model.

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "linear/learning_rate.h"
 #include "linear/loss.h"
 #include "stream/sparse_vector.h"
+#include "util/status.h"
 #include "util/top_k_heap.h"
 
 namespace wmsketch {
@@ -80,6 +82,54 @@ class BudgetedClassifier {
 
   /// Point estimate ŵᵢ of the uncompressed model's weight for `feature`.
   virtual float WeightEstimate(uint32_t feature) const = 0;
+
+  // --- Mergeability (the linearity dividend of sketched classifiers) ---
+  //
+  // A Count-Sketch is a linear projection, so two WM/AWM-Sketches with equal
+  // projection matrices (same shape and seed) can be *summed* into the sketch
+  // of the summed weight vectors — the property distributed and sharded
+  // training builds on (Sec. 5.1's linearity; see also turnstile linear-
+  // sketch theory). Non-linear baselines (truncation, Space-Saving, CM-FF)
+  // cannot combine states losslessly and keep the Unimplemented defaults.
+
+  /// Checks whether `other` can be merged into this classifier: same
+  /// concrete method, same table shape, same seed (hence identical hash
+  /// rows). OK means Merge(other) is well-defined; the default reports
+  /// Unimplemented for methods with no merge semantics.
+  virtual Status CanMerge(const BudgetedClassifier& other) const;
+
+  /// The linear-combination primitive: w ← w + coeff·w_other, leaving the
+  /// step counter untouched. `coeff` may be negative (base-corrected
+  /// parameter mixing subtracts a shared starting point) but must be finite.
+  /// On any error `this` is unchanged. Default: Unimplemented.
+  virtual Status MergeScaled(const BudgetedClassifier& other, double coeff);
+
+  /// Adds `other`'s model into this one: weight vectors sum (exactly, up to
+  /// floating-point rounding of the underlying linear structures) and step
+  /// counts add — the semantics of combining learners trained on *disjoint*
+  /// stream partitions. Requires nothing beyond CanMerge(other).ok().
+  /// Average instead of sum by following N-way merges with
+  /// ScaleWeights(1.0/N) (parameter mixing).
+  Status Merge(const BudgetedClassifier& other) {
+    WMS_RETURN_NOT_OK(MergeScaled(other, 1.0));
+    return SetSteps(steps() + other.steps());
+  }
+
+  /// Multiplies every model weight by `factor` (> 0); step count unchanged.
+  /// O(1) for the lazily-scaled sketches. Unimplemented by default.
+  virtual Status ScaleWeights(double factor);
+
+  /// Overwrites the update counter — bookkeeping for merge orchestration
+  /// (after N-way parameter mixing the true global step count is the
+  /// orchestrator's example total, not the sum of mixed replicas).
+  /// Unimplemented by default.
+  virtual Status SetSteps(uint64_t steps);
+
+  /// Deep copy with identical state (hash rows, tables, heaps, counters), or
+  /// nullptr for methods that do not support cloning. Mergeable methods
+  /// implement this; the sharded engine uses it to redistribute the averaged
+  /// model to workers at a sync point.
+  virtual std::unique_ptr<BudgetedClassifier> Clone() const;
 
   /// The top-k features by estimated |weight| among those the method tracks
   /// identifiers for; sorted by descending magnitude. Methods that store no

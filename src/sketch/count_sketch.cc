@@ -37,9 +37,12 @@ float CountSketch::Query(uint32_t key) const {
   return MedianInPlace(est, depth_);
 }
 
-void CountSketch::Merge(const CountSketch& other) {
-  assert(width_ == other.width_ && depth_ == other.depth_ && seed_ == other.seed_);
+Status CountSketch::Merge(const CountSketch& other) {
+  WMS_RETURN_NOT_OK(CheckMergeCompatible("count-sketch",
+                                         SketchShape{width_, depth_, seed_},
+                                         SketchShape{other.width_, other.depth_, other.seed_}));
   for (size_t i = 0; i < table_.size(); ++i) table_[i] += other.table_[i];
+  return Status::OK();
 }
 
 void CountSketch::Scale(float factor) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "hash/tabulation.h"
+#include "sketch/merge_compat.h"
 #include "util/memory_cost.h"
 
 namespace wmsketch {
@@ -34,11 +35,12 @@ class CountSketch {
   /// Median-of-rows point estimate of coordinate `key`.
   float Query(uint32_t key) const;
 
-  /// Adds another sketch into this one. Both must have been constructed with
-  /// identical (width, depth, seed), which makes the projection matrices
-  /// equal; Count-Sketch is linear, so the merged sketch equals the sketch
-  /// of the summed vectors. Used for distributed-style merge tests.
-  void Merge(const CountSketch& other);
+  /// Adds another sketch into this one. Count-Sketch is linear, so the
+  /// merged sketch equals the sketch of the summed vectors. Returns
+  /// InvalidArgument (and leaves this sketch unchanged) unless both were
+  /// constructed with identical (width, depth, seed) — the condition for the
+  /// projection matrices to be equal.
+  Status Merge(const CountSketch& other);
 
   /// Multiplies every bucket by `factor` (linearity in the scalar).
   void Scale(float factor);

@@ -16,6 +16,7 @@ enum class StatusCode : uint8_t {
   kFailedPrecondition = 4,
   kIOError = 5,
   kCorruption = 6,
+  kUnimplemented = 7,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -61,6 +62,11 @@ class Status {
   /// Returns a Corruption status with the given message.
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  /// Returns an Unimplemented status with the given message (an operation
+  /// the concrete type does not support, e.g. Merge on a non-linear method).
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
   /// True iff the status is OK.

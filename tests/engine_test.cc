@@ -1,0 +1,366 @@
+// Tests for the mergeability layer (BudgetedClassifier::Merge and friends)
+// and the sharded parallel training engine built on top of it.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "api/learner.h"
+#include "core/awm_sketch.h"
+#include "core/wm_sketch.h"
+#include "datagen/classification_gen.h"
+#include "engine/sharded_learner.h"
+#include "engine/spsc_ring.h"
+#include "linear/dense_linear_model.h"
+#include "metrics/recovery.h"
+#include "util/memory_cost.h"
+
+namespace wmsketch {
+namespace {
+
+std::vector<Example> MakeStream(const ClassificationProfile& profile, uint64_t seed,
+                                int n) {
+  SyntheticClassificationGen gen(profile, seed);
+  std::vector<Example> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(gen.Next());
+  return out;
+}
+
+LearnerBuilder AwmBuilder(uint64_t seed = 42) {
+  return LearnerBuilder()
+      .SetMethod(Method::kAwmSketch)
+      .SetWidth(1024)
+      .SetDepth(1)
+      .SetHeapCapacity(256)
+      .SetLambda(1e-6)
+      .SetSeed(seed);
+}
+
+LearnerBuilder WmBuilder(uint64_t seed = 42) {
+  return LearnerBuilder()
+      .SetMethod(Method::kWmSketch)
+      .SetWidth(512)
+      .SetDepth(3)
+      .SetHeapCapacity(128)
+      .SetLambda(1e-6)
+      .SetSeed(seed);
+}
+
+std::string Serialized(const Learner& learner) {
+  std::ostringstream out;
+  EXPECT_TRUE(SaveLearner(learner, out).ok());
+  return out.str();
+}
+
+// ------------------------------------------------------------ SPSC ring
+
+TEST(SpscRingTest, OrderPreservedAcrossThreads) {
+  SpscRing<int> ring(64);
+  constexpr int kCount = 100000;
+  std::atomic<bool> fail{false};
+  std::thread consumer([&] {
+    int expected = 0;
+    int v;
+    while (expected < kCount) {
+      if (ring.TryPop(&v)) {
+        if (v != expected++) {
+          fail.store(true);
+          return;
+        }
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (int i = 0; i < kCount;) {
+    int v = i;
+    if (ring.TryPush(std::move(v))) {
+      ++i;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+  EXPECT_FALSE(fail.load());
+  EXPECT_TRUE(ring.Empty());
+}
+
+TEST(SpscRingTest, CapacityRoundsUpAndBounds) {
+  SpscRing<int> ring(3);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.TryPush(int(i)));
+  EXPECT_FALSE(ring.TryPush(99));
+  int v;
+  ASSERT_TRUE(ring.TryPop(&v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ring.TryPush(99));
+}
+
+// -------------------------------------------------- merge: error paths
+
+TEST(MergeTest, BaselinesReportUnimplemented) {
+  for (const Method m : {Method::kSimpleTruncation, Method::kProbabilisticTruncation,
+                         Method::kSpaceSavingFrequent, Method::kCountMinFrequent,
+                         Method::kFeatureHashing}) {
+    Result<Learner> a =
+        LearnerBuilder().SetMethod(m).SetBudgetBytes(KiB(4)).SetSeed(1).Build();
+    Result<Learner> b =
+        LearnerBuilder().SetMethod(m).SetBudgetBytes(KiB(4)).SetSeed(1).Build();
+    ASSERT_TRUE(a.ok() && b.ok()) << MethodName(m);
+    const Status st = a.value().Merge(b.value());
+    EXPECT_EQ(st.code(), StatusCode::kUnimplemented) << MethodName(m);
+    EXPECT_EQ(a.value().CanMerge(b.value()).code(), StatusCode::kUnimplemented);
+  }
+}
+
+TEST(MergeTest, ShapeAndSeedMismatchesRejected) {
+  Learner base = std::move(WmBuilder().Build()).value();
+  // Different width.
+  Learner wide = std::move(WmBuilder().SetWidth(1024).Build()).value();
+  EXPECT_EQ(base.Merge(wide).code(), StatusCode::kInvalidArgument);
+  // Different depth.
+  Learner deep = std::move(WmBuilder().SetDepth(5).Build()).value();
+  EXPECT_EQ(base.Merge(deep).code(), StatusCode::kInvalidArgument);
+  // Different seed: identical shape but different hash rows.
+  Learner reseeded = std::move(WmBuilder(43).Build()).value();
+  EXPECT_EQ(base.Merge(reseeded).code(), StatusCode::kInvalidArgument);
+  // Different heap capacity.
+  Learner bigheap = std::move(WmBuilder().SetHeapCapacity(64).Build()).value();
+  EXPECT_EQ(base.Merge(bigheap).code(), StatusCode::kInvalidArgument);
+  // Different method entirely.
+  Learner awm = std::move(AwmBuilder().Build()).value();
+  EXPECT_EQ(base.Merge(awm).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(awm.Merge(base).code(), StatusCode::kInvalidArgument);
+  // A failed merge leaves the target untouched.
+  EXPECT_EQ(base.steps(), 0u);
+}
+
+// ---------------------------------------------- merge: linearity checks
+
+TEST(MergeTest, WmDepthOneMergeIsExactlyAdditive) {
+  // With depth 1 the median is the identity, so per-bucket additivity makes
+  // merged estimates exactly the sum of the two models' estimates.
+  const ClassificationProfile profile = ClassificationProfile::SmallTest();
+  auto builder = WmBuilder().SetDepth(1);
+  Learner a = std::move(builder.Build()).value();
+  Learner b = std::move(builder.Build()).value();
+  const std::vector<Example> sa = MakeStream(profile, 11, 2000);
+  const std::vector<Example> sb = MakeStream(profile, 22, 2000);
+  a.UpdateBatch(sa);
+  b.UpdateBatch(sb);
+
+  std::vector<float> expected(profile.dimension);
+  for (uint32_t f = 0; f < profile.dimension; ++f) {
+    expected[f] = a.WeightEstimate(f) + b.WeightEstimate(f);
+  }
+  ASSERT_TRUE(a.CanMerge(b).ok());
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.steps(), 4000u);
+  for (uint32_t f = 0; f < profile.dimension; ++f) {
+    const float tol = 1e-4f + 1e-3f * std::fabs(expected[f]);
+    EXPECT_NEAR(a.WeightEstimate(f), expected[f], tol) << f;
+  }
+}
+
+TEST(MergeTest, AwmMergeAddsEstimatesOnHeavyFeatures) {
+  const ClassificationProfile profile = ClassificationProfile::SmallTest();
+  Learner a = std::move(AwmBuilder().Build()).value();
+  Learner b = std::move(AwmBuilder().Build()).value();
+  a.UpdateBatch(MakeStream(profile, 31, 3000));
+  b.UpdateBatch(MakeStream(profile, 32, 3000));
+
+  // The merged estimate of each feature that holds an active-set slot in the
+  // merged model must be the exact sum of the two models' estimates.
+  std::vector<float> expected(profile.dimension);
+  for (uint32_t f = 0; f < profile.dimension; ++f) {
+    expected[f] = a.WeightEstimate(f) + b.WeightEstimate(f);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.steps(), 6000u);
+  const std::vector<FeatureWeight> top = a.TopK(32);
+  ASSERT_FALSE(top.empty());
+  for (const FeatureWeight& fw : top) {
+    const float tol = 1e-4f + 1e-3f * std::fabs(expected[fw.feature]);
+    EXPECT_NEAR(fw.weight, expected[fw.feature], tol) << fw.feature;
+  }
+}
+
+TEST(MergeTest, ScaleWeightsAveragesAndClonesAreIndependent) {
+  const ClassificationProfile profile = ClassificationProfile::SmallTest();
+  Learner a = std::move(AwmBuilder().Build()).value();
+  a.UpdateBatch(MakeStream(profile, 5, 1500));
+
+  std::unique_ptr<BudgetedClassifier> clone = a.impl().Clone();
+  ASSERT_NE(clone, nullptr);
+  const uint32_t probe = a.TopK(1).at(0).feature;
+  const float before = a.WeightEstimate(probe);
+  EXPECT_FLOAT_EQ(clone->WeightEstimate(probe), before);
+
+  // Scaling the clone must not disturb the original (deep copy)...
+  ASSERT_TRUE(clone->ScaleWeights(0.5).ok());
+  EXPECT_NEAR(clone->WeightEstimate(probe), 0.5f * before, 1e-5f + 1e-4f * std::fabs(before));
+  EXPECT_FLOAT_EQ(a.WeightEstimate(probe), before);
+  // ...and non-positive factors are rejected.
+  EXPECT_EQ(clone->ScaleWeights(0.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(clone->ScaleWeights(-1.0).code(), StatusCode::kInvalidArgument);
+
+  // SetSteps overrides only the counter.
+  ASSERT_TRUE(clone->SetSteps(99).ok());
+  EXPECT_EQ(clone->steps(), 99u);
+}
+
+TEST(MergeTest, MergeThenHalveMatchesParameterMixing) {
+  // avg = (w_a + w_b) / 2 through the public pieces.
+  const ClassificationProfile profile = ClassificationProfile::SmallTest();
+  Learner a = std::move(WmBuilder().SetDepth(1).Build()).value();
+  Learner b = std::move(WmBuilder().SetDepth(1).Build()).value();
+  a.UpdateBatch(MakeStream(profile, 61, 1000));
+  b.UpdateBatch(MakeStream(profile, 62, 1000));
+  const uint32_t probe = a.TopK(1).at(0).feature;
+  const float wa = a.WeightEstimate(probe), wb = b.WeightEstimate(probe);
+  ASSERT_TRUE(a.Merge(b).ok());
+  ASSERT_TRUE(a.impl().ScaleWeights(0.5).ok());
+  const float avg = 0.5f * (wa + wb);
+  EXPECT_NEAR(a.WeightEstimate(probe), avg, 1e-4f + 1e-3f * std::fabs(avg));
+}
+
+// ------------------------------------------------------ sharded engine
+
+TEST(ShardedLearnerTest, RequiresMergeableMethodForMultipleShards) {
+  Result<ShardedLearner> r = LearnerBuilder()
+                                 .SetMethod(Method::kSimpleTruncation)
+                                 .SetBudgetBytes(KiB(4))
+                                 .Shards(4)
+                                 .BuildSharded();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+
+  // A single shard never merges, so any method works.
+  Result<ShardedLearner> single = LearnerBuilder()
+                                      .SetMethod(Method::kSimpleTruncation)
+                                      .SetBudgetBytes(KiB(4))
+                                      .Shards(1)
+                                      .BuildSharded();
+  EXPECT_TRUE(single.ok());
+
+  EXPECT_FALSE(LearnerBuilder().SetBudgetBytes(KiB(4)).Shards(0).BuildSharded().ok());
+}
+
+TEST(ShardedLearnerTest, SingleShardIsBitIdenticalToSequential) {
+  const ClassificationProfile profile = ClassificationProfile::SmallTest();
+  const std::vector<Example> stream = MakeStream(profile, 77, 4000);
+
+  for (const bool use_wm : {false, true}) {
+    LearnerBuilder builder = use_wm ? WmBuilder() : AwmBuilder();
+    Learner sequential = std::move(builder.Build()).value();
+    sequential.UpdateBatch(stream);
+
+    ShardedLearner engine = std::move(builder.Shards(1).SetSyncInterval(512).BuildSharded()).value();
+    ASSERT_TRUE(engine.PushBatch(stream).ok());
+    Result<Learner> collapsed = engine.Collapse();
+    ASSERT_TRUE(collapsed.ok());
+
+    EXPECT_EQ(collapsed.value().steps(), sequential.steps());
+    // Byte-for-byte identical serialized state: same tables, same scales,
+    // same heap layout, same counters.
+    EXPECT_EQ(Serialized(collapsed.value()), Serialized(sequential))
+        << (use_wm ? "wm" : "awm");
+
+    EXPECT_EQ(engine.Collapse().status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(engine.Push(stream[0]).code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(engine.SyncNow().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(ShardedLearnerTest, StatsCountEveryExampleExactly) {
+  const ClassificationProfile profile = ClassificationProfile::SmallTest();
+  const std::vector<Example> stream = MakeStream(profile, 13, 3000);
+  ShardedLearner engine =
+      std::move(AwmBuilder().Shards(4).SetSyncInterval(1000).BuildSharded()).value();
+  ASSERT_TRUE(engine.PushBatch(stream).ok());
+  ASSERT_TRUE(engine.SyncNow().ok());  // barrier: per-shard counts now exact
+  const ShardedLearnerStats stats = engine.Stats();
+  EXPECT_EQ(stats.pushed, stream.size());
+  EXPECT_GE(stats.syncs, 3u);  // two periodic (at 1000, 2000) + the explicit one
+  ASSERT_EQ(stats.per_shard.size(), 4u);
+  uint64_t total = 0;
+  for (const uint64_t n : stats.per_shard) {
+    EXPECT_GT(n, 0u);  // hash partitioning spreads the stream across shards
+    total += n;
+  }
+  EXPECT_EQ(total, stream.size());
+
+  Result<Learner> collapsed = engine.Collapse();
+  ASSERT_TRUE(collapsed.ok());
+  EXPECT_EQ(collapsed.value().steps(), stream.size());
+}
+
+TEST(ShardedLearnerTest, ShardedRecoveryQualityWithinToleranceOfSequential) {
+  // Recovery quality of the 4-shard collapsed model should be in the same
+  // regime as the sequential model on the same stream — parameter mixing
+  // loses a little, but must stay far from the unsorted-noise regime.
+  const ClassificationProfile profile = ClassificationProfile::SmallTest();
+  const int kExamples = 12000;
+  const size_t kTopK = 64;
+  const std::vector<Example> stream = MakeStream(profile, 99, kExamples);
+
+  LearnerOptions ref_opts;
+  ref_opts.lambda = 1e-6;
+  ref_opts.seed = 42;
+  DenseLinearModel reference(profile.dimension, ref_opts);
+  for (const Example& ex : stream) reference.Update(ex.x, ex.y);
+  const std::vector<float> w_star = reference.Weights();
+
+  Learner sequential = std::move(AwmBuilder().Build()).value();
+  sequential.UpdateBatch(stream);
+  const double seq_err = RelErrTopK(sequential.TopK(kTopK), w_star, kTopK);
+
+  ShardedLearner engine =
+      std::move(AwmBuilder().Shards(4).SetSyncInterval(2000).BuildSharded()).value();
+  ASSERT_TRUE(engine.PushBatch(stream).ok());
+  Learner collapsed = std::move(engine.Collapse()).value();
+  EXPECT_EQ(collapsed.steps(), static_cast<uint64_t>(kExamples));
+  const double sharded_err = RelErrTopK(collapsed.TopK(kTopK), w_star, kTopK);
+
+  // RelErr is bounded below by 1. The schedule-matched mixing rule keeps the
+  // 4-shard collapse within a few percent of sequential (measured ~0.07
+  // delta on this stream); 0.25 leaves headroom without admitting the
+  // plain-averaging regime (~0.7 delta).
+  EXPECT_LT(sharded_err, seq_err + 0.25)
+      << "sequential=" << seq_err << " sharded=" << sharded_err;
+
+  // The collapsed model is an ordinary Learner: snapshots and serialization
+  // work unchanged.
+  const LearnerSnapshot snap = collapsed.Snapshot(kTopK);
+  EXPECT_EQ(snap.steps(), static_cast<uint64_t>(kExamples));
+  std::stringstream io;
+  ASSERT_TRUE(SaveLearner(collapsed, io).ok());
+  Result<Learner> restored = LoadLearner(io, ref_opts);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().steps(), collapsed.steps());
+}
+
+TEST(ShardedLearnerTest, DestructorWithoutCollapseJoinsCleanly) {
+  const ClassificationProfile profile = ClassificationProfile::SmallTest();
+  const std::vector<Example> stream = MakeStream(profile, 3, 500);
+  {
+    ShardedLearner engine = std::move(AwmBuilder().Shards(2).BuildSharded()).value();
+    ASSERT_TRUE(engine.PushBatch(stream).ok());
+    // Dropped without Collapse: workers must stop and join without hanging.
+  }
+  // Move assignment over a live engine must likewise join the replaced
+  // engine's workers (not std::terminate on a joinable std::thread).
+  ShardedLearner a = std::move(AwmBuilder().Shards(2).BuildSharded()).value();
+  ShardedLearner b = std::move(AwmBuilder().Shards(2).BuildSharded()).value();
+  ASSERT_TRUE(a.PushBatch(stream).ok());
+  a = std::move(b);
+  ASSERT_TRUE(a.Push(stream[0]).ok());
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace wmsketch

@@ -53,7 +53,7 @@ TEST(CountSketchTest, MergeEqualsSketchOfSum) {
     b.Update(key, db);
     c.Update(key, da + db);
   }
-  a.Merge(b);
+  ASSERT_TRUE(a.Merge(b).ok());
   for (uint32_t key = 0; key < 1000; ++key) {
     EXPECT_NEAR(a.Query(key), c.Query(key), 1e-4f) << key;
   }
