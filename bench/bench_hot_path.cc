@@ -1,0 +1,167 @@
+// Hot-path microbenchmark: single-threaded updates/sec and queries/sec for
+// the WM-Sketch, AWM-Sketch, and feature hashing at the Table 2 best-config
+// shapes, with the AVX2 kernels toggled on and off at runtime so one run
+// reports the scalar-vs-SIMD speedup on this machine.
+//
+//   ./bench_hot_path [--json BENCH_hot_path.json]
+//
+// Rows (one per config × kernel path):
+//   updates_per_sec    batched ingest through Learner::UpdateBatch
+//   predicts_per_sec   PredictMargin on a trained model (no state change)
+//   estimates_per_sec  WeightEstimate point queries over random feature ids
+//   hashes_per_update  measured only under -DWMS_HASH_STATS=ON, else -1;
+//                      the single-hash invariant makes this exactly
+//                      mean(nnz)·depth
+//
+// Stream lengths scale with WMS_BENCH_SCALE like every other bench.
+
+#include <chrono>
+#include <cstdint>
+
+#include "bench/bench_common.h"
+#include "hash/tabulation.h"
+#include "util/simd.h"
+
+namespace wmsketch::bench {
+namespace {
+
+struct HotConfig {
+  const char* label;
+  Method method;
+  uint32_t width;
+  uint32_t depth;
+  size_t heap;
+};
+
+// The Table 2 shape families: WM keeps width at 128–256 and grows depth;
+// AWM pairs a depth-1 sketch with an active set of half the budget; feature
+// hashing spends the whole budget on one row of weights.
+constexpr HotConfig kConfigs[] = {
+    {"wm_w256_d3", Method::kWmSketch, 256, 3, 128},
+    {"wm_w256_d5", Method::kWmSketch, 256, 5, 128},
+    {"wm_w128_d7", Method::kWmSketch, 128, 7, 128},
+    {"awm_w256_s256", Method::kAwmSketch, 256, 1, 256},
+    {"awm_w512_s512", Method::kAwmSketch, 512, 1, 512},
+    {"hash_w4096", Method::kFeatureHashing, 4096, 0, 0},
+};
+
+Learner BuildConfig(const HotConfig& c) {
+  LearnerBuilder b = PaperBuilder(1e-6, 77).SetMethod(c.method).SetWidth(c.width);
+  if (c.depth > 0) b.SetDepth(c.depth);
+  if (c.heap > 0) b.SetHeapCapacity(c.heap);
+  return BuildOrDie(b.Build());
+}
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+struct Throughput {
+  double updates_per_sec = 0.0;
+  double predicts_per_sec = 0.0;
+  double estimates_per_sec = 0.0;
+  double hashes_per_update = -1.0;
+  double margin_checksum = 0.0;  // defeats dead-code elimination; printed
+};
+
+Throughput Measure(const HotConfig& c, const std::vector<Example>& stream,
+                   uint32_t dimension) {
+  Learner model = BuildConfig(c);
+  constexpr size_t kChunk = 512;
+
+  // Warm-up: a few chunks so tables/heaps leave their all-zero cold state.
+  const size_t warm = std::min<size_t>(2 * kChunk, stream.size() / 4);
+  model.UpdateBatch(std::span<const Example>(stream.data(), warm));
+
+  Throughput out;
+#ifdef WMS_HASH_STATS
+  g_hash_evaluations = 0;
+#endif
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t at = warm; at < stream.size(); at += kChunk) {
+    const size_t n = std::min(kChunk, stream.size() - at);
+    model.UpdateBatch(std::span<const Example>(stream.data() + at, n));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const size_t updates = stream.size() - warm;
+  out.updates_per_sec = static_cast<double>(updates) / Seconds(t0, t1);
+#ifdef WMS_HASH_STATS
+  out.hashes_per_update =
+      static_cast<double>(g_hash_evaluations) / static_cast<double>(updates);
+#endif
+
+  const size_t predicts = std::min<size_t>(stream.size(), 20000);
+  const auto t2 = std::chrono::steady_clock::now();
+  double checksum = 0.0;
+  for (size_t i = 0; i < predicts; ++i) checksum += model.PredictMargin(stream[i].x);
+  const auto t3 = std::chrono::steady_clock::now();
+  out.predicts_per_sec = static_cast<double>(predicts) / Seconds(t2, t3);
+
+  const size_t estimates = 200000;
+  SplitMix64 ids(99);
+  const auto t4 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < estimates; ++i) {
+    checksum += model.WeightEstimate(static_cast<uint32_t>(ids.Next() % dimension));
+  }
+  const auto t5 = std::chrono::steady_clock::now();
+  out.estimates_per_sec = static_cast<double>(estimates) / Seconds(t4, t5);
+  out.margin_checksum = checksum;
+  return out;
+}
+
+}  // namespace
+}  // namespace wmsketch::bench
+
+int main(int argc, char** argv) {
+  using namespace wmsketch;
+  using namespace wmsketch::bench;
+
+  const ClassificationProfile profile = ClassificationProfile::Rcv1Like();
+  const int examples = ScaledCount(120000);
+  SyntheticClassificationGen gen(profile, 88);
+  std::vector<Example> stream;
+  stream.reserve(static_cast<size_t>(examples));
+  for (int i = 0; i < examples; ++i) stream.push_back(gen.Next());
+
+  Banner("Hot path — single-threaded throughput (Table 2 configs, " +
+         std::to_string(examples) + " examples)");
+  std::printf("simd available: %s (compiled %s)\n", simd::Available() ? "yes" : "no",
+#ifdef WMS_SIMD
+              "in"
+#else
+              "out"
+#endif
+  );
+  PrintRow({"config", "kernel", "updates/s", "predicts/s", "estimates/s", "hashes/upd"});
+
+  BenchJson json("hot_path");
+  // Scalar first so the committed baseline's scalar rows are independent of
+  // whether the machine at hand has AVX2 at all.
+  const bool kernel_paths[] = {false, true};
+  for (const bool want_simd : kernel_paths) {
+    if (want_simd && !simd::Available()) continue;
+    simd::SetEnabled(want_simd);
+    for (const HotConfig& c : kConfigs) {
+      const Throughput t = Measure(c, stream, profile.dimension);
+      PrintRow({c.label, simd::ActiveKernel(), Fmt(t.updates_per_sec, 0),
+                Fmt(t.predicts_per_sec, 0), Fmt(t.estimates_per_sec, 0),
+                t.hashes_per_update < 0 ? "n/a" : Fmt(t.hashes_per_update, 1)});
+      json.Row()
+          .Str("config", c.label)
+          .Str("method", MethodName(c.method))
+          .Num("width", c.width)
+          .Num("depth", c.depth)
+          .Num("heap", static_cast<double>(c.heap))
+          .Str("kernel", simd::ActiveKernel())
+          .Num("updates_per_sec", t.updates_per_sec)
+          .Num("predicts_per_sec", t.predicts_per_sec)
+          .Num("estimates_per_sec", t.estimates_per_sec)
+          .Num("hashes_per_update", t.hashes_per_update)
+          .Num("checksum", t.margin_checksum);
+    }
+  }
+  simd::SetEnabled(true);  // restore the default for anything after us
+  json.WriteIfRequested(argc, argv);
+  return 0;
+}

@@ -104,7 +104,13 @@ class Learner {
 
   /// Batch ingest: equivalent to (and bit-identical with) updating example
   /// by example, but pays one virtual dispatch per batch and keeps the whole
-  /// hot loop inside the concrete implementation.
+  /// hot loop inside the concrete implementation. WM-Sketch and feature
+  /// hashing additionally hash the entire batch up front into a per-thread
+  /// plan arena and prefetch the next example's table cells while the
+  /// current one updates; the AWM-Sketch, whose sketch accesses depend on
+  /// live active-set membership, reuses a lazy per-thread plan per example
+  /// instead. The fastest ingest path either way; prefer it over
+  /// per-example Update wherever examples arrive in runs.
   void UpdateBatch(std::span<const Example> batch);
 
   /// Batch ingest that also reports the pre-update margin of every example

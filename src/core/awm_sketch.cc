@@ -6,9 +6,11 @@
 #include <memory>
 #include <unordered_map>
 
+#include "sketch/hash_plan.h"
 #include "sketch/merge_compat.h"
 #include "util/math.h"
 #include "util/random.h"
+#include "util/simd.h"
 
 namespace wmsketch {
 
@@ -32,6 +34,9 @@ AwmSketch::AwmSketch(const AwmSketchConfig& config, const LearnerOptions& opts)
 
 double AwmSketch::PredictMargin(const SparseVector& x) const {
   // τ = Σ_{i∈S} S[i]·x_i + zᵀR·x_tail (Algorithm 2's prediction split).
+  // Standalone queries keep the fused loop (each tail pair hashed once);
+  // updates route through PredictMarginWithPlan so the tail hashes are
+  // reused by the gradient stage.
   double acc = 0.0;
   for (size_t i = 0; i < x.nnz(); ++i) {
     const uint32_t feature = x.index(i);
@@ -39,6 +44,21 @@ double AwmSketch::PredictMargin(const SparseVector& x) const {
     const double w = exact.has_value()
                          ? heap_scale_ * static_cast<double>(*exact)
                          : static_cast<double>(SketchQuery(feature));
+    acc += w * static_cast<double>(x.value(i));
+  }
+  return acc;
+}
+
+double AwmSketch::PredictMarginWithPlan(const SparseVector& x, HashPlan& plan) const {
+  // As PredictMargin, but each tail feature's hashes land in its plan slot
+  // (filled on first use) where the gradient stage below reuses them.
+  double acc = 0.0;
+  for (size_t i = 0; i < x.nnz(); ++i) {
+    const uint32_t feature = x.index(i);
+    const std::optional<float> exact = heap_.Get(feature);
+    const double w = exact.has_value()
+                         ? heap_scale_ * static_cast<double>(*exact)
+                         : static_cast<double>(SketchQueryFromPlan(plan, i, feature));
     acc += w * static_cast<double>(x.value(i));
   }
   return acc;
@@ -56,6 +76,14 @@ float AwmSketch::SketchQuery(uint32_t feature) const {
   return static_cast<float>(sqrt_depth_ * sketch_scale_ * static_cast<double>(raw));
 }
 
+float AwmSketch::SketchQueryFromPlan(HashPlan& plan, size_t i, uint32_t feature) const {
+  if (!plan.has(i)) plan.FillSlot(rows_, i, feature);  // first touch: hash once
+  float est[kMaxDepth];
+  simd::GatherSigned(table_.data(), plan.offsets(i), plan.signs(i), plan.depth(), est);
+  const float raw = MedianInPlace(est, plan.depth());
+  return static_cast<float>(sqrt_depth_ * sketch_scale_ * static_cast<double>(raw));
+}
+
 void AwmSketch::SketchAdd(uint32_t feature, double delta) {
   // Inverse of SketchQuery's scaling: the stored cell moves by
   // σ·delta/(√s·α) so the true estimate moves by delta in every row.
@@ -68,8 +96,30 @@ void AwmSketch::SketchAdd(uint32_t feature, double delta) {
   }
 }
 
+void AwmSketch::SketchAddFromPlan(HashPlan& plan, size_t i, uint32_t feature,
+                                  double delta) {
+  if (!plan.has(i)) plan.FillSlot(rows_, i, feature);  // first touch: hash once
+  const double raw_delta = delta / (sqrt_depth_ * sketch_scale_);
+  const uint32_t* off = plan.offsets(i);
+  const float* sg = plan.signs(i);
+  for (uint32_t j = 0; j < plan.depth(); ++j) {
+    table_[off[j]] += static_cast<float>(static_cast<double>(sg[j]) * raw_delta);
+  }
+}
+
 double AwmSketch::Update(const SparseVector& x, int8_t y) {
-  const double margin = PredictMargin(x);
+  // One lazy hash plan per example: a slot is hashed the first time its
+  // feature touches the sketch (margin query, candidate query, or tail
+  // scatter) and reused from then on. Active-set members — whose weights
+  // live in the heap and never touch the sketch — are never hashed, exactly
+  // as in the pre-plan code, and membership is looked up no more often.
+  HashPlan& plan = TlsPlan();
+  plan.InitLazy(config_.depth, x.nnz());
+  return UpdateWithPlan(x, y, plan);
+}
+
+double AwmSketch::UpdateWithPlan(const SparseVector& x, int8_t y, HashPlan& plan) {
+  const double margin = PredictMarginWithPlan(x, plan);
   ++t_;
   const double eta = opts_.rate.Rate(t_);
   const double g = opts_.loss->Derivative(static_cast<double>(y) * margin);
@@ -91,7 +141,8 @@ double AwmSketch::Update(const SparseVector& x, int8_t y) {
       continue;
     }
     // Candidate weight for a tail feature.
-    const double w_tilde = static_cast<double>(SketchQuery(feature)) - step * xi;
+    const double w_tilde =
+        static_cast<double>(SketchQueryFromPlan(plan, i, feature)) - step * xi;
     if (!heap_.full()) {
       heap_.Set(feature, static_cast<float>(w_tilde / heap_scale_));
       continue;
@@ -101,13 +152,15 @@ double AwmSketch::Update(const SparseVector& x, int8_t y) {
     if (std::fabs(w_tilde) > std::fabs(min_true)) {
       // Fold the evictee back into the sketch so its estimate matches its
       // exact weight, then hand its slot to the newcomer. The newcomer's
-      // prior sketch mass is left in place (lazy update, Sec. 5.2).
+      // prior sketch mass is left in place (lazy update, Sec. 5.2). The
+      // evictee is generally not a feature of x, so it pays the direct
+      // (hashing) query/add path.
       heap_.PopMin();
       SketchAdd(min.feature, min_true - static_cast<double>(SketchQuery(min.feature)));
       heap_.Set(feature, static_cast<float>(w_tilde / heap_scale_));
     } else {
-      // Tail update: apply the gradient inside the sketch.
-      SketchAdd(feature, -step * xi);
+      // Tail update: apply the gradient inside the sketch via the plan.
+      SketchAddFromPlan(plan, i, feature, -step * xi);
     }
   }
   MaybeRescale();
@@ -115,8 +168,15 @@ double AwmSketch::Update(const SparseVector& x, int8_t y) {
 }
 
 void AwmSketch::UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) {
+  // Unlike WM/feature hashing, the AWM cannot hash a batch up front: which
+  // features touch the sketch depends on live active-set membership, which
+  // each update mutates. It reuses one lazy per-thread plan across the
+  // batch instead (allocation amortizes via the TLS buffers); bit-identical
+  // to the per-example loop.
+  HashPlan& plan = TlsPlan();
   for (const Example& ex : batch) {
-    const double margin = Update(ex.x, ex.y);
+    plan.InitLazy(config_.depth, ex.x.nnz());
+    const double margin = UpdateWithPlan(ex.x, ex.y, plan);
     if (margins != nullptr) margins->push_back(margin);
   }
 }
@@ -163,9 +223,7 @@ Status AwmSketch::MergeScaled(const BudgetedClassifier& other, double coeff) {
   // 2. Combine the tail tables in this sketch's raw representation:
   //    z = α_a·v_a + c·α_b·v_b = α_a·(v_a + (c·α_b/α_a)·v_b).
   const double ratio = coeff * o.sketch_scale_ / sketch_scale_;
-  for (size_t i = 0; i < table_.size(); ++i) {
-    table_[i] += static_cast<float>(ratio * static_cast<double>(o.table_[i]));
-  }
+  simd::MergeScaledTable(table_.data(), o.table_.data(), table_.size(), ratio);
 
   // 3. The |S| largest-magnitude union members (ties: ascending id, for
   //    determinism) take the exact active-set slots; every other member is
@@ -249,8 +307,7 @@ WeightEstimator AwmSketch::EstimatorSnapshot() const {
 
 void AwmSketch::MaybeRescale() {
   if (sketch_scale_ < kMinScale) {
-    const float f = static_cast<float>(sketch_scale_);
-    for (float& v : table_) v *= f;
+    simd::ScaleTable(table_.data(), table_.size(), static_cast<float>(sketch_scale_));
     sketch_scale_ = 1.0;
   }
   if (heap_scale_ < kMinScale) {

@@ -7,9 +7,12 @@
 #include "hash/tabulation.h"
 #include "linear/classifier.h"
 #include "util/memory_cost.h"
+#include "util/simd.h"
 #include "util/top_k_heap.h"
 
 namespace wmsketch {
+
+class HashPlan;
 
 /// Shape of an Active-Set Weight-Median Sketch. The configuration that
 /// uniformly performed best in the paper (Sec. 7.3) gives half the budget to
@@ -52,10 +55,18 @@ class AwmSketch final : public BudgetedClassifier {
   /// Constructs the sketch; hash rows are derived from opts.seed.
   AwmSketch(const AwmSketchConfig& config, const LearnerOptions& opts);
 
+  /// Plan-driven: hashes each (feature, row) pair exactly once per call.
   double PredictMargin(const SparseVector& x) const override;
+  /// One step from a single per-example hash plan: the margin's tail
+  /// queries, the candidate queries, and the tail scatters reuse the same
+  /// nnz×depth pairs (evictee fold-backs, which involve features outside x,
+  /// still hash directly).
   double Update(const SparseVector& x, int8_t y) override;
-  /// Devirtualized batch ingest: bit-identical to updating example by
-  /// example (`final` lets the loop inline the update step).
+  /// Devirtualized batch ingest, bit-identical to updating example by
+  /// example. Unlike WM/feature hashing the AWM cannot hash a batch up
+  /// front (which features touch the sketch depends on live active-set
+  /// membership); it reuses one lazy per-thread plan across the batch, so
+  /// the win is allocation amortization, not an arena/prefetch pipeline.
   void UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) override;
   float WeightEstimate(uint32_t feature) const override;
   /// OK iff `other` is an AwmSketch with identical (width, depth, active-set
@@ -95,9 +106,18 @@ class AwmSketch final : public BudgetedClassifier {
 
   /// Count-Sketch point estimate of a tail feature's weight (true scale).
   float SketchQuery(uint32_t feature) const;
+  /// SketchQuery through feature slot `i` of a lazy plan: the slot is
+  /// hashed on first touch and reused afterwards.
+  float SketchQueryFromPlan(HashPlan& plan, size_t i, uint32_t feature) const;
   /// Adds `delta` (true scale) to the sketched weight of `feature`: every
   /// row's estimate — and hence the median — shifts by exactly delta.
   void SketchAdd(uint32_t feature, double delta);
+  /// SketchAdd through feature slot `i` of a lazy plan (first touch hashes).
+  void SketchAddFromPlan(HashPlan& plan, size_t i, uint32_t feature, double delta);
+  /// PredictMargin filling/reading tail slots of a lazy plan.
+  double PredictMarginWithPlan(const SparseVector& x, HashPlan& plan) const;
+  /// The Update body once the plan exists (shared by Update and UpdateBatch).
+  double UpdateWithPlan(const SparseVector& x, int8_t y, HashPlan& plan);
   void MaybeRescale();
 
   float* Row(uint32_t j) { return table_.data() + static_cast<size_t>(j) * config_.width; }

@@ -107,8 +107,9 @@ double CountMinFrequent::Update(const SparseVector& x, int8_t y) {
   const double step = eta * static_cast<double>(y) * g / scale_;
   for (size_t i = 0; i < x.nnz(); ++i) {
     const uint32_t feature = x.index(i);
-    cm_.Update(feature, 1.0);
-    const double count = cm_.Query(feature);
+    // Single-hash: the frequency bump and the refreshed estimate share one
+    // bucket evaluation per row.
+    const double count = cm_.UpdateAndQuery(feature, 1.0);
     const float delta = static_cast<float>(-step * static_cast<double>(x.value(i)));
     const IndexedMinHeap::Entry* e = heap_.Find(feature);
     if (e != nullptr) {

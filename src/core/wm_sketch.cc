@@ -5,9 +5,11 @@
 #include <cmath>
 #include <memory>
 
+#include "sketch/hash_plan.h"
 #include "sketch/merge_compat.h"
 #include "util/math.h"
 #include "util/random.h"
+#include "util/simd.h"
 
 namespace wmsketch {
 
@@ -29,7 +31,11 @@ WmSketch::WmSketch(const WmSketchConfig& config, const LearnerOptions& opts)
 }
 
 double WmSketch::PredictMargin(const SparseVector& x) const {
-  // τ = zᵀRx = (α/√s)·Σ_i x_i Σ_j σ_j(i)·v[j, h_j(i)].
+  // τ = zᵀRx = (α/√s)·Σ_i x_i Σ_j σ_j(i)·v[j, h_j(i)]. The standalone query
+  // path keeps the fused hash-and-accumulate loop: it already hashes each
+  // pair once, and materializing a plan here would only add buffer traffic.
+  // Updates compute this same sum through their plan (MarginFromPlan) so the
+  // hashes are reused by the scatter and heap stages.
   double acc = 0.0;
   for (size_t i = 0; i < x.nnz(); ++i) {
     const uint32_t feature = x.index(i);
@@ -45,8 +51,23 @@ double WmSketch::PredictMargin(const SparseVector& x) const {
   return scale_ / sqrt_depth_ * acc;
 }
 
+double WmSketch::MarginFromPlan(const simd::PlanView& plan, const SparseVector& x,
+                                float* scratch) const {
+  return scale_ / sqrt_depth_ *
+         simd::PlanMargin(table_.data(), plan, x.values().data(), scratch);
+}
+
 double WmSketch::Update(const SparseVector& x, int8_t y) {
-  const double margin = PredictMargin(x);
+  // Hash once: all nnz×depth (bucket, sign) pairs of this example feed the
+  // margin, the gradient scatter, and the heap offers below.
+  HashPlan& plan = TlsPlan();
+  plan.Build(rows_, x);
+  return UpdateWithPlan(x, y, plan.View(), plan.scratch());
+}
+
+double WmSketch::UpdateWithPlan(const SparseVector& x, int8_t y,
+                                const simd::PlanView& plan, float* scratch) {
+  const double margin = MarginFromPlan(plan, x, scratch);
   ++t_;
   const double eta = opts_.rate.Rate(t_);
   const double g = opts_.loss->Derivative(static_cast<double>(y) * margin);
@@ -57,27 +78,41 @@ double WmSketch::Update(const SparseVector& x, int8_t y) {
   // z ← z − η·y·g·Rx: each nonzero feature touches one bucket per row with
   // its sign, scaled by 1/√s (from R = A/√s) and divided by the new α.
   const double step = eta * static_cast<double>(y) * g / (sqrt_depth_ * scale_);
-  for (size_t i = 0; i < x.nnz(); ++i) {
-    const uint32_t feature = x.index(i);
-    const double delta = step * static_cast<double>(x.value(i));
-    for (uint32_t j = 0; j < config_.depth; ++j) {
-      uint32_t bucket;
-      float sign;
-      rows_[j].BucketAndSign(feature, &bucket, &sign);
-      Row(j)[bucket] -= static_cast<float>(delta * static_cast<double>(sign));
-    }
+  if (config_.heap_capacity > 0) {
     // Passive top-K tracking on raw medians (Sec. 5.2 baseline scheme): raw
     // magnitude order equals true-estimate order because √s·α is a shared
-    // positive factor.
-    if (config_.heap_capacity > 0) heap_.Offer(feature, RawMedian(feature));
+    // positive factor. The heap offer for feature i must observe the
+    // scatters of features 0..i only (two colliding features of one example
+    // read different intermediate cells), so scatter and offer interleave
+    // per feature exactly as the pre-plan loop did.
+    const uint32_t d = plan.depth;
+    for (size_t i = 0; i < plan.nnz; ++i) {
+      const double delta = step * static_cast<double>(x.value(i));
+      const uint32_t* off = plan.offsets + i * d;
+      const float* sg = plan.signs + i * d;
+      for (uint32_t j = 0; j < d; ++j) {
+        table_[off[j]] -= static_cast<float>(delta * static_cast<double>(sg[j]));
+      }
+      heap_.Offer(x.index(i), RawMedianFromPlan(plan, i));
+    }
+  } else {
+    simd::PlanScatter(table_.data(), plan, x.values().data(), step, scratch);
   }
   MaybeRescale();
   return margin;
 }
 
 void WmSketch::UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) {
-  for (const Example& ex : batch) {
-    const double margin = Update(ex.x, ex.y);
+  // Hash the whole batch up front into one arena (one allocation burst per
+  // batch), then walk it, prefetching the table cells of example e+1 while
+  // example e updates. State evolution is bit-identical to the per-example
+  // loop: the plans are pure functions of the features.
+  HashPlanArena& arena = TlsArena();
+  arena.Build(rows_, batch);
+  for (size_t e = 0; e < batch.size(); ++e) {
+    if (e + 1 < batch.size()) arena.PrefetchTable(table_.data(), e + 1);
+    const double margin =
+        UpdateWithPlan(batch[e].x, batch[e].y, arena.View(e), arena.scratch());
     if (margins != nullptr) margins->push_back(margin);
   }
 }
@@ -128,9 +163,7 @@ Status WmSketch::MergeScaled(const BudgetedClassifier& other, double coeff) {
   // Resolve the two lazy global scales into this sketch's representation:
   // z = α_a·v_a + c·α_b·v_b = α_a·(v_a + (c·α_b/α_a)·v_b).
   const double ratio = coeff * o.scale_ / scale_;
-  for (size_t i = 0; i < table_.size(); ++i) {
-    table_[i] += static_cast<float>(ratio * static_cast<double>(o.table_[i]));
-  }
+  simd::MergeScaledTable(table_.data(), o.table_.data(), table_.size(), ratio);
 
   // The merged table shifts every bucket, so neither heap's cached raw
   // medians are current. Rebuild over the union of tracked candidates,
@@ -181,11 +214,18 @@ float WmSketch::RawMedian(uint32_t feature) const {
   return MedianInPlace(est, config_.depth);
 }
 
+float WmSketch::RawMedianFromPlan(const simd::PlanView& plan, size_t i) const {
+  // RawMedian without re-hashing: the plan already knows feature i's cells.
+  float est[kMaxDepth];
+  simd::GatherSigned(table_.data(), plan.offsets + i * plan.depth,
+                     plan.signs + i * plan.depth, plan.depth, est);
+  return MedianInPlace(est, plan.depth);
+}
+
 void WmSketch::MaybeRescale() {
   if (scale_ >= kMinScale) return;
-  const float f = static_cast<float>(scale_);
-  for (float& v : table_) v *= f;
-  heap_.Scale(f);
+  simd::ScaleTable(table_.data(), table_.size(), static_cast<float>(scale_));
+  heap_.Scale(static_cast<float>(scale_));
   scale_ = 1.0;
 }
 

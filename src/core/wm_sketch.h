@@ -7,6 +7,7 @@
 #include "hash/tabulation.h"
 #include "linear/classifier.h"
 #include "util/memory_cost.h"
+#include "util/simd.h"
 #include "util/top_k_heap.h"
 
 namespace wmsketch {
@@ -52,10 +53,15 @@ class WmSketch final : public BudgetedClassifier {
   /// Requires config.width a power of two and 1 <= depth <= kMaxDepth.
   WmSketch(const WmSketchConfig& config, const LearnerOptions& opts);
 
+  /// Plan-driven: hashes each (feature, row) pair exactly once per call.
   double PredictMargin(const SparseVector& x) const override;
+  /// One OGD step from a single per-example hash plan: the margin, the
+  /// gradient scatter, and the heap offers all reuse the same nnz×depth
+  /// (bucket, sign) pairs — one hash evaluation per pair per update.
   double Update(const SparseVector& x, int8_t y) override;
-  /// Devirtualized batch ingest: bit-identical to updating example by
-  /// example (`final` lets the loop inline the update step).
+  /// Devirtualized batch ingest: hashes the whole batch up front into a
+  /// plan arena and prefetches the next example's table cells while the
+  /// current one updates. Bit-identical to updating example by example.
   void UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) override;
   float WeightEstimate(uint32_t feature) const override;
   /// OK iff `other` is a WmSketch with identical (width, depth, heap
@@ -87,6 +93,14 @@ class WmSketch final : public BudgetedClassifier {
   // Median over rows of σ_j(i)·v[j, h_j(i)] on the *raw* table (no scale, no
   // √s); WeightEstimate applies √s·α.
   float RawMedian(uint32_t feature) const;
+  /// RawMedian for feature slot `i` of a plan (no re-hash).
+  float RawMedianFromPlan(const simd::PlanView& plan, size_t i) const;
+  /// The margin τ from a prebuilt plan; `scratch` holds plan.entries() floats.
+  double MarginFromPlan(const simd::PlanView& plan, const SparseVector& x,
+                        float* scratch) const;
+  /// The Update body once the plan exists (shared by Update and UpdateBatch).
+  double UpdateWithPlan(const SparseVector& x, int8_t y, const simd::PlanView& plan,
+                        float* scratch);
   void MaybeRescale();
 
   float* Row(uint32_t j) { return table_.data() + static_cast<size_t>(j) * config_.width; }

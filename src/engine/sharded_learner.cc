@@ -23,6 +23,13 @@ constexpr size_t kQueueCapacity = 1024;
 /// cost of a missed wakeup alongside the timed wait below.
 constexpr auto kIdleWait = std::chrono::microseconds(200);
 
+/// How many queued examples a worker drains into one UpdateBatch call. The
+/// batch path hashes the whole run into the model's per-thread plan arena
+/// (one hash per (feature, row) pair, table prefetch across examples), so
+/// each shard trains at the single-thread batched rate instead of the
+/// per-example rate. Small enough that drain barriers stay prompt.
+constexpr size_t kDrainBatch = 64;
+
 /// Content hash of an example's feature indices (splitmix64-style mixing).
 /// Examples are partitioned by feature content, not arrival index, so the
 /// shard assignment is a pure function of the example itself.
@@ -103,10 +110,20 @@ struct ShardedLearner::Impl {
 
   void WorkerLoop(Worker& w) {
     Example ex;
+    std::vector<Example> run;
+    run.reserve(kDrainBatch);
     for (;;) {
-      if (w.ring.TryPop(&ex)) {
-        w.model->Update(ex.x, ex.y);
-        w.processed.fetch_add(1, std::memory_order_relaxed);
+      // Drain a run of queued examples and train them through the batched
+      // (plan-arena) path. Equivalent to example-by-example updates — the
+      // batch path is bit-identical by contract — and the run is fully
+      // trained before the idle/park logic below can observe an empty ring.
+      while (run.size() < kDrainBatch && w.ring.TryPop(&ex)) {
+        run.push_back(std::move(ex));
+      }
+      if (!run.empty()) {
+        w.model->UpdateBatch(run);
+        w.processed.fetch_add(run.size(), std::memory_order_relaxed);
+        run.clear();
         continue;
       }
       // Queue empty: park, stop, or sleep until there is work.

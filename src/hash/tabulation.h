@@ -7,6 +7,14 @@
 
 namespace wmsketch {
 
+#ifdef WMS_HASH_STATS
+/// Per-thread count of tabulation-hash evaluations, compiled in only under
+/// -DWMS_HASH_STATS=ON. bench_hot_path and hash_plan_test read (and reset)
+/// it to verify the single-hash invariant: one evaluation per (feature, row)
+/// pair per update, i.e. exactly nnz×depth.
+inline thread_local uint64_t g_hash_evaluations = 0;
+#endif
+
 /// 3-wise-independent tabulation hashing over 32-bit keys (Appendix B).
 ///
 /// The key is split into four bytes; each byte indexes a table of 256 random
@@ -23,6 +31,9 @@ class TabulationHash {
 
   /// 64-bit hash of a 32-bit key.
   uint64_t Hash(uint32_t key) const {
+#ifdef WMS_HASH_STATS
+    ++g_hash_evaluations;
+#endif
     return tables_[0][key & 0xff] ^ tables_[1][(key >> 8) & 0xff] ^
            tables_[2][(key >> 16) & 0xff] ^ tables_[3][(key >> 24) & 0xff];
   }

@@ -3,7 +3,9 @@
 #include <cassert>
 #include <memory>
 
+#include "sketch/hash_plan.h"
 #include "util/math.h"
+#include "util/simd.h"
 
 namespace wmsketch {
 
@@ -17,6 +19,9 @@ FeatureHashingClassifier::FeatureHashingClassifier(uint32_t buckets, const Learn
 }
 
 double FeatureHashingClassifier::PredictMargin(const SparseVector& x) const {
+  // Standalone queries keep the fused loop (one hash per feature already);
+  // updates ride the depth-1 plan so their hashes feed both the margin and
+  // the scatter.
   double acc = 0.0;
   for (size_t i = 0; i < x.nnz(); ++i) {
     uint32_t bucket;
@@ -29,26 +34,35 @@ double FeatureHashingClassifier::PredictMargin(const SparseVector& x) const {
 }
 
 double FeatureHashingClassifier::Update(const SparseVector& x, int8_t y) {
-  const double margin = PredictMargin(x);
+  HashPlan& plan = TlsPlan();
+  plan.Build(std::span<const SignedBucketHash>(&hash_, 1), x);
+  return UpdateWithPlan(x, y, plan.View(), plan.scratch());
+}
+
+double FeatureHashingClassifier::UpdateWithPlan(const SparseVector& x, int8_t y,
+                                                const simd::PlanView& plan,
+                                                float* scratch) {
+  const double margin =
+      scale_ * simd::PlanMargin(table_.data(), plan, x.values().data(), scratch);
   ++t_;
   const double eta = opts_.rate.Rate(t_);
   const double g = opts_.loss->Derivative(static_cast<double>(y) * margin);
   if (opts_.lambda > 0.0) scale_ *= (1.0 - eta * opts_.lambda);
   const double step = eta * static_cast<double>(y) * g / scale_;
-  for (size_t i = 0; i < x.nnz(); ++i) {
-    uint32_t bucket;
-    float sign;
-    hash_.BucketAndSign(x.index(i), &bucket, &sign);
-    table_[bucket] -= static_cast<float>(step * static_cast<double>(sign) *
-                                         static_cast<double>(x.value(i)));
-  }
+  simd::PlanScatter(table_.data(), plan, x.values().data(), step, scratch);
   MaybeRescale();
   return margin;
 }
 
 void FeatureHashingClassifier::UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) {
-  for (const Example& ex : batch) {
-    const double margin = Update(ex.x, ex.y);
+  // Whole-batch hashing into the arena + next-example prefetch, exactly as
+  // in the sketches; bit-identical to the per-example loop.
+  HashPlanArena& arena = TlsArena();
+  arena.Build(std::span<const SignedBucketHash>(&hash_, 1), batch);
+  for (size_t e = 0; e < batch.size(); ++e) {
+    if (e + 1 < batch.size()) arena.PrefetchTable(table_.data(), e + 1);
+    const double margin =
+        UpdateWithPlan(batch[e].x, batch[e].y, arena.View(e), arena.scratch());
     if (margins != nullptr) margins->push_back(margin);
   }
 }
@@ -71,8 +85,7 @@ WeightEstimator FeatureHashingClassifier::EstimatorSnapshot() const {
 
 void FeatureHashingClassifier::MaybeRescale() {
   if (scale_ >= kMinScale) return;
-  const float f = static_cast<float>(scale_);
-  for (float& w : table_) w *= f;
+  simd::ScaleTable(table_.data(), table_.size(), static_cast<float>(scale_));
   scale_ = 1.0;
 }
 

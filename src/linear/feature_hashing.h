@@ -7,6 +7,7 @@
 #include "hash/tabulation.h"
 #include "linear/classifier.h"
 #include "util/memory_cost.h"
+#include "util/simd.h"
 #include "util/status.h"
 
 namespace wmsketch {
@@ -26,9 +27,12 @@ class FeatureHashingClassifier final : public BudgetedClassifier {
   /// Constructs with `buckets` hashed weights (power of two).
   FeatureHashingClassifier(uint32_t buckets, const LearnerOptions& opts);
 
+  /// Plan-driven (depth-1 plan): one hash per feature per call.
   double PredictMargin(const SparseVector& x) const override;
   double Update(const SparseVector& x, int8_t y) override;
-  /// Devirtualized batch ingest (bit-identical to a loop of Update).
+  /// Devirtualized batch ingest (bit-identical to a loop of Update): the
+  /// whole batch is hashed up front into a plan arena with next-example
+  /// table prefetch.
   void UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) override;
   float WeightEstimate(uint32_t feature) const override;
   /// Frozen estimator capturing copies of the bucket hash and table.
@@ -48,6 +52,9 @@ class FeatureHashingClassifier final : public BudgetedClassifier {
   friend Result<FeatureHashingClassifier> LoadFeatureHashing(std::istream&,
                                                              const LearnerOptions&);
 
+  /// The Update body once the plan exists (shared by Update and UpdateBatch).
+  double UpdateWithPlan(const SparseVector& x, int8_t y, const simd::PlanView& plan,
+                        float* scratch);
   void MaybeRescale();
 
   LearnerOptions opts_;

@@ -19,22 +19,36 @@ CountMinSketch::CountMinSketch(uint32_t width, uint32_t depth, uint64_t seed, bo
   table_.assign(static_cast<size_t>(width) * depth, 0.0);
 }
 
-void CountMinSketch::Update(uint32_t key, double delta) {
+void CountMinSketch::Update(uint32_t key, double delta) { UpdateAndQuery(key, delta); }
+
+double CountMinSketch::UpdateAndQuery(uint32_t key, double delta) {
   assert(delta >= 0.0);
   total_ += delta;
+  // One bucket evaluation per row, shared by the estimate read and the
+  // counter write (the conservative path previously hashed twice — once in
+  // its internal Query, once for the raise — and callers following with
+  // Query(key) paid a third round).
+  uint32_t buckets[kMaxDepth];
+  for (uint32_t j = 0; j < depth_; ++j) buckets[j] = rows_[j].Bucket(key);
   if (!conservative_) {
+    double est = std::numeric_limits<double>::infinity();
     for (uint32_t j = 0; j < depth_; ++j) {
-      Row(j)[rows_[j].Bucket(key)] += delta;
+      double& cell = Row(j)[buckets[j]];
+      cell += delta;
+      est = std::min(est, cell);
     }
-    return;
+    return est;
   }
   // Conservative update: raise each bucket only as far as needed so the new
   // estimate is (old estimate + delta).
-  const double target = Query(key) + delta;
+  double est = std::numeric_limits<double>::infinity();
+  for (uint32_t j = 0; j < depth_; ++j) est = std::min(est, Row(j)[buckets[j]]);
+  const double target = est + delta;
   for (uint32_t j = 0; j < depth_; ++j) {
-    double& cell = Row(j)[rows_[j].Bucket(key)];
+    double& cell = Row(j)[buckets[j]];
     cell = std::max(cell, target);
   }
+  return target;
 }
 
 double CountMinSketch::Query(uint32_t key) const {

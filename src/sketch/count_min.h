@@ -29,6 +29,11 @@ class CountMinSketch {
   /// Adds `delta` (must be >= 0) to the count of `key`.
   void Update(uint32_t key, double delta = 1.0);
 
+  /// Update followed by Query with one bucket evaluation per row instead of
+  /// two (conservative) or three (caller-side Update-then-Query). Returns
+  /// exactly what Query(key) would after Update(key, delta).
+  double UpdateAndQuery(uint32_t key, double delta = 1.0);
+
   /// Point estimate (never underestimates for increment-only streams).
   double Query(uint32_t key) const;
 

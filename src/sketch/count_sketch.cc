@@ -1,9 +1,11 @@
 #include "sketch/count_sketch.h"
 
 #include <cassert>
+#include <cmath>
 
 #include "util/math.h"
 #include "util/random.h"
+#include "util/simd.h"
 
 namespace wmsketch {
 
@@ -37,20 +39,37 @@ float CountSketch::Query(uint32_t key) const {
   return MedianInPlace(est, depth_);
 }
 
+float CountSketch::UpdateAndQuery(uint32_t key, float delta) {
+  // The streaming maintain-and-read pattern (add, then estimate) with one
+  // hash evaluation per row instead of Update's plus Query's.
+  float est[kMaxDepth];
+  for (uint32_t j = 0; j < depth_; ++j) {
+    uint32_t bucket;
+    float sign;
+    rows_[j].BucketAndSign(key, &bucket, &sign);
+    float& cell = Row(j)[bucket];
+    cell += sign * delta;
+    est[j] = sign * cell;
+  }
+  return MedianInPlace(est, depth_);
+}
+
 Status CountSketch::Merge(const CountSketch& other) {
   WMS_RETURN_NOT_OK(CheckMergeCompatible("count-sketch",
                                          SketchShape{width_, depth_, seed_},
                                          SketchShape{other.width_, other.depth_, other.seed_}));
-  for (size_t i = 0; i < table_.size(); ++i) table_[i] += other.table_[i];
+  simd::MergeScaledTable(table_.data(), other.table_.data(), table_.size(), 1.0);
   return Status::OK();
 }
 
 void CountSketch::Scale(float factor) {
-  for (float& v : table_) v *= factor;
+  simd::ScaleTable(table_.data(), table_.size(), factor);
 }
 
 void CountSketch::Clear() { table_.assign(table_.size(), 0.0f); }
 
-double CountSketch::TableL2Norm() const { return L2Norm(table_); }
+double CountSketch::TableL2Norm() const {
+  return std::sqrt(simd::L2NormSquared(table_.data(), table_.size()));
+}
 
 }  // namespace wmsketch

@@ -35,6 +35,11 @@ class CountSketch {
   /// Median-of-rows point estimate of coordinate `key`.
   float Query(uint32_t key) const;
 
+  /// Update followed by Query, hashing each row once instead of twice —
+  /// the hot pattern of streaming estimate maintenance. Bit-identical to
+  /// Update(key, delta); Query(key).
+  float UpdateAndQuery(uint32_t key, float delta);
+
   /// Adds another sketch into this one. Count-Sketch is linear, so the
   /// merged sketch equals the sketch of the summed vectors. Returns
   /// InvalidArgument (and leaves this sketch unchanged) unless both were

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
+
+#include "util/simd.h"
 
 namespace wmsketch {
 
@@ -32,12 +35,90 @@ inline float MedianInPlace(std::vector<float>& values) {
   return values[mid];
 }
 
+namespace detail {
+
+/// Compare-exchange of a sorting network: branchless under -O2 (min/max
+/// lower to vminss/vmaxss on x86), no libc call.
+inline void CSwap(float& a, float& b) {
+  const float lo = std::min(a, b);
+  const float hi = std::max(a, b);
+  a = lo;
+  b = hi;
+}
+
+}  // namespace detail
+
 /// Median of a small fixed buffer (the per-query path for depth-s sketches);
-/// `n` must be >= 1 and the buffer is reordered.
-inline float MedianInPlace(float* values, size_t n) {
-  const size_t mid = (n - 1) / 2;
-  std::nth_element(values, values + static_cast<ptrdiff_t>(mid), values + n);
-  return values[mid];
+/// `n` must be >= 1 and the buffer is reordered. Depths 1–7 — every depth
+/// the paper's configurations use — run an optimal sorting network instead
+/// of std::nth_element: the per-feature heap offer in the update loop calls
+/// this once per nonzero, and the nth_element call overhead dominated the
+/// work at these sizes. Returns the same order statistic (lower-middle
+/// element) on every path.
+inline float MedianInPlace(float* v, size_t n) {
+  using detail::CSwap;
+  switch (n) {
+    case 1:
+      return v[0];
+    case 2:
+      return std::min(v[0], v[1]);
+    case 3:
+      CSwap(v[0], v[1]);
+      CSwap(v[1], v[2]);
+      return std::max(v[0], v[1]);
+    case 4:
+      CSwap(v[0], v[1]);
+      CSwap(v[2], v[3]);
+      CSwap(v[0], v[2]);
+      CSwap(v[1], v[3]);
+      return std::min(v[1], v[2]);
+    case 5:
+      CSwap(v[0], v[1]);
+      CSwap(v[3], v[4]);
+      CSwap(v[2], v[4]);
+      CSwap(v[2], v[3]);
+      CSwap(v[1], v[4]);
+      CSwap(v[0], v[3]);
+      CSwap(v[0], v[2]);
+      CSwap(v[1], v[3]);
+      return std::max(v[1], v[2]);
+    case 6:
+      CSwap(v[1], v[2]);
+      CSwap(v[4], v[5]);
+      CSwap(v[0], v[2]);
+      CSwap(v[3], v[5]);
+      CSwap(v[0], v[1]);
+      CSwap(v[3], v[4]);
+      CSwap(v[2], v[5]);
+      CSwap(v[0], v[3]);
+      CSwap(v[1], v[4]);
+      CSwap(v[2], v[4]);
+      CSwap(v[1], v[3]);
+      return std::min(v[2], v[3]);
+    case 7:
+      CSwap(v[1], v[2]);
+      CSwap(v[3], v[4]);
+      CSwap(v[5], v[6]);
+      CSwap(v[0], v[2]);
+      CSwap(v[3], v[5]);
+      CSwap(v[4], v[6]);
+      CSwap(v[0], v[1]);
+      CSwap(v[4], v[5]);
+      CSwap(v[2], v[6]);
+      CSwap(v[0], v[4]);
+      CSwap(v[1], v[5]);
+      CSwap(v[0], v[3]);
+      CSwap(v[2], v[5]);
+      CSwap(v[1], v[3]);
+      CSwap(v[2], v[4]);
+      CSwap(v[2], v[3]);
+      return v[3];
+    default: {
+      const size_t mid = (n - 1) / 2;
+      std::nth_element(v, v + static_cast<ptrdiff_t>(mid), v + n);
+      return v[mid];
+    }
+  }
 }
 
 /// True iff `x` is a power of two (and nonzero).
@@ -50,11 +131,10 @@ constexpr uint64_t NextPowerOfTwo(uint64_t x) {
   return p;
 }
 
-/// Euclidean (L2) norm of a vector.
+/// Euclidean (L2) norm of a vector (AVX2 table sweep when available; the
+/// vector reduction reorders the sum, so compare with tolerance).
 inline double L2Norm(const std::vector<float>& v) {
-  double s = 0.0;
-  for (float x : v) s += static_cast<double>(x) * static_cast<double>(x);
-  return std::sqrt(s);
+  return std::sqrt(simd::L2NormSquared(v.data(), v.size()));
 }
 
 /// L1 norm of a vector.

@@ -1,0 +1,251 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+// The AVX2 kernels are compiled with per-function target attributes (no
+// global -mavx2 / -march=native), so a single binary carries both paths and
+// picks one per-process via cpuid — CI runners and older machines without
+// AVX2 exercise the scalar fallback of the very same build.
+#if defined(WMS_SIMD) && (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define WMS_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace wmsketch::simd {
+
+namespace {
+
+bool CpuHasAvx2Fma() {
+#ifdef WMS_SIMD_X86
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool InitialEnabled() {
+  if (!CpuHasAvx2Fma()) return false;
+  return std::getenv("WMS_SIMD_DISABLE") == nullptr;
+}
+
+// Atomic because SetEnabled may be called (bench/test toggling) while
+// engine worker threads read the flag inside every kernel; relaxed order
+// suffices — both paths compute the same results, so there is nothing to
+// synchronize beyond the flag itself.
+std::atomic<bool> g_enabled{InitialEnabled()};
+
+// ------------------------------------------------------- scalar kernels
+//
+// These are the semantics of record: every expression matches the seed
+// per-feature loops (see wm_sketch.cc) so a WMS_SIMD=OFF build is
+// bit-identical to pre-plan behavior, and the AVX2 kernels below reproduce
+// them exactly (signs are ±1, so sign application never rounds).
+
+void GatherSignedScalar(const float* table, const uint32_t* offsets, const float* signs,
+                        size_t n, float* out) {
+  for (size_t e = 0; e < n; ++e) out[e] = signs[e] * table[offsets[e]];
+}
+
+void PlanScatterScalar(float* table, const PlanView& plan, const float* values,
+                       double step) {
+  const uint32_t d = plan.depth;
+  for (size_t i = 0; i < plan.nnz; ++i) {
+    const double delta = step * static_cast<double>(values[i]);
+    const uint32_t* off = plan.offsets + i * d;
+    const float* sg = plan.signs + i * d;
+    for (uint32_t j = 0; j < d; ++j) {
+      table[off[j]] -= static_cast<float>(delta * static_cast<double>(sg[j]));
+    }
+  }
+}
+
+void MergeScaledTableScalar(float* dst, const float* src, size_t n, double ratio) {
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] += static_cast<float>(ratio * static_cast<double>(src[i]));
+  }
+}
+
+void ScaleTableScalar(float* t, size_t n, float f) {
+  for (size_t i = 0; i < n; ++i) t[i] *= f;
+}
+
+double L2NormSquaredScalar(const float* t, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    s += static_cast<double>(t[i]) * static_cast<double>(t[i]);
+  }
+  return s;
+}
+
+// --------------------------------------------------------- AVX2 kernels
+
+#ifdef WMS_SIMD_X86
+
+__attribute__((target("avx2,fma"))) void GatherSignedAvx2(const float* table,
+                                                          const uint32_t* offsets,
+                                                          const float* signs, size_t n,
+                                                          float* out) {
+  size_t e = 0;
+  for (; e + 8 <= n; e += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(offsets + e));
+    const __m256 cells = _mm256_i32gather_ps(table, idx, 4);
+    const __m256 sg = _mm256_loadu_ps(signs + e);
+    _mm256_storeu_ps(out + e, _mm256_mul_ps(sg, cells));
+  }
+  for (; e < n; ++e) out[e] = signs[e] * table[offsets[e]];
+}
+
+/// fdelta[i] = float(step · values[i]), the per-feature scatter magnitudes,
+/// 4 double-precision products per iteration.
+__attribute__((target("avx2,fma"))) void StepDeltasAvx2(const float* values, size_t n,
+                                                        double step, float* fdelta) {
+  const __m256d vstep = _mm256_set1_pd(step);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_cvtps_pd(_mm_loadu_ps(values + i));
+    _mm_storeu_ps(fdelta + i, _mm256_cvtpd_ps(_mm256_mul_pd(vstep, v)));
+  }
+  for (; i < n; ++i) {
+    fdelta[i] = static_cast<float>(step * static_cast<double>(values[i]));
+  }
+}
+
+__attribute__((target("avx2,fma"))) void MergeScaledTableAvx2(float* dst,
+                                                              const float* src, size_t n,
+                                                              double ratio) {
+  const __m256d vratio = _mm256_set1_pd(ratio);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 s = _mm256_loadu_ps(src + i);
+    const __m256d lo = _mm256_cvtps_pd(_mm256_castps256_ps128(s));
+    const __m256d hi = _mm256_cvtps_pd(_mm256_extractf128_ps(s, 1));
+    const __m128 flo = _mm256_cvtpd_ps(_mm256_mul_pd(vratio, lo));
+    const __m128 fhi = _mm256_cvtpd_ps(_mm256_mul_pd(vratio, hi));
+    const __m256 add = _mm256_set_m128(fhi, flo);
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i), add));
+  }
+  for (; i < n; ++i) {
+    dst[i] += static_cast<float>(ratio * static_cast<double>(src[i]));
+  }
+}
+
+__attribute__((target("avx2,fma"))) void ScaleTableAvx2(float* t, size_t n, float f) {
+  const __m256 vf = _mm256_set1_ps(f);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(t + i, _mm256_mul_ps(_mm256_loadu_ps(t + i), vf));
+  }
+  for (; i < n; ++i) t[i] *= f;
+}
+
+__attribute__((target("avx2,fma"))) double L2NormSquaredAvx2(const float* t, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_cvtps_pd(_mm_loadu_ps(t + i));
+    acc = _mm256_fmadd_pd(v, v, acc);
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) {
+    s += static_cast<double>(t[i]) * static_cast<double>(t[i]);
+  }
+  return s;
+}
+
+#endif  // WMS_SIMD_X86
+
+}  // namespace
+
+bool Available() { return CpuHasAvx2Fma(); }
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool on) { g_enabled.store(on && Available(), std::memory_order_relaxed); }
+
+const char* ActiveKernel() { return Enabled() ? "avx2" : "scalar"; }
+
+void GatherSigned(const float* table, const uint32_t* offsets, const float* signs,
+                  size_t n, float* out) {
+#ifdef WMS_SIMD_X86
+  // Below one vector width (the depth ≤ 7 sketch queries) the AVX2 variant
+  // would run its scalar tail anyway; skip the extra call.
+  if (g_enabled.load(std::memory_order_relaxed) && n >= 8) {
+    GatherSignedAvx2(table, offsets, signs, n, out);
+    return;
+  }
+#endif
+  GatherSignedScalar(table, offsets, signs, n, out);
+}
+
+double PlanMargin(const float* table, const PlanView& plan, const float* values,
+                  float* scratch) {
+  // Gather phase (vectorizable), then the seed-order accumulation: the
+  // per-feature inner sum is carried in double and folded into the outer
+  // accumulator scaled by x_i, exactly as the pre-plan PredictMargin loops
+  // did — so the margin is bit-identical whichever gather path ran.
+  GatherSigned(table, plan.offsets, plan.signs, plan.entries(), scratch);
+  const uint32_t d = plan.depth;
+  double acc = 0.0;
+  for (size_t i = 0; i < plan.nnz; ++i) {
+    const float* g = scratch + i * d;
+    double per_feature = 0.0;
+    for (uint32_t j = 0; j < d; ++j) per_feature += static_cast<double>(g[j]);
+    acc += per_feature * static_cast<double>(values[i]);
+  }
+  return acc;
+}
+
+void PlanScatter(float* table, const PlanView& plan, const float* values, double step,
+                 float* scratch) {
+#ifdef WMS_SIMD_X86
+  if (g_enabled.load(std::memory_order_relaxed)) {
+    // float(step·xᵢ·σ) == float(step·xᵢ)·σ for σ = ±1, so precomputing the
+    // per-feature magnitudes keeps the stores bit-identical to the scalar
+    // per-entry formula.
+    StepDeltasAvx2(values, plan.nnz, step, scratch);
+    const uint32_t d = plan.depth;
+    for (size_t i = 0; i < plan.nnz; ++i) {
+      const float fd = scratch[i];
+      const uint32_t* off = plan.offsets + i * d;
+      const float* sg = plan.signs + i * d;
+      for (uint32_t j = 0; j < d; ++j) table[off[j]] -= sg[j] * fd;
+    }
+    return;
+  }
+#endif
+  PlanScatterScalar(table, plan, values, step);
+}
+
+void MergeScaledTable(float* dst, const float* src, size_t n, double ratio) {
+#ifdef WMS_SIMD_X86
+  if (g_enabled.load(std::memory_order_relaxed)) {
+    MergeScaledTableAvx2(dst, src, n, ratio);
+    return;
+  }
+#endif
+  MergeScaledTableScalar(dst, src, n, ratio);
+}
+
+void ScaleTable(float* t, size_t n, float f) {
+#ifdef WMS_SIMD_X86
+  if (g_enabled.load(std::memory_order_relaxed)) {
+    ScaleTableAvx2(t, n, f);
+    return;
+  }
+#endif
+  ScaleTableScalar(t, n, f);
+}
+
+double L2NormSquared(const float* t, size_t n) {
+#ifdef WMS_SIMD_X86
+  if (g_enabled.load(std::memory_order_relaxed)) return L2NormSquaredAvx2(t, n);
+#endif
+  return L2NormSquaredScalar(t, n);
+}
+
+}  // namespace wmsketch::simd

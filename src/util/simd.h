@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wmsketch::simd {
+
+/// A flat view of one example's hash plan (see sketch/hash_plan.h): the
+/// nnz × depth (table-offset, sign) pairs of an example, feature-major, so
+/// entry (i, j) sits at i·depth + j. `offsets` are absolute offsets into the
+/// row-major depth×width table (j·width + bucket), `signs` are ±1.0f.
+struct PlanView {
+  const uint32_t* offsets = nullptr;
+  const float* signs = nullptr;
+  size_t nnz = 0;
+  uint32_t depth = 1;
+
+  size_t entries() const { return nnz * depth; }
+};
+
+/// True when the CPU supports the AVX2+FMA kernels (and they were compiled
+/// in, i.e. the build had WMS_SIMD on and targets x86-64).
+bool Available();
+
+/// True when the AVX2 kernels are actually dispatched to: Available(), not
+/// killed by the WMS_SIMD_DISABLE environment variable, and not turned off
+/// via SetEnabled(false).
+bool Enabled();
+
+/// Runtime toggle, used by bench_hot_path and the kernel tests to compare
+/// the two paths inside one process. Forcing `on` without hardware support
+/// is ignored (Enabled() stays false).
+void SetEnabled(bool on);
+
+/// "avx2" or "scalar" — the path Enabled() currently selects.
+const char* ActiveKernel();
+
+/// out[e] = signs[e] · table[offsets[e]]. The AVX2 path uses vpgatherdps;
+/// because signs are exactly ±1, the products are exact and both paths are
+/// bit-identical.
+void GatherSigned(const float* table, const uint32_t* offsets, const float* signs,
+                  size_t n, float* out);
+
+/// The plan-driven margin accumulation Σᵢ xᵢ · Σⱼ signs[i·d+j] ·
+/// table[offsets[i·d+j]], with the per-feature inner sums and the outer
+/// accumulation in double, in exactly the seed evaluation order — so scalar
+/// and AVX2 (which only vectorizes the gather) agree bit-for-bit.
+/// `scratch` must hold plan.entries() floats.
+double PlanMargin(const float* table, const PlanView& plan, const float* values,
+                  float* scratch);
+
+/// The signed gradient scatter table[offsets[i·d+j]] -= float(step·values[i])
+/// · signs[i·d+j] over the whole plan. Only valid when no other read is
+/// interleaved per feature (no tracking heap); the heap-tracking sketches
+/// scatter per-feature instead. `scratch` must hold plan.nnz floats.
+/// Bit-identical across paths (the AVX2 side vectorizes only the per-feature
+/// step·valueᵢ products; sign application and stores are exact).
+void PlanScatter(float* table, const PlanView& plan, const float* values, double step,
+                 float* scratch);
+
+/// dst[i] += float(ratio · src[i]) — the MergeScaled table sweep. The double
+/// product is rounded to float before the add in both paths (bit-identical).
+void MergeScaledTable(float* dst, const float* src, size_t n, double ratio);
+
+/// t[i] *= f — the lazy-rescale table sweep (bit-identical across paths).
+void ScaleTable(float* t, size_t n, float f);
+
+/// Σ t[i]² accumulated in double. The AVX2 path uses a 4-lane reduction, so
+/// unlike the kernels above its rounding can differ from the scalar
+/// left-to-right sum (callers of table norms are tolerance-based).
+double L2NormSquared(const float* t, size_t n);
+
+}  // namespace wmsketch::simd
