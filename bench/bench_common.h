@@ -71,6 +71,18 @@ inline std::string JsonPathArg(int argc, char** argv) {
   return "";
 }
 
+/// Scans argv for `<flag> <positive int>` (e.g. `--reps 3`, `--readers 8`);
+/// returns `fallback` when absent or non-positive.
+inline int IntFlagArg(int argc, char** argv, const char* flag, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      const int value = std::atoi(argv[i + 1]);
+      if (value > 0) return value;
+    }
+  }
+  return fallback;
+}
+
 /// Collector for a bench's machine-readable output: flat rows of named
 /// numbers/strings, written as {"bench": <name>, "rows": [{...}, ...]}.
 /// Append with Row() then Num/Str (which attach to the latest row):

@@ -1,0 +1,252 @@
+// Mixed read/write serving benchmark: R reader threads serve batched
+// predictions and point estimates from published snapshots (wait-free
+// ServingHandles) while one writer thread trains the same learner,
+// publishing every ServeEvery updates.
+//
+//   ./bench_serving [--json BENCH_serving.json] [--readers N]
+//
+// One row per (config, reader count), reader counts {0, N}: the 0-reader
+// row is the writer's no-contention ingest rate (the baseline for the
+// "readers must not stall the writer" criterion on multi-core machines),
+// the N-reader row reports aggregate reader throughput plus the observed
+// snapshot staleness in updates (bounded by ServeEvery on a dedicated
+// writer core; scheduling can stretch the observed mean on oversubscribed
+// machines).
+//
+// Stream lengths scale with WMS_BENCH_SCALE like every other bench.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "engine/serving.h"
+#include "util/simd.h"
+
+namespace wmsketch::bench {
+namespace {
+
+constexpr uint64_t kServeEvery = 4096;
+constexpr size_t kWriteChunk = 512;
+constexpr size_t kReadChunk = 256;
+
+struct ServingConfig {
+  const char* label;
+  Method method;
+  uint32_t width;
+  uint32_t depth;
+  size_t heap;
+};
+
+constexpr ServingConfig kConfigs[] = {
+    {"wm_w256_d3", Method::kWmSketch, 256, 3, 128},
+    {"awm_w256_s256", Method::kAwmSketch, 256, 1, 256},
+    {"hash_w4096", Method::kFeatureHashing, 4096, 0, 0},
+};
+
+// Cache-line aligned: adjacent readers' counters must not false-share — on
+// multi-core machines the ping-pong would depress exactly the aggregate
+// reader throughput this bench exists to measure.
+struct alignas(64) ReaderStats {
+  uint64_t predicts = 0;
+  uint64_t estimates = 0;
+  double staleness_sum = 0.0;
+  uint64_t staleness_max = 0;
+  uint64_t staleness_samples = 0;
+  bool versions_monotone = true;
+  double checksum = 0.0;
+};
+
+struct RunResult {
+  double updates_per_sec = 0.0;
+  double predicts_per_sec = 0.0;
+  double estimates_per_sec = 0.0;
+  double staleness_mean = 0.0;
+  double staleness_max = 0.0;
+  bool monotone = true;
+  double checksum = 0.0;
+};
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+void ReaderLoop(ServingHandle& handle, std::span<const Example> queries,
+                uint32_t dimension, uint64_t seed, const std::atomic<bool>& start,
+                const std::atomic<bool>& done, const std::atomic<uint64_t>& writer_steps,
+                ReaderStats& out) {
+  // Tiny WMS_BENCH_SCALE streams can be shorter than the preferred chunk;
+  // clamp the window (and keep the rotation modulus >= 1) instead of
+  // reading past the query span.
+  const size_t chunk = std::min(kReadChunk, queries.size());
+  const size_t rotate = std::max<size_t>(1, queries.size() - chunk + 1);
+  std::vector<double> margins(chunk);
+  std::vector<uint32_t> keys(chunk);
+  std::vector<float> estimates(chunk);
+  SplitMix64 ids(seed);
+  uint64_t last_version = 0;
+  size_t at = 0;
+  while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+  while (!done.load(std::memory_order_acquire)) {
+    // One batched predict chunk from a rotating window of the query stream.
+    handle.PredictBatch(std::span<const Example>(queries.data() + at, chunk),
+                        margins.data());
+    at = (at + chunk) % rotate;
+    out.predicts += chunk;
+    out.checksum += margins[0];
+
+    const uint64_t version = handle.version();
+    if (version < last_version) out.versions_monotone = false;
+    last_version = version;
+    const uint64_t writer_now = writer_steps.load(std::memory_order_relaxed);
+    const uint64_t seen = handle.steps();
+    const uint64_t lag = writer_now > seen ? writer_now - seen : 0;
+    out.staleness_sum += static_cast<double>(lag);
+    out.staleness_max = std::max(out.staleness_max, lag);
+    ++out.staleness_samples;
+
+    // One batched point-estimate chunk over random feature ids.
+    for (size_t i = 0; i < chunk; ++i) {
+      keys[i] = static_cast<uint32_t>(ids.Next() % dimension);
+    }
+    handle.EstimateBatch(keys, estimates.data());
+    out.estimates += chunk;
+    out.checksum += static_cast<double>(estimates[0]);
+  }
+}
+
+RunResult RunMixed(const ServingConfig& c, int readers,
+                   const std::vector<Example>& stream, uint32_t dimension) {
+  LearnerBuilder b =
+      PaperBuilder(1e-6, 77).SetMethod(c.method).SetWidth(c.width).ServeEvery(kServeEvery);
+  if (c.depth > 0) b.SetDepth(c.depth);
+  if (c.heap > 0) b.SetHeapCapacity(c.heap);
+  Learner model = BuildOrDie(b.Build());
+
+  // Warm-up before the measured window (and before the initial publish, so
+  // readers never serve an all-zero model).
+  const size_t warm = std::min<size_t>(2 * kWriteChunk, stream.size() / 4);
+  model.UpdateBatch(std::span<const Example>(stream.data(), warm));
+
+  // One handle is always acquired — idle in the 0-reader run — so serving
+  // (and its every-K snapshot capture) is active in both rows: the r0 row
+  // is the *publishing* writer's baseline, and the reader rows then isolate
+  // reader contention rather than conflating it with publication cost.
+  std::vector<ServingHandle> handles;
+  for (int r = 0; r < std::max(readers, 1); ++r) {
+    Result<ServingHandle> h = model.AcquireServingHandle();
+    if (!h.ok()) {
+      std::fprintf(stderr, "serving handle: %s\n", h.status().ToString().c_str());
+      std::exit(1);
+    }
+    handles.push_back(std::move(h).value());
+  }
+
+  std::atomic<bool> start{false};
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> writer_steps{model.steps()};
+  const std::span<const Example> queries(stream.data(),
+                                         std::min<size_t>(stream.size(), 20000));
+  std::vector<ReaderStats> stats(static_cast<size_t>(readers));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(readers));
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      ReaderLoop(handles[static_cast<size_t>(r)], queries, dimension,
+                 1000u + static_cast<uint64_t>(r), start, done, writer_steps,
+                 stats[static_cast<size_t>(r)]);
+    });
+  }
+
+  start.store(true, std::memory_order_release);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t at = warm; at < stream.size(); at += kWriteChunk) {
+    const size_t n = std::min(kWriteChunk, stream.size() - at);
+    model.UpdateBatch(std::span<const Example>(stream.data() + at, n));
+    writer_steps.store(model.steps(), std::memory_order_relaxed);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  const double elapsed = Seconds(t0, t1);
+  RunResult out;
+  out.updates_per_sec = static_cast<double>(stream.size() - warm) / elapsed;
+  uint64_t predicts = 0, estimates = 0, samples = 0, stale_max = 0;
+  double stale_sum = 0.0;
+  for (const ReaderStats& s : stats) {
+    predicts += s.predicts;
+    estimates += s.estimates;
+    samples += s.staleness_samples;
+    stale_sum += s.staleness_sum;
+    stale_max = std::max(stale_max, s.staleness_max);
+    out.monotone = out.monotone && s.versions_monotone;
+    out.checksum += s.checksum;
+  }
+  out.predicts_per_sec = static_cast<double>(predicts) / elapsed;
+  out.estimates_per_sec = static_cast<double>(estimates) / elapsed;
+  out.staleness_mean =
+      samples == 0 ? 0.0 : stale_sum / static_cast<double>(samples);
+  out.staleness_max = static_cast<double>(stale_max);
+  return out;
+}
+
+}  // namespace
+}  // namespace wmsketch::bench
+
+int main(int argc, char** argv) {
+  using namespace wmsketch;
+  using namespace wmsketch::bench;
+
+  const ClassificationProfile profile = ClassificationProfile::Rcv1Like();
+  const int examples = ScaledCount(120000);
+  const int readers = IntFlagArg(argc, argv, "--readers", 4);
+  SyntheticClassificationGen gen(profile, 88);
+  std::vector<Example> stream;
+  stream.reserve(static_cast<size_t>(examples));
+  for (int i = 0; i < examples; ++i) stream.push_back(gen.Next());
+
+  Banner("Serving — " + std::to_string(readers) + " readers × 1 writer, publish every " +
+         std::to_string(kServeEvery) + " updates (" + std::to_string(examples) +
+         " examples, " + std::to_string(std::thread::hardware_concurrency()) +
+         " hardware threads)");
+  PrintRow({"config", "readers", "updates/s", "predicts/s", "estimates/s",
+            "stale-mean", "stale-max"});
+
+  BenchJson json("serving");
+  for (const ServingConfig& c : kConfigs) {
+    for (const int r : {0, readers}) {
+      const RunResult res = RunMixed(c, r, stream, profile.dimension);
+      if (!res.monotone) {
+        std::fprintf(stderr, "%s: observed a non-monotone snapshot version!\n",
+                     c.label);
+        return 1;
+      }
+      PrintRow({c.label, std::to_string(r), Fmt(res.updates_per_sec, 0),
+                Fmt(res.predicts_per_sec, 0), Fmt(res.estimates_per_sec, 0),
+                Fmt(res.staleness_mean, 0), Fmt(res.staleness_max, 0)});
+      json.Row()
+          .Str("config", std::string(c.label) + "_r" + std::to_string(r))
+          .Str("base_config", c.label)
+          // The bench measures the production path (runtime kernel dispatch,
+          // whatever this machine has). The "kernel" tag instead encodes the
+          // workload group: writer-only rows and mixed-reader rows scale
+          // completely differently with core count, so check_perf must
+          // normalize each group separately (--kernel writer-only / mixed)
+          // or a multi-core runner fails the 1-core baseline's r0 rows.
+          .Str("kernel", r == 0 ? "writer-only" : "mixed")
+          .Num("readers", r)
+          .Num("serve_every", static_cast<double>(kServeEvery))
+          .Num("updates_per_sec", res.updates_per_sec)
+          .Num("predicts_per_sec", res.predicts_per_sec)
+          .Num("estimates_per_sec", res.estimates_per_sec)
+          .Num("staleness_mean_updates", res.staleness_mean)
+          .Num("staleness_max_updates", res.staleness_max)
+          .Num("checksum", res.checksum);
+    }
+  }
+  json.WriteIfRequested(argc, argv);
+  return 0;
+}

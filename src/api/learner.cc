@@ -1,5 +1,6 @@
 #include "api/learner.h"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <utility>
@@ -41,13 +42,38 @@ Learner::Learner(BudgetConfig config, LearnerOptions opts,
                  std::unique_ptr<BudgetedClassifier> impl)
     : config_(config), opts_(opts), impl_(std::move(impl)) {}
 
-double Learner::Update(const Example& example) { return impl_->Update(example.x, example.y); }
+double Learner::Update(const Example& example) {
+  const double margin = impl_->Update(example.x, example.y);
+  if (serving_ != nullptr) MaybePublishServing();
+  return margin;
+}
 
-void Learner::UpdateBatch(std::span<const Example> batch) { impl_->UpdateBatch(batch); }
+void Learner::UpdateBatch(std::span<const Example> batch) { UpdateBatch(batch, nullptr); }
 
 void Learner::UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) {
-  margins->reserve(margins->size() + batch.size());
-  impl_->UpdateBatch(batch, margins);  // margins come out of the same devirtualized loop
+  if (margins != nullptr) margins->reserve(margins->size() + batch.size());
+  if (serving_ == nullptr || serve_every_ == 0) {
+    impl_->UpdateBatch(batch, margins);  // margins from the same devirtualized loop
+    return;
+  }
+  // Serving with a staleness bound: split the batch at ServeEvery boundaries
+  // so snapshots are published at exactly the promised step counts (readers
+  // never observe staleness above K updates). Model evolution is
+  // bit-identical to the unchunked call — plans are pure per-example.
+  size_t at = 0;
+  while (at < batch.size()) {
+    // Catch up first: steps() can already sit at or past the boundary when
+    // something other than an update advanced it (Merge sums step counts).
+    // Without this the subtraction below would wrap and the whole batch
+    // would run unchunked, silently voiding the staleness bound.
+    if (impl_->steps() >= next_publish_steps_) MaybePublishServing();
+    const uint64_t until_publish = next_publish_steps_ - impl_->steps();
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(batch.size() - at, until_publish));
+    impl_->UpdateBatch(batch.subspan(at, n), margins);
+    at += n;
+    MaybePublishServing();
+  }
 }
 
 double Learner::PredictMargin(const SparseVector& x) const { return impl_->PredictMargin(x); }
@@ -56,6 +82,20 @@ int8_t Learner::Classify(const SparseVector& x) const { return impl_->Classify(x
 
 float Learner::WeightEstimate(uint32_t feature) const {
   return impl_->WeightEstimate(feature);
+}
+
+void Learner::PredictBatch(std::span<const Example> batch,
+                           std::vector<double>* margins) const {
+  const size_t base = margins->size();
+  margins->resize(base + batch.size());
+  impl_->PredictBatch(batch, margins->data() + base);
+}
+
+void Learner::EstimateBatch(std::span<const uint32_t> features,
+                            std::vector<float>* out) const {
+  const size_t base = out->size();
+  out->resize(base + features.size());
+  impl_->EstimateBatch(features, out->data() + base);
 }
 
 Status Learner::CanMerge(const Learner& other) const {
@@ -135,6 +175,11 @@ LearnerBuilder& LearnerBuilder::SetSeed(uint64_t seed) {
   return *this;
 }
 
+LearnerBuilder& LearnerBuilder::ServeEvery(uint64_t k) {
+  serve_every_ = k;
+  return *this;
+}
+
 LearnerBuilder& LearnerBuilder::Shards(uint32_t shards) {
   shards_ = shards;
   return *this;
@@ -204,7 +249,9 @@ Result<Learner> LearnerBuilder::Build() const {
   }
 
   WMS_RETURN_NOT_OK(cfg.Validate());
-  return Learner(cfg, opts_, MakeClassifier(cfg, opts_));
+  Learner learner(cfg, opts_, MakeClassifier(cfg, opts_));
+  learner.serve_every_ = serve_every_;
+  return learner;
 }
 
 // -------------------------------------------------------- serialization

@@ -15,6 +15,8 @@
 namespace wmsketch {
 
 class Learner;
+class ServingHandle;
+class ServingState;
 class ShardedLearner;
 
 /// An immutable, cheaply-copyable view of a learner's queryable state,
@@ -125,6 +127,21 @@ class Learner {
   /// race with ingestion).
   float WeightEstimate(uint32_t feature) const;
 
+  /// Batched margins under the current model (no state change): appends one
+  /// margin per example to `*margins`, bit-identical to a PredictMargin
+  /// loop. WM-Sketch and feature hashing hash the whole batch once into the
+  /// per-thread plan arena and prefetch across examples (the read mirror of
+  /// UpdateBatch); the AWM runs its fused per-example loop, which is already
+  /// single-hash for read-only margins. Like PredictMargin this reads the
+  /// live model — for queries concurrent with training, use a
+  /// \ref ServingHandle instead.
+  void PredictBatch(std::span<const Example> batch, std::vector<double>* margins) const;
+
+  /// Batched live point estimates: appends one estimate per feature id to
+  /// `*out`, bit-identical to a WeightEstimate loop. Sketch-backed methods
+  /// hash every key once and answer from one wide signed gather.
+  void EstimateBatch(std::span<const uint32_t> features, std::vector<float>* out) const;
+
   /// OK iff `other`'s model can be merged into this one: same method, same
   /// shape, same seed. Only the linear sketch methods (WM/AWM) merge; the
   /// non-linear baselines report Unimplemented.
@@ -144,6 +161,28 @@ class Learner {
   /// list should use TopK() instead.
   LearnerSnapshot Snapshot(size_t top_k = kDefaultSnapshotTopK) const;
   static constexpr size_t kDefaultSnapshotTopK = 128;
+
+  // --- Wait-free concurrent serving (src/engine/serving.h) ---
+
+  /// Registers a reader with this learner's serving state and returns a
+  /// \ref ServingHandle through which one reader thread queries published
+  /// model snapshots wait-free while this thread keeps training. Publishes
+  /// an initial snapshot if none exists yet, so a fresh handle is always
+  /// servable. Publication then happens every ServeEvery(k) updates (or on
+  /// explicit PublishServingSnapshot). Fails when the handle-slot table
+  /// (ServingState::kMaxHandles readers) is exhausted. Defined in
+  /// src/engine/serving.cc so the api layer stays engine-free.
+  Result<ServingHandle> AcquireServingHandle();
+
+  /// Publishes a fresh serving snapshot immediately (O(budget) capture +
+  /// one atomic pointer swap). Useful with ServeEvery(0) for caller-paced
+  /// publication; no-op until serving is initialized by the first
+  /// AcquireServingHandle. Defined in src/engine/serving.cc.
+  void PublishServingSnapshot();
+
+  /// Updates between automatic snapshot publications (0 = only explicit
+  /// PublishServingSnapshot calls publish).
+  uint64_t serve_every() const { return serve_every_; }
 
   /// The k heaviest tracked features, materialized into a detached vector
   /// (the same list a Snapshot would carry, without paying for the
@@ -175,9 +214,20 @@ class Learner {
   Learner(BudgetConfig config, LearnerOptions opts,
           std::unique_ptr<BudgetedClassifier> impl);
 
+  /// Publishes a snapshot when steps() has reached the next ServeEvery
+  /// boundary (called after every update once serving is initialized).
+  /// Defined in src/engine/serving.cc.
+  void MaybePublishServing();
+
   BudgetConfig config_;
   LearnerOptions opts_;
   std::unique_ptr<BudgetedClassifier> impl_;
+  // Serving: null until AcquireServingHandle initializes it. shared_ptr so
+  // handles outlive the learner safely (they keep serving the last
+  // published snapshot).
+  std::shared_ptr<ServingState> serving_;
+  uint64_t serve_every_ = 0;
+  uint64_t next_publish_steps_ = 0;
 };
 
 /// Fluent, validating constructor for \ref Learner — the single public entry
@@ -224,6 +274,14 @@ class LearnerBuilder {
   /// Seed for all hashing/randomized internals (default 42).
   LearnerBuilder& SetSeed(uint64_t seed);
 
+  /// Publishes a serving snapshot every `k` updates once serving is active
+  /// (see Learner::AcquireServingHandle) — the staleness bound, in updates,
+  /// of what concurrent readers observe. 0 (the default) publishes only on
+  /// explicit PublishServingSnapshot calls. For BuildSharded engines a
+  /// publication requires a merge barrier, so `k` there acts as a sync-and-
+  /// publish interval (see ShardedLearner::AcquireServingHandle).
+  LearnerBuilder& ServeEvery(uint64_t k);
+
   /// Number of parallel ingestion shards for BuildSharded (default 1).
   /// Build() is unaffected: it always constructs the sequential learner.
   LearnerBuilder& Shards(uint32_t shards);
@@ -264,6 +322,7 @@ class LearnerBuilder {
   bool method_set_ = false;
   uint32_t shards_ = 1;
   uint64_t sync_interval_ = 0;
+  uint64_t serve_every_ = 0;
   LearnerOptions opts_;
 };
 

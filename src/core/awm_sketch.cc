@@ -8,6 +8,7 @@
 
 #include "sketch/hash_plan.h"
 #include "sketch/merge_compat.h"
+#include "sketch/read_path.h"
 #include "util/math.h"
 #include "util/random.h"
 #include "util/simd.h"
@@ -15,7 +16,76 @@
 namespace wmsketch {
 
 namespace {
+
 constexpr double kMinScale = 1e-25;
+
+/// The frozen AWM read model: the active set as a hash map of *raw* weights
+/// plus its scale (so margins keep the live path's double-precision
+/// heap_scale·raw products), and a copy of the tail sketch. Answers are
+/// bit-identical to what the live model answered at capture time.
+class AwmReadModel final : public ReadModel {
+ public:
+  AwmReadModel(std::unordered_map<uint32_t, float> active, double heap_scale,
+               std::vector<SignedBucketHash> rows, std::vector<float> table,
+               double estimate_factor)
+      : active_(std::move(active)),
+        heap_scale_(heap_scale),
+        rows_(std::move(rows)),
+        table_(std::move(table)),
+        estimate_factor_(estimate_factor) {}
+
+  double PredictMargin(const SparseVector& x) const override {
+    double acc = 0.0;
+    for (size_t i = 0; i < x.nnz(); ++i) {
+      const uint32_t feature = x.index(i);
+      const auto it = active_.find(feature);
+      const double w = it != active_.end()
+                           ? heap_scale_ * static_cast<double>(it->second)
+                           : static_cast<double>(TailQuery(feature));
+      acc += w * static_cast<double>(x.value(i));
+    }
+    return acc;
+  }
+
+  // A batched AWM margin has no second consumer to share hashes with (no
+  // scatter follows a read-only margin), so the fused per-example loop —
+  // which already hashes each tail (feature, row) pair exactly once — is the
+  // single-hash optimum; a plan would only add buffer traffic.
+  void PredictBatch(std::span<const Example> batch, double* out) const override {
+    for (size_t e = 0; e < batch.size(); ++e) out[e] = PredictMargin(batch[e].x);
+  }
+
+  float Estimate(uint32_t feature) const override {
+    const auto it = active_.find(feature);
+    if (it != active_.end()) {
+      return static_cast<float>(heap_scale_ * static_cast<double>(it->second));
+    }
+    return TailQuery(feature);
+  }
+
+  void EstimateBatch(std::span<const uint32_t> features, float* out) const override {
+    readpath::ActiveGatherMedianBatch(
+        table_.data(), rows_, features, estimate_factor_,
+        [this](uint32_t feature) -> std::optional<float> {
+          const auto it = active_.find(feature);
+          if (it == active_.end()) return std::nullopt;
+          return static_cast<float>(heap_scale_ * static_cast<double>(it->second));
+        },
+        out);
+  }
+
+ private:
+  float TailQuery(uint32_t feature) const {
+    return readpath::FusedEstimate(table_.data(), rows_, feature, estimate_factor_);
+  }
+
+  std::unordered_map<uint32_t, float> active_;  // raw active-set weights
+  double heap_scale_;
+  std::vector<SignedBucketHash> rows_;
+  std::vector<float> table_;
+  double estimate_factor_;  // √s·α for the tail sketch
+};
+
 }  // namespace
 
 AwmSketch::AwmSketch(const AwmSketchConfig& config, const LearnerOptions& opts)
@@ -62,6 +132,31 @@ double AwmSketch::PredictMarginWithPlan(const SparseVector& x, HashPlan& plan) c
     acc += w * static_cast<double>(x.value(i));
   }
   return acc;
+}
+
+void AwmSketch::PredictBatch(std::span<const Example> batch, double* margins) const {
+  // Read-only margins have no scatter stage to share hashes with, so the
+  // fused loop is already single-hash; see AwmReadModel::PredictBatch.
+  for (size_t e = 0; e < batch.size(); ++e) margins[e] = PredictMargin(batch[e].x);
+}
+
+void AwmSketch::EstimateBatch(std::span<const uint32_t> features, float* out) const {
+  readpath::ActiveGatherMedianBatch(
+      table_.data(), rows_, features, sqrt_depth_ * sketch_scale_,
+      [this](uint32_t feature) -> std::optional<float> {
+        const std::optional<float> raw = heap_.Get(feature);
+        if (!raw.has_value()) return std::nullopt;
+        return static_cast<float>(heap_scale_ * static_cast<double>(*raw));
+      },
+      out);
+}
+
+std::unique_ptr<const ReadModel> AwmSketch::MakeReadModel() const {
+  std::unordered_map<uint32_t, float> active;
+  active.reserve(heap_.size());
+  for (const FeatureWeight& fw : heap_.Entries()) active.emplace(fw.feature, fw.weight);
+  return std::make_unique<AwmReadModel>(std::move(active), heap_scale_, rows_, table_,
+                                        sqrt_depth_ * sketch_scale_);
 }
 
 float AwmSketch::SketchQuery(uint32_t feature) const {

@@ -57,6 +57,18 @@ class AwmSketch final : public BudgetedClassifier {
 
   /// Plan-driven: hashes each (feature, row) pair exactly once per call.
   double PredictMargin(const SparseVector& x) const override;
+  /// Batched margins. As with UpdateBatch, the AWM cannot hash a batch up
+  /// front (membership decides which features touch the sketch), so each
+  /// example runs through one lazy per-thread plan — bit-identical to the
+  /// PredictMargin loop.
+  void PredictBatch(std::span<const Example> batch, double* margins) const override;
+  /// Batched point estimates: active-set hits answer exactly; the tail
+  /// batches through a hash-once + wide-gather median path. Bit-identical
+  /// to a WeightEstimate loop.
+  void EstimateBatch(std::span<const uint32_t> features, float* out) const override;
+  /// Frozen read model: the active set (raw weights + scale) plus a copy of
+  /// the tail sketch, with the batched read paths.
+  std::unique_ptr<const ReadModel> MakeReadModel() const override;
   /// One step from a single per-example hash plan: the margin's tail
   /// queries, the candidate queries, and the tail scatters reuse the same
   /// nnz×depth pairs (evictee fold-backs, which involve features outside x,

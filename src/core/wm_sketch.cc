@@ -7,6 +7,7 @@
 
 #include "sketch/hash_plan.h"
 #include "sketch/merge_compat.h"
+#include "sketch/read_path.h"
 #include "util/math.h"
 #include "util/random.h"
 #include "util/simd.h"
@@ -14,7 +15,46 @@
 namespace wmsketch {
 
 namespace {
+
 constexpr double kMinScale = 1e-25;
+
+/// The frozen WM read model: copies of the hash rows and raw table plus the
+/// two resolved scale factors. Every answer delegates to the shared
+/// sketch/read_path.h kernels, so frozen answers are bit-identical to what
+/// the live model answered at capture time — by shared definition, not by
+/// parallel copies of the loops.
+class WmReadModel final : public ReadModel {
+ public:
+  WmReadModel(std::vector<SignedBucketHash> rows, std::vector<float> table,
+              double margin_factor, double estimate_factor)
+      : rows_(std::move(rows)),
+        table_(std::move(table)),
+        margin_factor_(margin_factor),
+        estimate_factor_(estimate_factor) {}
+
+  double PredictMargin(const SparseVector& x) const override {
+    return readpath::FusedMargin(table_.data(), rows_, x, margin_factor_);
+  }
+
+  void PredictBatch(std::span<const Example> batch, double* out) const override {
+    readpath::PlanMarginBatch(table_.data(), rows_, batch, margin_factor_, out);
+  }
+
+  float Estimate(uint32_t feature) const override {
+    return readpath::FusedEstimate(table_.data(), rows_, feature, estimate_factor_);
+  }
+
+  void EstimateBatch(std::span<const uint32_t> features, float* out) const override {
+    readpath::GatherMedianBatch(table_.data(), rows_, features, estimate_factor_, out);
+  }
+
+ private:
+  std::vector<SignedBucketHash> rows_;
+  std::vector<float> table_;
+  double margin_factor_;    // α/√s — applied to raw margin sums
+  double estimate_factor_;  // √s·α — applied to raw medians
+};
+
 }  // namespace
 
 WmSketch::WmSketch(const WmSketchConfig& config, const LearnerOptions& opts)
@@ -49,6 +89,19 @@ double WmSketch::PredictMargin(const SparseVector& x) const {
     acc += per_feature * static_cast<double>(x.value(i));
   }
   return scale_ / sqrt_depth_ * acc;
+}
+
+void WmSketch::PredictBatch(std::span<const Example> batch, double* margins) const {
+  readpath::PlanMarginBatch(table_.data(), rows_, batch, scale_ / sqrt_depth_, margins);
+}
+
+void WmSketch::EstimateBatch(std::span<const uint32_t> features, float* out) const {
+  readpath::GatherMedianBatch(table_.data(), rows_, features, sqrt_depth_ * scale_, out);
+}
+
+std::unique_ptr<const ReadModel> WmSketch::MakeReadModel() const {
+  return std::make_unique<WmReadModel>(rows_, table_, scale_ / sqrt_depth_,
+                                       sqrt_depth_ * scale_);
 }
 
 double WmSketch::MarginFromPlan(const simd::PlanView& plan, const SparseVector& x,

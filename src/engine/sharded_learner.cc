@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "core/budget.h"
+#include "engine/serving.h"
 #include "engine/spsc_ring.h"
 
 namespace wmsketch {
@@ -107,6 +108,12 @@ struct ShardedLearner::Impl {
   uint64_t since_sync = 0;
   uint64_t syncs = 0;
   bool collapsed = false;
+
+  // Serving (null until AcquireServingHandle): snapshots are published at
+  // merge barriers, where a consistent global model exists.
+  std::shared_ptr<ServingState> serving;
+  uint64_t serve_every = 0;
+  uint64_t since_publish = 0;
 
   void WorkerLoop(Worker& w) {
     Example ex;
@@ -232,6 +239,15 @@ struct ShardedLearner::Impl {
     if (st.ok()) {
       ++syncs;
       since_sync = 0;
+      // Publish while the workers are still parked: for multiple shards the
+      // freshly combined `base` is the global model; for one shard the lone
+      // (drained, quiescent) replica is. Readers switch over wait-free.
+      if (serving != nullptr) {
+        const BudgetedClassifier& model =
+            (shards > 1 && base != nullptr) ? *base : *workers[0]->model;
+        serving->Publish(CaptureServingSnapshot(model, Learner::kDefaultSnapshotTopK));
+        since_publish = 0;
+      }
     }
     ResumeAll();
     return st;
@@ -264,6 +280,11 @@ Status ShardedLearner::Push(Example example) {
   }
   if (impl.sync_interval > 0 && impl.since_sync >= impl.sync_interval) {
     WMS_RETURN_NOT_OK(impl.Sync());
+  } else if (impl.serving != nullptr && impl.serve_every > 0 &&
+             impl.since_publish >= impl.serve_every) {
+    // A publication needs a consistent global model, which only a merge
+    // barrier produces — so ServeEvery paces extra sync-and-publish rounds.
+    WMS_RETURN_NOT_OK(impl.Sync());
   }
   const size_t shard =
       impl.shards > 1 ? static_cast<size_t>(ExampleHash(example.x) % impl.shards) : 0;
@@ -275,6 +296,7 @@ Status ShardedLearner::Push(Example example) {
   if (w.sleeping.load(std::memory_order_relaxed)) impl.Wake(w);
   ++impl.pushed;
   ++impl.since_sync;
+  ++impl.since_publish;
   return Status::OK();
 }
 
@@ -309,7 +331,38 @@ Result<Learner> ShardedLearner::Collapse() {
   } else {
     WMS_ASSIGN_OR_RETURN(model, impl.CombineLocked());
   }
-  return Learner(impl.config, impl.opts, std::move(model));
+  Learner collapsed(impl.config, impl.opts, std::move(model));
+  if (impl.serving != nullptr) {
+    // Publish the final model, and hand the serving state to the collapsed
+    // learner: existing handles keep working, and further (sequential)
+    // training keeps publishing on the same cadence.
+    impl.serving->Publish(
+        CaptureServingSnapshot(collapsed.impl(), Learner::kDefaultSnapshotTopK));
+    collapsed.serving_ = std::move(impl.serving);
+    collapsed.serve_every_ = impl.serve_every;
+    collapsed.next_publish_steps_ = collapsed.steps() + impl.serve_every;
+  }
+  return collapsed;
+}
+
+Result<ServingHandle> ShardedLearner::AcquireServingHandle() {
+  Impl& impl = *impl_;
+  if (impl.collapsed) {
+    return Status::FailedPrecondition("sharded learner already collapsed");
+  }
+  if (impl.serving == nullptr) impl.serving = std::make_shared<ServingState>();
+  if (impl.serving->published_version() == 0) {
+    // First acquisition: one barrier publishes the current global model so
+    // the handle is immediately servable.
+    WMS_RETURN_NOT_OK(impl.Sync());
+  }
+  ServingState::Slot* slot = impl.serving->RegisterHandle();
+  if (slot == nullptr) {
+    return Status::FailedPrecondition(
+        "serving: all " + std::to_string(ServingState::kMaxHandles) +
+        " reader handle slots are registered");
+  }
+  return ServingHandle(impl.serving, slot);
 }
 
 uint32_t ShardedLearner::shards() const { return impl_->shards; }
@@ -350,6 +403,7 @@ Result<ShardedLearner> LearnerBuilder::BuildSharded() const {
   impl->opts = prototype.options();
   impl->shards = shards_;
   impl->sync_interval = sync_interval_;
+  impl->serve_every = serve_every_;
   impl->workers.reserve(shards_);
   for (uint32_t i = 0; i < shards_; ++i) {
     auto worker = std::make_unique<ShardedLearner::Impl::Worker>();

@@ -68,6 +68,17 @@ class ShardedLearner {
   /// Collapse calls return FailedPrecondition.
   Result<Learner> Collapse();
 
+  /// Registers a reader with the engine's serving state (see
+  /// engine/serving.h) and returns a wait-free \ref ServingHandle. Reader
+  /// queries never block ingestion; it is *publication* that needs a
+  /// consistent global model, so the engine publishes at every merge
+  /// barrier: each periodic/explicit Sync, every ServeEvery(k) pushed
+  /// examples (each such publication IS a merge barrier), and the final
+  /// Collapse. The first acquisition runs one sync to publish the current
+  /// state. Owner-thread call, like Push/SyncNow; FailedPrecondition after
+  /// Collapse.
+  Result<ServingHandle> AcquireServingHandle();
+
   /// Number of parallel shards (fixed at build time).
   uint32_t shards() const;
   /// Examples between periodic synchronizations (0 = only at Collapse).

@@ -42,6 +42,38 @@ WeightEstimator BudgetedClassifier::EstimatorSnapshot() const {
   };
 }
 
+namespace {
+
+/// The default frozen read model: a WeightEstimator closure plus the linear
+/// margin over it. Exact for every method whose live PredictMargin is the
+/// linear functional of its tracked weights (the Sec. 7 baselines apply one
+/// shared lazy scale per margin where this applies it per frozen term, so
+/// agreement is up to float rounding of the individual estimates).
+class EstimatorReadModel final : public ReadModel {
+ public:
+  explicit EstimatorReadModel(WeightEstimator estimator)
+      : estimator_(std::move(estimator)) {}
+
+  double PredictMargin(const SparseVector& x) const override {
+    double acc = 0.0;
+    for (size_t i = 0; i < x.nnz(); ++i) {
+      acc += static_cast<double>(estimator_(x.index(i))) * static_cast<double>(x.value(i));
+    }
+    return acc;
+  }
+
+  float Estimate(uint32_t feature) const override { return estimator_(feature); }
+
+ private:
+  WeightEstimator estimator_;
+};
+
+}  // namespace
+
+std::unique_ptr<const ReadModel> BudgetedClassifier::MakeReadModel() const {
+  return std::make_unique<EstimatorReadModel>(EstimatorSnapshot());
+}
+
 std::vector<FeatureWeight> ScanTopK(const BudgetedClassifier& model, size_t k,
                                     uint32_t dimension) {
   return ScanTopK([&model](uint32_t i) { return model.WeightEstimate(i); }, k, dimension);

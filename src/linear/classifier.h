@@ -22,6 +22,43 @@ namespace wmsketch {
 /// this cheap: a classifier's entire state is at most its byte budget.
 using WeightEstimator = std::function<float(uint32_t)>;
 
+/// An immutable, self-contained *frozen read model*: everything needed to
+/// answer margins and point estimates from one moment of a classifier's
+/// life, decoupled from the live (mutating) model. This is the structured
+/// sibling of \ref WeightEstimator — where the estimator is a single frozen
+/// point-query closure, a ReadModel additionally carries the batched SIMD
+/// read paths (plan-driven margins, wide gathered medians), which is what
+/// the wait-free serving layer (src/engine/serving.h) publishes to readers.
+///
+/// Contract: every method is const, thread-safe, and allocation-free on the
+/// steady state (per-thread plan scratch only ever grows), so any number of
+/// reader threads may query one ReadModel concurrently.
+class ReadModel {
+ public:
+  virtual ~ReadModel() = default;
+
+  /// The margin wᵀx under the frozen model.
+  virtual double PredictMargin(const SparseVector& x) const = 0;
+
+  /// Batched margins: out[e] = PredictMargin(batch[e].x), bit-identical to
+  /// the loop. Methods with a plan-driven read path override it to hash the
+  /// whole batch up front and prefetch across examples (see
+  /// sketch/read_path.h); the default is the plain loop.
+  virtual void PredictBatch(std::span<const Example> batch, double* out) const {
+    for (size_t e = 0; e < batch.size(); ++e) out[e] = PredictMargin(batch[e].x);
+  }
+
+  /// Frozen point estimate ŵᵢ.
+  virtual float Estimate(uint32_t feature) const = 0;
+
+  /// Batched point estimates: out[i] = Estimate(features[i]), bit-identical
+  /// to the loop; sketch-backed overrides hash all keys once and run one
+  /// wide signed gather.
+  virtual void EstimateBatch(std::span<const uint32_t> features, float* out) const {
+    for (size_t i = 0; i < features.size(); ++i) out[i] = Estimate(features[i]);
+  }
+};
+
 /// Hyperparameters shared by every online linear learner in the library.
 struct LearnerOptions {
   /// ℓ2-regularization strength λ (Eq. 1). The paper sweeps
@@ -73,12 +110,40 @@ class BudgetedClassifier {
     }
   }
 
+  /// Batched read-only margins: out[e] = PredictMargin(batch[e].x), bit-
+  /// identical to the loop. WM-Sketch and feature hashing override it with
+  /// the plan-arena path (whole batch hashed once, cross-example prefetch,
+  /// SIMD gathers); the AWM overrides it with its lazy per-example plan.
+  /// NOTE: reads the live model — it races with concurrent updates exactly
+  /// like PredictMargin does. Concurrent serving goes through a published
+  /// ReadModel (engine/serving.h) instead.
+  virtual void PredictBatch(std::span<const Example> batch, double* margins) const {
+    for (size_t e = 0; e < batch.size(); ++e) margins[e] = PredictMargin(batch[e].x);
+  }
+
+  /// Batched point estimates: out[i] = WeightEstimate(features[i]), bit-
+  /// identical to the loop; sketch-backed methods override with a
+  /// hash-once + wide-gather path (sketch/read_path.h).
+  virtual void EstimateBatch(std::span<const uint32_t> features, float* out) const {
+    for (size_t i = 0; i < features.size(); ++i) out[i] = WeightEstimate(features[i]);
+  }
+
   /// Returns a frozen, self-contained weight estimator (see
   /// \ref WeightEstimator). The default materializes every tracked entry
   /// from TopK(); classifiers whose estimates are not exhausted by their
   /// tracked identifiers (the sketches, feature hashing, the dense model)
   /// override it to capture their table state instead.
   virtual WeightEstimator EstimatorSnapshot() const;
+
+  /// Returns a frozen \ref ReadModel capturing this classifier's current
+  /// queryable state (O(budget) copy). The default wraps EstimatorSnapshot:
+  /// Estimate answers from the frozen estimator and PredictMargin is the
+  /// linear functional Σᵢ Estimate(i)·xᵢ of the frozen estimates — exact for
+  /// every method whose live margin is that same functional of its tracked
+  /// weights (all Sec. 7 baselines), up to the per-term rounding of the
+  /// frozen float estimates. The sketches and feature hashing override it
+  /// with table-backed models carrying the batched SIMD read paths.
+  virtual std::unique_ptr<const ReadModel> MakeReadModel() const;
 
   /// Point estimate ŵᵢ of the uncompressed model's weight for `feature`.
   virtual float WeightEstimate(uint32_t feature) const = 0;

@@ -4,13 +4,54 @@
 #include <memory>
 
 #include "sketch/hash_plan.h"
+#include "sketch/read_path.h"
 #include "util/math.h"
 #include "util/simd.h"
 
 namespace wmsketch {
 
 namespace {
+
 constexpr double kMinScale = 1e-25;
+
+/// Frozen feature-hashing read model: the bucket hash, a copy of the raw
+/// table, and the resolved scale. A depth-1 "sketch" as far as the batched
+/// read paths are concerned (the median of one row is the row itself).
+class HashReadModel final : public ReadModel {
+ public:
+  HashReadModel(SignedBucketHash hash, std::vector<float> table, double scale)
+      : hash_(hash), table_(std::move(table)), scale_(scale) {}
+
+  double PredictMargin(const SparseVector& x) const override {
+    return readpath::FusedMargin(table_.data(),
+                                 std::span<const SignedBucketHash>(&hash_, 1), x,
+                                 scale_);
+  }
+
+  void PredictBatch(std::span<const Example> batch, double* out) const override {
+    readpath::PlanMarginBatch(table_.data(),
+                              std::span<const SignedBucketHash>(&hash_, 1), batch,
+                              scale_, out);
+  }
+
+  float Estimate(uint32_t feature) const override {
+    return readpath::FusedEstimate(table_.data(),
+                                   std::span<const SignedBucketHash>(&hash_, 1),
+                                   feature, scale_);
+  }
+
+  void EstimateBatch(std::span<const uint32_t> features, float* out) const override {
+    readpath::GatherMedianBatch(table_.data(),
+                                std::span<const SignedBucketHash>(&hash_, 1), features,
+                                scale_, out);
+  }
+
+ private:
+  SignedBucketHash hash_;
+  std::vector<float> table_;
+  double scale_;
+};
+
 }  // namespace
 
 FeatureHashingClassifier::FeatureHashingClassifier(uint32_t buckets, const LearnerOptions& opts)
@@ -31,6 +72,22 @@ double FeatureHashingClassifier::PredictMargin(const SparseVector& x) const {
            static_cast<double>(x.value(i));
   }
   return scale_ * acc;
+}
+
+void FeatureHashingClassifier::PredictBatch(std::span<const Example> batch,
+                                            double* margins) const {
+  readpath::PlanMarginBatch(table_.data(), std::span<const SignedBucketHash>(&hash_, 1),
+                            batch, scale_, margins);
+}
+
+void FeatureHashingClassifier::EstimateBatch(std::span<const uint32_t> features,
+                                             float* out) const {
+  readpath::GatherMedianBatch(table_.data(), std::span<const SignedBucketHash>(&hash_, 1),
+                              features, scale_, out);
+}
+
+std::unique_ptr<const ReadModel> FeatureHashingClassifier::MakeReadModel() const {
+  return std::make_unique<HashReadModel>(hash_, table_, scale_);
 }
 
 double FeatureHashingClassifier::Update(const SparseVector& x, int8_t y) {

@@ -1,0 +1,158 @@
+#pragma once
+
+// Shared batched *read* kernels: the prediction/point-query mirror of the
+// batched update path. Both the live classifiers (Learner::PredictBatch /
+// EstimateBatch on WM, AWM, and feature hashing) and the frozen serving
+// models (src/engine/serving.h) answer batched queries through these, so the
+// two paths cannot drift apart.
+//
+// The single-hash invariant holds exactly as on the write side: a batched
+// margin hashes every (feature, row) pair of the batch once into the
+// per-thread plan arena (cross-example table prefetch included), and a
+// batched point query hashes every (key, row) pair once into the per-thread
+// plan, prefetches, runs ONE wide signed gather over all entries, and takes
+// the per-key medians from the gathered buffer. No allocation on the steady
+// state: the TLS plan/arena buffers only ever grow.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/budget.h"
+#include "hash/tabulation.h"
+#include "sketch/hash_plan.h"
+#include "stream/sparse_vector.h"
+#include "util/math.h"
+#include "util/simd.h"
+
+namespace wmsketch::readpath {
+
+/// The fused one-pass margin Σᵢ xᵢ·Σⱼ σⱼ(i)·table[hⱼ(i)] · factor — hash,
+/// read, and accumulate per feature with nothing materialized. This is the
+/// single-hash optimum for a read-only margin when there is no gather
+/// vectorization to feed (unlike updates, a predict has no scatter/heap
+/// stage to reuse the hashes, so a plan buffer is pure overhead on the
+/// scalar path). Bit-identical to PlanMargin over the same pairs.
+inline double FusedMargin(const float* table, std::span<const SignedBucketHash> rows,
+                          const SparseVector& x, double factor) {
+  double acc = 0.0;
+  for (size_t i = 0; i < x.nnz(); ++i) {
+    const uint32_t feature = x.index(i);
+    double per_feature = 0.0;
+    for (size_t j = 0; j < rows.size(); ++j) {
+      uint32_t bucket;
+      float sign;
+      rows[j].BucketAndSign(feature, &bucket, &sign);
+      per_feature += static_cast<double>(sign) *
+                     static_cast<double>(table[j * rows[j].width() + bucket]);
+    }
+    acc += per_feature * static_cast<double>(x.value(i));
+  }
+  return factor * acc;
+}
+
+/// The fused single-key point estimate float(factor · median_j(σ_j(key)·
+/// table[h_j(key)])): hash, read, and take the median with nothing
+/// materialized — the one definition of a sketch point query that the live
+/// classifiers' frozen read models and the batched fallback below all
+/// share, so the "frozen answers == live answers" bit-identity cannot
+/// drift copy by copy.
+inline float FusedEstimate(const float* table, std::span<const SignedBucketHash> rows,
+                           uint32_t key, double factor) {
+  float est[kMaxSketchDepth];  // rows.size() never exceeds it (Validate())
+  for (size_t j = 0; j < rows.size(); ++j) {
+    uint32_t bucket;
+    float sign;
+    rows[j].BucketAndSign(key, &bucket, &sign);
+    est[j] = sign * table[j * rows[j].width() + bucket];
+  }
+  return static_cast<float>(factor *
+                            static_cast<double>(MedianInPlace(est, rows.size())));
+}
+
+/// Batched plan-driven margins: out[e] = factor · margin(batch[e]) —
+/// bit-identical to the fused per-example PredictMargin loop (PlanMargin
+/// keeps the seed evaluation order). With the AVX2 gathers dispatched, the
+/// whole batch is hashed up front and example e+1's table cells are
+/// prefetched while example e accumulates; on the scalar path the plan
+/// buffer round-trip only costs (there is no second consumer of the hashes
+/// on a read), so each example runs the fused loop instead.
+inline void PlanMarginBatch(const float* table, std::span<const SignedBucketHash> rows,
+                            std::span<const Example> batch, double factor, double* out) {
+  if (batch.empty()) return;
+  if (!simd::ReadPlanDispatched(batch[0].x.nnz() * rows.size())) {
+    for (size_t e = 0; e < batch.size(); ++e) {
+      out[e] = FusedMargin(table, rows, batch[e].x, factor);
+    }
+    return;
+  }
+  HashPlanArena& arena = TlsArena();
+  arena.Build(rows, batch);
+  for (size_t e = 0; e < batch.size(); ++e) {
+    if (e + 1 < batch.size()) arena.PrefetchTable(table, e + 1);
+    out[e] = factor * simd::PlanMargin(table, arena.View(e), batch[e].x.values().data(),
+                                       arena.scratch());
+  }
+}
+
+/// Batched sketch point estimates: out[i] = float(factor · median_j(σ_j(kᵢ)·
+/// table[h_j(kᵢ)])) — bit-identical to the per-key RawMedian/SketchQuery
+/// loop. With depth ≥ 2 and the AVX2 gathers dispatched, all keys are
+/// hashed once, prefetched, and read by one wide gather, with network
+/// (depth ≤ 7) or rank-selection (depth ≥ 8) medians taken from the
+/// gathered buffer. Depth-1 "medians" are single cells (hash + multiply),
+/// and without vector gathers the plan round-trip is pure overhead — both
+/// cases run the fused per-key loop.
+inline void GatherMedianBatch(const float* table, std::span<const SignedBucketHash> rows,
+                              std::span<const uint32_t> keys, double factor, float* out) {
+  if (keys.empty()) return;
+  if (rows.size() == 1 || !simd::ReadPlanDispatched(keys.size() * rows.size())) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      out[i] = FusedEstimate(table, rows, keys[i], factor);
+    }
+    return;
+  }
+  HashPlan& plan = TlsPlan();
+  plan.BuildKeys(rows, keys);
+  plan.PrefetchTable(table);
+  const simd::PlanView view = plan.View();
+  float* gathered = plan.scratch();
+  simd::GatherSigned(table, view.offsets, view.signs, view.entries(), gathered);
+  const uint32_t depth = view.depth;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    out[i] = static_cast<float>(
+        factor * static_cast<double>(MedianInPlace(gathered + i * depth, depth)));
+  }
+}
+
+/// GatherMedianBatch for models with an exact active set in front of the
+/// sketch (the AWM): keys resolved by `lookup` (returning the exact
+/// true-scale weight, or no value) answer from it, the rest batch through
+/// the gathered-median tail path. TLS scratch, no steady-state allocation.
+template <typename ActiveLookup>
+inline void ActiveGatherMedianBatch(const float* table,
+                                    std::span<const SignedBucketHash> rows,
+                                    std::span<const uint32_t> keys, double factor,
+                                    ActiveLookup&& lookup, float* out) {
+  thread_local std::vector<uint32_t> tail_keys;
+  thread_local std::vector<uint32_t> tail_pos;
+  thread_local std::vector<float> tail_out;
+  tail_keys.clear();
+  tail_pos.clear();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const std::optional<float> exact = lookup(keys[i]);
+    if (exact.has_value()) {
+      out[i] = *exact;
+    } else {
+      tail_keys.push_back(keys[i]);
+      tail_pos.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  if (tail_keys.empty()) return;
+  tail_out.resize(tail_keys.size());
+  GatherMedianBatch(table, rows, tail_keys, factor, tail_out.data());
+  for (size_t k = 0; k < tail_keys.size(); ++k) out[tail_pos[k]] = tail_out[k];
+}
+
+}  // namespace wmsketch::readpath

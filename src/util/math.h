@@ -113,11 +113,11 @@ inline float MedianInPlace(float* v, size_t n) {
       CSwap(v[2], v[4]);
       CSwap(v[2], v[3]);
       return v[3];
-    default: {
-      const size_t mid = (n - 1) / 2;
-      std::nth_element(v, v + static_cast<ptrdiff_t>(mid), v + n);
-      return v[mid];
-    }
+    default:
+      // Depth >= 8: rank-counting AVX2 selection when dispatched, with an
+      // nth_element scalar fallback — bit-identical order statistic either
+      // way (util/simd.cc).
+      return simd::MedianLarge(v, n);
   }
 }
 

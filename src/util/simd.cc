@@ -1,7 +1,11 @@
 #include "util/simd.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <mutex>
+#include <vector>
 
 // The AVX2 kernels are compiled with per-function target attributes (no
 // global -mavx2 / -march=native), so a single binary carries both paths and
@@ -35,6 +39,40 @@ bool InitialEnabled() {
 // suffices — both paths compute the same results, so there is nothing to
 // synchronize beyond the flag itself.
 std::atomic<bool> g_enabled{InitialEnabled()};
+
+// Dispatch thresholds, one relaxed atomic per field: read on every kernel
+// call (possibly from engine worker threads) while SetThresholds may be
+// called from a bench/tuning thread. Both paths compute identical results,
+// so — exactly as with g_enabled — nothing beyond the fields themselves
+// needs synchronizing.
+struct AtomicThresholds {
+  std::atomic<uint32_t> gather_min_entries{KernelThresholds{}.gather_min_entries};
+  std::atomic<uint32_t> scatter_min_nnz{KernelThresholds{}.scatter_min_nnz};
+  std::atomic<uint32_t> sweep_min_elems{KernelThresholds{}.sweep_min_elems};
+  std::atomic<uint32_t> median_min_depth{KernelThresholds{}.median_min_depth};
+};
+AtomicThresholds g_thresholds;
+
+inline bool DispatchAvx2(size_t n, const std::atomic<uint32_t>& min_size) {
+  return g_enabled.load(std::memory_order_relaxed) &&
+         n >= min_size.load(std::memory_order_relaxed);
+}
+
+// Gather-calibration state: 0 = pending, 1 = running, 2 = settled. The hot
+// path pays one acquire load; an explicit SetThresholds settles the state
+// so user-chosen thresholds are never clobbered by a late calibration.
+std::atomic<int> g_gather_cal_state{0};
+
+// Serializes threshold *writers* (SetThresholds, the calibration's result
+// application, SetReadPlanDispatched) so a calibration that was already
+// mid-run when SetThresholds arrived cannot clobber the explicit values —
+// the calibration re-checks the state under this lock before applying.
+// Readers stay lock-free.
+std::mutex g_threshold_writer_mu;
+
+// Whether the read-only batch paths should materialize plans for the wide
+// gather (see ReadPlanDispatched). Calibrated; conservatively off.
+std::atomic<bool> g_read_plan_profitable{false};
 
 // ------------------------------------------------------- scalar kernels
 //
@@ -77,6 +115,12 @@ double L2NormSquaredScalar(const float* t, size_t n) {
     s += static_cast<double>(t[i]) * static_cast<double>(t[i]);
   }
   return s;
+}
+
+float MedianLargeScalar(float* v, size_t n) {
+  const size_t mid = (n - 1) / 2;
+  std::nth_element(v, v + static_cast<ptrdiff_t>(mid), v + n);
+  return v[mid];
 }
 
 // --------------------------------------------------------- AVX2 kernels
@@ -157,7 +201,153 @@ __attribute__((target("avx2,fma"))) double L2NormSquaredAvx2(const float* t, siz
   return s;
 }
 
+/// Rank-counting selection: v[i] is the lower-middle order statistic iff
+/// #(y < v[i]) <= mid < #(y < v[i]) + #(y == v[i]). Eight comparisons per
+/// instruction, no data-dependent partitioning, and the input is left
+/// untouched. For the depth range this serves (8..64 rows) the O(n²/8)
+/// comparison count undercuts nth_element's call-and-branch overhead.
+__attribute__((target("avx2"))) float MedianLargeAvx2(const float* v, size_t n) {
+  const size_t mid = (n - 1) / 2;
+  for (size_t i = 0; i < n; ++i) {
+    const __m256 xi = _mm256_set1_ps(v[i]);
+    size_t lt = 0, eq = 0;
+    size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      const __m256 w = _mm256_loadu_ps(v + j);
+      lt += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(
+          _mm256_movemask_ps(_mm256_cmp_ps(w, xi, _CMP_LT_OQ)))));
+      eq += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(
+          _mm256_movemask_ps(_mm256_cmp_ps(w, xi, _CMP_EQ_OQ)))));
+    }
+    for (; j < n; ++j) {
+      lt += v[j] < v[i] ? 1 : 0;
+      eq += v[j] == v[i] ? 1 : 0;
+    }
+    if (lt <= mid && mid < lt + eq) return v[i];
+  }
+  return v[mid];  // unreachable for totally ordered (finite) inputs
+}
+
+/// Times the AVX2 gather against the scalar loop on an L2-resident table
+/// with random offsets, at an update-sized problem (256 entries ≈ one
+/// example's nnz·depth) and at a batch-sized one (4096 ≈ one EstimateBatch
+/// chunk), and sets the gather dispatch accordingly: full (wins at both
+/// sizes), batch-only (wins only wide), or off. A kernel must win by a
+/// clear margin (≥20%) to dispatch — vpgatherdps runs at wildly different
+/// speeds across parts (microcode mitigations, virtualization), borderline
+/// wins flip with scheduling noise, and the scalar loop is never wrong.
+void CalibrateGatherImpl() {
+  if (!CpuHasAvx2Fma()) return;
+  constexpr size_t kTableSize = 1u << 15;  // 128 KiB of floats
+  constexpr size_t kBatchEntries = 4096;
+  constexpr size_t kUpdateEntries = 256;
+  std::vector<float> table(kTableSize);
+  std::vector<uint32_t> offsets(kBatchEntries);
+  std::vector<float> signs(kBatchEntries);
+  std::vector<float> out(kBatchEntries);
+  uint64_t x = 0x9e3779b97f4a7c15ULL;
+  auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (float& c : table) {
+    c = static_cast<float>(static_cast<int>(next() & 0xff) - 128) * 0.01f;
+  }
+  for (size_t i = 0; i < kBatchEntries; ++i) {
+    const uint64_t r = next();
+    offsets[i] = static_cast<uint32_t>(r) & (kTableSize - 1);
+    signs[i] = ((r >> 32) & 1) != 0 ? 1.0f : -1.0f;
+  }
+  float sink = 0.0f;
+  double acc_sink = 0.0;
+  // Best-of-7 over fixed-work inner loops: the minimum is the noise-robust
+  // estimator for "how fast can this kernel go on this machine".
+  const auto best_of = [&](size_t iters, auto&& kernel) {
+    double best = 1e300;
+    for (int rep = 0; rep < 7; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (size_t iter = 0; iter < iters; ++iter) kernel();
+      const auto t1 = std::chrono::steady_clock::now();
+      sink += out[kBatchEntries / 2];  // defeat dead-code elimination
+      best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+  };
+  const auto gather_pair = [&](size_t n, size_t iters, double required_ratio) {
+    const double scalar_time = best_of(iters, [&] {
+      GatherSignedScalar(table.data(), offsets.data(), signs.data(), n, out.data());
+    });
+    const double avx2_time = best_of(iters, [&] {
+      GatherSignedAvx2(table.data(), offsets.data(), signs.data(), n, out.data());
+    });
+    return avx2_time < required_ratio * scalar_time;
+  };
+  // Update-sized gathers run interleaved with hashing, scatters, and heap
+  // offers, whose work the out-of-order core overlaps with scalar table
+  // reads for free — in-situ measurements show an isolated ~1.5× gather win
+  // evaporating inside the update loop. Demand a 2× isolated win before
+  // believing any of it transfers; wide batch gathers run back-to-back with
+  // nothing to hide behind, so a clear (1.25×) win suffices there.
+  const bool wins_update_size = gather_pair(kUpdateEntries, 128, 0.5);
+  const bool wins_batch_size = gather_pair(kBatchEntries, 8, 0.8);
+
+  // The read-path structural comparison at batch size: one fused pass (read
+  // table, apply sign, accumulate — what the fused margin/median loops do
+  // after hashing) versus the plan route (hardware gather into scratch + an
+  // accumulation pass over it). Hashing costs both routes the same and
+  // cancels out.
+  const double fused_read_time = best_of(8, [&] {
+    double acc = 0.0;
+    for (size_t e = 0; e < kBatchEntries; ++e) {
+      acc += static_cast<double>(signs[e]) * static_cast<double>(table[offsets[e]]);
+    }
+    acc_sink += acc;
+  });
+  const double plan_read_time = best_of(8, [&] {
+    GatherSignedAvx2(table.data(), offsets.data(), signs.data(), kBatchEntries,
+                     out.data());
+    double acc = 0.0;
+    for (size_t e = 0; e < kBatchEntries; ++e) acc += static_cast<double>(out[e]);
+    acc_sink += acc;
+  });
+  if (sink == 12345.678f || acc_sink == 12345.678) std::abort();  // keep sinks live
+
+  // Apply under the writer lock, and only if nobody settled the state while
+  // the timing loops ran: an explicit SetThresholds that raced with this
+  // calibration must win ("explicit thresholds always stand").
+  std::lock_guard<std::mutex> lk(g_threshold_writer_mu);
+  if (g_gather_cal_state.load(std::memory_order_acquire) != 1) return;
+  if (!wins_batch_size) {
+    // Not even the most gather-friendly shape wins: scalar everywhere.
+    g_thresholds.gather_min_entries.store(0xffffffffu, std::memory_order_relaxed);
+  } else if (!wins_update_size) {
+    // Wide gathers pay, update-sized ones don't: dispatch batch-width only.
+    g_thresholds.gather_min_entries.store(1024, std::memory_order_relaxed);
+  }
+  if (wins_batch_size && plan_read_time < 0.8 * fused_read_time) {
+    // Gathers beat fused reads despite the extra pass: let the batched
+    // read paths materialize plans.
+    g_read_plan_profitable.store(true, std::memory_order_relaxed);
+  }
+}
+
 #endif  // WMS_SIMD_X86
+
+#ifdef WMS_SIMD_X86
+void EnsureGatherCalibrated() {
+  if (g_gather_cal_state.load(std::memory_order_acquire) == 2) return;
+  int expected = 0;
+  if (g_gather_cal_state.compare_exchange_strong(expected, 1,
+                                                 std::memory_order_acq_rel)) {
+    CalibrateGatherImpl();
+    g_gather_cal_state.store(2, std::memory_order_release);
+  }
+  // A concurrent calibrator is mid-run: proceed with the current thresholds
+  // (both dispatch targets are bit-identical, so nothing can go wrong).
+}
+#endif
 
 }  // namespace
 
@@ -169,17 +359,76 @@ void SetEnabled(bool on) { g_enabled.store(on && Available(), std::memory_order_
 
 const char* ActiveKernel() { return Enabled() ? "avx2" : "scalar"; }
 
+KernelThresholds Thresholds() {
+  KernelThresholds t;
+  t.gather_min_entries = g_thresholds.gather_min_entries.load(std::memory_order_relaxed);
+  t.scatter_min_nnz = g_thresholds.scatter_min_nnz.load(std::memory_order_relaxed);
+  t.sweep_min_elems = g_thresholds.sweep_min_elems.load(std::memory_order_relaxed);
+  t.median_min_depth = g_thresholds.median_min_depth.load(std::memory_order_relaxed);
+  return t;
+}
+
+void SetThresholds(const KernelThresholds& t) {
+  // Explicit thresholds settle the calibration state so a later lazy
+  // calibration can never clobber them; the writer lock covers a
+  // calibration that is already mid-run (it re-checks the state under the
+  // same lock before applying its results).
+  std::lock_guard<std::mutex> lk(g_threshold_writer_mu);
+  g_gather_cal_state.store(2, std::memory_order_release);
+  g_thresholds.gather_min_entries.store(t.gather_min_entries, std::memory_order_relaxed);
+  g_thresholds.scatter_min_nnz.store(t.scatter_min_nnz, std::memory_order_relaxed);
+  g_thresholds.sweep_min_elems.store(t.sweep_min_elems, std::memory_order_relaxed);
+  g_thresholds.median_min_depth.store(t.median_min_depth, std::memory_order_relaxed);
+}
+
+void SetReadPlanDispatched(bool on) {
+  std::lock_guard<std::mutex> lk(g_threshold_writer_mu);
+  g_gather_cal_state.store(2, std::memory_order_release);  // explicit choice stands
+  g_read_plan_profitable.store(on, std::memory_order_relaxed);
+}
+
+void CalibrateGather() {
+#ifdef WMS_SIMD_X86
+  EnsureGatherCalibrated();
+#endif
+}
+
+bool GatherDispatched(size_t entries) {
+#ifdef WMS_SIMD_X86
+  EnsureGatherCalibrated();
+#endif
+  return DispatchAvx2(entries, g_thresholds.gather_min_entries);
+}
+
+bool ReadPlanDispatched(size_t entries) {
+#ifdef WMS_SIMD_X86
+  EnsureGatherCalibrated();
+#endif
+  return g_read_plan_profitable.load(std::memory_order_relaxed) &&
+         DispatchAvx2(entries, g_thresholds.gather_min_entries);
+}
+
 void GatherSigned(const float* table, const uint32_t* offsets, const float* signs,
                   size_t n, float* out) {
 #ifdef WMS_SIMD_X86
-  // Below one vector width (the depth ≤ 7 sketch queries) the AVX2 variant
-  // would run its scalar tail anyway; skip the extra call.
-  if (g_enabled.load(std::memory_order_relaxed) && n >= 8) {
+  // Below the crossover (in particular every depth ≤ 7 per-feature median
+  // gather) the AVX2 variant would pay the vpgatherdps setup only to run its
+  // scalar tail anyway; skip the extra call. The first dispatch calibrates
+  // whether this machine's hardware gather is worth using at all.
+  EnsureGatherCalibrated();
+  if (DispatchAvx2(n, g_thresholds.gather_min_entries)) {
     GatherSignedAvx2(table, offsets, signs, n, out);
     return;
   }
 #endif
   GatherSignedScalar(table, offsets, signs, n, out);
+}
+
+float MedianLarge(float* v, size_t n) {
+#ifdef WMS_SIMD_X86
+  if (DispatchAvx2(n, g_thresholds.median_min_depth)) return MedianLargeAvx2(v, n);
+#endif
+  return MedianLargeScalar(v, n);
 }
 
 double PlanMargin(const float* table, const PlanView& plan, const float* values,
@@ -203,7 +452,7 @@ double PlanMargin(const float* table, const PlanView& plan, const float* values,
 void PlanScatter(float* table, const PlanView& plan, const float* values, double step,
                  float* scratch) {
 #ifdef WMS_SIMD_X86
-  if (g_enabled.load(std::memory_order_relaxed)) {
+  if (DispatchAvx2(plan.nnz, g_thresholds.scatter_min_nnz)) {
     // float(step·xᵢ·σ) == float(step·xᵢ)·σ for σ = ±1, so precomputing the
     // per-feature magnitudes keeps the stores bit-identical to the scalar
     // per-entry formula.
@@ -223,7 +472,7 @@ void PlanScatter(float* table, const PlanView& plan, const float* values, double
 
 void MergeScaledTable(float* dst, const float* src, size_t n, double ratio) {
 #ifdef WMS_SIMD_X86
-  if (g_enabled.load(std::memory_order_relaxed)) {
+  if (DispatchAvx2(n, g_thresholds.sweep_min_elems)) {
     MergeScaledTableAvx2(dst, src, n, ratio);
     return;
   }
@@ -233,7 +482,7 @@ void MergeScaledTable(float* dst, const float* src, size_t n, double ratio) {
 
 void ScaleTable(float* t, size_t n, float f) {
 #ifdef WMS_SIMD_X86
-  if (g_enabled.load(std::memory_order_relaxed)) {
+  if (DispatchAvx2(n, g_thresholds.sweep_min_elems)) {
     ScaleTableAvx2(t, n, f);
     return;
   }
@@ -243,7 +492,7 @@ void ScaleTable(float* t, size_t n, float f) {
 
 double L2NormSquared(const float* t, size_t n) {
 #ifdef WMS_SIMD_X86
-  if (g_enabled.load(std::memory_order_relaxed)) return L2NormSquaredAvx2(t, n);
+  if (DispatchAvx2(n, g_thresholds.sweep_min_elems)) return L2NormSquaredAvx2(t, n);
 #endif
   return L2NormSquaredScalar(t, n);
 }

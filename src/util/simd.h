@@ -35,6 +35,75 @@ void SetEnabled(bool on);
 /// "avx2" or "scalar" — the path Enabled() currently selects.
 const char* ActiveKernel();
 
+/// Per-kernel dispatch thresholds: the minimum problem size (in the units of
+/// each kernel's size argument) at which the AVX2 variant is dispatched even
+/// when Enabled(). One global on/off switch turned out to be too coarse —
+/// vpgatherdps and the cvt-heavy scatter prologue have real fixed costs, so
+/// below these sizes the scalar kernel wins and the AVX2 path *regressed*
+/// read-side throughput (see BENCH_hot_path.json history). Thresholds bucket
+/// by the size the kernel actually sees (entries = nnz·depth for gathers,
+/// nnz for scatters, elements for table sweeps, depth for medians), which is
+/// how width/depth shape differences reach the dispatcher. Defaults come
+/// from crossover measurements on the development container; SetThresholds
+/// exists for per-machine tuning experiments, not for production code.
+struct KernelThresholds {
+  /// GatherSigned / the PlanMargin gather: minimum entry count (nnz·depth).
+  uint32_t gather_min_entries = 16;
+  /// PlanScatter's vectorized per-feature step products: minimum nnz.
+  uint32_t scatter_min_nnz = 8;
+  /// MergeScaledTable / ScaleTable / L2NormSquared: minimum element count.
+  uint32_t sweep_min_elems = 32;
+  /// MedianLarge rank-selection: minimum depth (never consulted below 8 —
+  /// depths 1–7 always take the branchless sorting networks in util/math.h).
+  uint32_t median_min_depth = 8;
+};
+
+/// The thresholds the dispatcher currently applies.
+KernelThresholds Thresholds();
+
+/// Replaces the dispatch thresholds (benchmark/tuning use; thread-safe).
+void SetThresholds(const KernelThresholds& t);
+
+/// True when GatherSigned would dispatch to the AVX2 gather for a problem
+/// of `entries` elements.
+bool GatherDispatched(size_t entries);
+
+/// True when a *read-only* batch of `entries` (feature, row) pairs should
+/// materialize a hash plan and run the wide-gather path instead of the
+/// fused hash-and-accumulate loop. Reads differ from updates: an update's
+/// plan is consumed by three stages (margin, scatter, heap offers), so
+/// materializing it is free amortization, but a read consumes its hashes
+/// once — the plan's SoA store + reload + second pass only pays off when
+/// the hardware gather beats scalar table reads by more than that overhead.
+/// Decided by the startup calibration (measured, not assumed: vpgatherdps
+/// speed varies wildly across parts); false whenever gathers are off.
+bool ReadPlanDispatched(size_t entries);
+
+/// Forces the read-plan decision (tests/benches: the plan branches of the
+/// batched read paths must be exercisable — and their bit-identity against
+/// the fused loops assertable — even on machines where the calibration
+/// would route reads fused). Settles the calibration like SetThresholds, so
+/// the explicit choice stands. The gather size threshold still applies.
+void SetReadPlanDispatched(bool on);
+
+/// One-shot calibration: times the AVX2 gather against the scalar loop on a
+/// representative problem and disables the gather dispatch
+/// (gather_min_entries = UINT32_MAX) when it does not measurably win —
+/// vpgatherdps is fast on some parts and microcode-crippled or
+/// emulation-slow on others, and no compile-time signal distinguishes them.
+/// Runs automatically before the first gather dispatch (≈1 ms, once per
+/// process); calling SetThresholds first suppresses it, so explicit
+/// thresholds always stand. No-op without AVX2.
+void CalibrateGather();
+
+/// Lower-middle order statistic of v[0..n) for n >= 8 — the median path for
+/// sketch depths beyond the util/math.h sorting networks. The AVX2 variant
+/// is a branchless rank-counting selection (8 comparisons per instruction,
+/// no data-dependent partitioning); the scalar fallback is nth_element. Both
+/// return the value of the same order statistic, so the paths are
+/// bit-identical; only the scalar path reorders `v`.
+float MedianLarge(float* v, size_t n);
+
 /// out[e] = signs[e] · table[offsets[e]]. The AVX2 path uses vpgatherdps;
 /// because signs are exactly ±1, the products are exact and both paths are
 /// bit-identical.

@@ -1,9 +1,14 @@
-// Tests for the mergeability layer (BudgetedClassifier::Merge and friends)
-// and the sharded parallel training engine built on top of it.
+// Tests for the mergeability layer (BudgetedClassifier::Merge and friends),
+// the sharded parallel training engine built on top of it, and the
+// concurrent behavior of the wait-free serving path (this suite is what the
+// TSan CI job runs).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <span>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -12,6 +17,7 @@
 #include "core/awm_sketch.h"
 #include "core/wm_sketch.h"
 #include "datagen/classification_gen.h"
+#include "engine/serving.h"
 #include "engine/sharded_learner.h"
 #include "engine/spsc_ring.h"
 #include "linear/dense_linear_model.h"
@@ -342,6 +348,124 @@ TEST(ShardedLearnerTest, ShardedRecoveryQualityWithinToleranceOfSequential) {
   Result<Learner> restored = LoadLearner(io, ref_opts);
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ(restored.value().steps(), collapsed.steps());
+}
+
+// ---------------------------------------------------- concurrent serving
+
+// Readers spin on ServingHandles while the writer trains and publishes
+// every K updates. Checked invariants: observed versions and step counts
+// are monotone; every snapshot is internally consistent (two reads of the
+// same feature under one pin are bit-identical — a torn or mutated table
+// would break this); margins are finite. Run under TSan in CI, this is
+// also the race-freedom proof of the pin/publish/reclaim protocol.
+TEST(ServingConcurrencyTest, PredictUnderUpdateIsMonotoneAndConsistent) {
+  const ClassificationProfile profile = ClassificationProfile::SmallTest();
+  const std::vector<Example> stream = MakeStream(profile, 7, 12000);
+
+  Learner model = std::move(WmBuilder().ServeEvery(512).Build()).value();
+  constexpr int kReaders = 3;
+  std::vector<ServingHandle> handles;
+  for (int r = 0; r < kReaders; ++r) {
+    Result<ServingHandle> h = model.AcquireServingHandle();
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+    handles.push_back(std::move(h).value());
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      ServingHandle& handle = handles[static_cast<size_t>(r)];
+      const std::span<const Example> queries(stream.data(), 64);
+      std::vector<double> margins(queries.size());
+      const uint32_t probe = 11;
+      uint64_t last_version = 0;
+      uint64_t last_steps = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const uint64_t v = handle.Refresh();
+        const uint64_t s = handle.steps();
+        if (v < last_version || s < last_steps) {
+          failed.store(true);
+          return;
+        }
+        last_version = v;
+        last_steps = s;
+        handle.PredictBatch(queries, margins.data());
+        for (const double m : margins) {
+          if (!std::isfinite(m)) {
+            failed.store(true);
+            return;
+          }
+        }
+        // Internal consistency under one pin: the snapshot is immutable, so
+        // two point queries of the same feature in one batch must agree
+        // bit-for-bit no matter how many versions the writer publishes.
+        const uint32_t ids[2] = {probe, probe};
+        float est[2];
+        handle.EstimateBatch(ids, est);
+        if (est[0] != est[1]) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+
+  // The writer trains (and publishes every 512 updates) while readers spin.
+  constexpr size_t kChunk = 256;
+  for (size_t at = 0; at < stream.size(); at += kChunk) {
+    model.UpdateBatch(std::span<const Example>(
+        stream.data() + at, std::min(kChunk, stream.size() - at)));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_FALSE(failed.load());
+  // Every boundary was published; the readers' final refresh can observe it.
+  EXPECT_EQ(handles[0].Refresh(), 1u + model.steps() / 512);
+  EXPECT_EQ(handles[0].steps(), (model.steps() / 512) * 512);
+}
+
+// The same under sharded ingestion: readers serve from merge-barrier
+// snapshots while the owner pushes and workers train.
+TEST(ServingConcurrencyTest, ShardedPredictUnderPushIsMonotone) {
+  const ClassificationProfile profile = ClassificationProfile::SmallTest();
+  const std::vector<Example> stream = MakeStream(profile, 23, 8000);
+
+  ShardedLearner engine =
+      std::move(AwmBuilder().Shards(2).ServeEvery(2000).BuildSharded()).value();
+  Result<ServingHandle> acquired = engine.AcquireServingHandle();
+  ASSERT_TRUE(acquired.ok()) << acquired.status().ToString();
+  ServingHandle handle = std::move(acquired).value();
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+  std::thread reader([&] {
+    const std::span<const Example> queries(stream.data(), 32);
+    std::vector<double> margins(queries.size());
+    uint64_t last_version = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const uint64_t v = handle.Refresh();
+      if (v < last_version) {
+        failed.store(true);
+        return;
+      }
+      last_version = v;
+      handle.PredictBatch(queries, margins.data());
+    }
+  });
+
+  ASSERT_TRUE(engine.PushBatch(stream).ok());
+  Result<Learner> collapsed = engine.Collapse();
+  ASSERT_TRUE(collapsed.ok());
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_FALSE(failed.load());
+  handle.Refresh();
+  EXPECT_EQ(handle.steps(), stream.size());
 }
 
 TEST(ShardedLearnerTest, DestructorWithoutCollapseJoinsCleanly) {

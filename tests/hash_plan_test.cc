@@ -58,14 +58,23 @@ std::string Serialized(const Learner& learner) {
   return out.str();
 }
 
-// Restores the ambient kernel selection after a test that toggles it.
+// Restores the ambient kernel selection, dispatch thresholds, and read-plan
+// choice after a test that toggles them — including when the test bails out
+// early on a failed ASSERT, so one regression cannot leak forced dispatch
+// state into every later test in the binary.
 class SimdStateGuard {
  public:
-  SimdStateGuard() : was_(simd::Enabled()) {}
-  ~SimdStateGuard() { simd::SetEnabled(was_); }
+  SimdStateGuard() : was_(simd::Enabled()), thresholds_(simd::Thresholds()) {}
+  ~SimdStateGuard() {
+    simd::SetEnabled(was_);
+    simd::SetThresholds(thresholds_);
+    // Only ever forced on by tests; the ambient (calibrated) default is off.
+    simd::SetReadPlanDispatched(false);
+  }
 
  private:
   bool was_;
+  simd::KernelThresholds thresholds_;
 };
 
 // ------------------------------------------------------------- hash plan
@@ -108,6 +117,28 @@ TEST(HashPlanTest, ArenaViewsMatchPerExamplePlans) {
     for (size_t k = 0; k < v.entries(); ++k) {
       EXPECT_EQ(v.offsets[k], single.View().offsets[k]);
       EXPECT_EQ(v.signs[k], single.View().signs[k]);
+    }
+  }
+}
+
+TEST(HashPlanTest, BuildKeysMatchesDirectBucketAndSign) {
+  const uint32_t depth = 4, width = 512;
+  const std::vector<SignedBucketHash> rows = MakeRows(depth, width, 77);
+  SplitMix64 ids(19);
+  std::vector<uint32_t> keys;
+  for (int i = 0; i < 300; ++i) keys.push_back(static_cast<uint32_t>(ids.Next() % (1 << 18)));
+  HashPlan plan;
+  plan.BuildKeys(rows, keys);
+  ASSERT_EQ(plan.nnz(), keys.size());
+  ASSERT_EQ(plan.depth(), depth);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(plan.has(i));
+    for (uint32_t j = 0; j < depth; ++j) {
+      uint32_t bucket;
+      float sign;
+      rows[j].BucketAndSign(keys[i], &bucket, &sign);
+      EXPECT_EQ(plan.offsets(i)[j], j * width + bucket);
+      EXPECT_EQ(plan.signs(i)[j], sign);
     }
   }
 }
@@ -279,6 +310,53 @@ TEST(SimdKernelTest, TrainingIsBitIdenticalAcrossKernelPaths) {
   }
 }
 
+// The wide-gather (plan) branches of the batched read paths dispatch only
+// where the calibration measured hardware gathers profitable — which may be
+// nowhere on a given machine. Force them on and assert bit-identity against
+// the per-call loops, so a latent plan-branch bug cannot ship green just
+// because the recording machine routes reads fused.
+TEST(SimdKernelTest, ForcedReadPlanBranchesMatchFusedReads) {
+  if (!simd::Available()) GTEST_SKIP() << "no AVX2+FMA on this machine";
+  SimdStateGuard guard;
+  simd::KernelThresholds t;  // defaults; gather threshold low enough for chunks
+  t.gather_min_entries = 1;
+  simd::SetThresholds(t);
+  simd::SetEnabled(true);
+  simd::SetReadPlanDispatched(true);
+
+  const std::vector<Example> stream = MakeStream(1500, 47);
+  SplitMix64 idgen(3);
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < 3000; ++i) {
+    ids.push_back(static_cast<uint32_t>(idgen.Next() % (1 << 14)));
+  }
+  for (const Method m :
+       {Method::kWmSketch, Method::kAwmSketch, Method::kFeatureHashing}) {
+    LearnerBuilder b;
+    b.SetMethod(m).SetSeed(29);
+    if (m == Method::kFeatureHashing) {
+      b.SetWidth(512);
+    } else {
+      b.SetWidth(128).SetDepth(m == Method::kAwmSketch ? 2 : 5).SetHeapCapacity(32);
+    }
+    Learner model = std::move(b.Build()).value();
+    model.UpdateBatch(std::span<const Example>(stream.data(), 1200));
+
+    std::vector<double> batched;
+    model.PredictBatch(std::span<const Example>(stream.data() + 1200, 300), &batched);
+    for (size_t e = 0; e < 300; ++e) {
+      ASSERT_EQ(batched[e], model.PredictMargin(stream[1200 + e].x))
+          << MethodName(m) << " @" << e;
+    }
+    std::vector<float> estimates;
+    model.EstimateBatch(ids, &estimates);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      ASSERT_EQ(estimates[i], model.WeightEstimate(ids[i])) << MethodName(m) << " @" << i;
+    }
+  }
+  // SimdStateGuard restores thresholds/read-plan/enabled, assert or not.
+}
+
 // ------------------------------------------------------- median networks
 
 TEST(MedianNetworkTest, MatchesNthElementExhaustively) {
@@ -314,6 +392,66 @@ TEST(MedianNetworkTest, MatchesNthElementOnRandomFloats) {
     std::nth_element(r, r + mid, r + n);
     ASSERT_EQ(MedianInPlace(v, n), r[mid]);
   }
+}
+
+// The depth >= 8 median (rank-counting selection on AVX2, nth_element on
+// scalar) must return the bit-identical order statistic on both paths, for
+// every size up to kMaxSketchDepth, including heavy-duplicate inputs where
+// rank arithmetic is easiest to get wrong.
+TEST(MedianNetworkTest, MedianLargeBitIdenticalAcrossKernelPaths) {
+  if (!simd::Available()) GTEST_SKIP() << "no AVX2+FMA on this machine";
+  SimdStateGuard guard;
+  std::mt19937 rng(23);
+  std::uniform_real_distribution<float> val(-10.0f, 10.0f);
+  std::uniform_int_distribution<int> small(-2, 2);  // forces duplicates
+  for (int trial = 0; trial < 4000; ++trial) {
+    const size_t n = 8 + static_cast<size_t>(trial) % 57;  // 8..64
+    std::vector<float> v(n), a(n), b(n);
+    const bool dupes = (trial % 2) == 0;
+    for (size_t i = 0; i < n; ++i) {
+      v[i] = dupes ? static_cast<float>(small(rng)) : val(rng);
+    }
+    a = v;
+    b = v;
+    const size_t mid = (n - 1) / 2;
+    std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(mid), v.end());
+    simd::SetEnabled(false);
+    const float scalar = simd::MedianLarge(a.data(), n);
+    simd::SetEnabled(true);
+    const float avx2 = simd::MedianLarge(b.data(), n);
+    ASSERT_EQ(scalar, v[mid]) << "n=" << n;
+    ASSERT_EQ(avx2, v[mid]) << "n=" << n;
+  }
+}
+
+// Dispatch thresholds are runtime-tunable and never change results: the
+// same gather dispatches scalar below the threshold and AVX2 above it,
+// bit-identically.
+TEST(SimdKernelTest, ThresholdsGateDispatchWithoutChangingResults) {
+  const simd::KernelThresholds before = simd::Thresholds();
+  simd::KernelThresholds t = before;
+  t.gather_min_entries = 1u << 30;  // force scalar
+  simd::SetThresholds(t);
+  EXPECT_EQ(simd::Thresholds().gather_min_entries, 1u << 30);
+
+  const std::vector<SignedBucketHash> rows = MakeRows(5, 256, 3);
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<float> cell(-3.0f, 3.0f);
+  std::vector<float> table(5 * 256);
+  for (float& c : table) c = cell(rng);
+  const SparseVector x = RandomVector(rng, 40, 1 << 14);
+  HashPlan plan;
+  plan.Build(rows, x);
+  const simd::PlanView view = plan.View();
+  std::vector<float> scalar_out(view.entries()), avx2_out(view.entries());
+  simd::GatherSigned(table.data(), view.offsets, view.signs, view.entries(),
+                     scalar_out.data());
+  t.gather_min_entries = 1;  // force AVX2 (when available/enabled)
+  simd::SetThresholds(t);
+  simd::GatherSigned(table.data(), view.offsets, view.signs, view.entries(),
+                     avx2_out.data());
+  simd::SetThresholds(before);
+  EXPECT_EQ(scalar_out, avx2_out);
 }
 
 // ------------------------------------------- single-hash combined ops

@@ -1,9 +1,13 @@
 #!/usr/bin/env python3
-"""Perf-smoke gate for bench_hot_path.
+"""Perf-smoke gate for the hot-path benches (bench_hot_path, bench_serving).
 
-Compares a fresh `bench_hot_path --json` run against the committed
-BENCH_hot_path.json baseline and fails (exit 1) when any compared config's
-updates_per_sec regressed by more than --max-regression (default 25%).
+Compares a fresh `--json` run against the committed baseline and fails
+(exit 1) when any compared config regressed by more than --max-regression
+(default 25%) on any gated metric. --metrics selects the gated columns
+(default: updates_per_sec; CI gates updates, predicts, and estimates so
+read-path regressions fail the build like write-path ones). Each metric is
+normalized independently (see --normalize); rows missing a metric are
+skipped for that metric.
 
 Only rows whose kernel matches --kernel (default "scalar") are compared:
 the scalar path exists on every machine, so it is the portable regression
@@ -24,6 +28,7 @@ same machine).
 
 Usage:
   tools/check_perf.py fresh.json BENCH_hot_path.json [--max-regression 0.25]
+                      [--metrics updates_per_sec,predicts_per_sec]
                       [--normalize] [--min-median 0.4]
 
 Stdlib only; no third-party dependencies.
@@ -52,6 +57,9 @@ def main():
                         help="allowed fractional drop in updates_per_sec")
     parser.add_argument("--kernel", default="scalar",
                         help="kernel rows to gate on (default: scalar)")
+    parser.add_argument("--metrics", default="updates_per_sec",
+                        help="comma-separated row fields to gate "
+                             "(default: updates_per_sec)")
     parser.add_argument("--normalize", action="store_true",
                         help="gate on ratios normalized by the second-highest "
                              "ratio (for baselines recorded on another machine)")
@@ -62,54 +70,61 @@ def main():
 
     fresh = load_rows(args.fresh)
     base = load_rows(args.baseline)
+    metrics = [m.strip() for m in args.metrics.split(",") if m.strip()]
 
-    rows = []
-    for (config, kernel), brow in sorted(base.items()):
-        frow = fresh.get((config, kernel))
-        if frow is None:
-            continue
-        b, f = float(brow["updates_per_sec"]), float(frow["updates_per_sec"])
-        ratio = f / b if b > 0 else float("inf")
-        rows.append((config, kernel, b, f, ratio))
-
-    gated = [r for r in rows if r[1] == args.kernel]
-    if not gated:
-        print("error: no comparable rows between fresh run and baseline",
-              file=sys.stderr)
-        return 1
-
-    ratios = sorted(r[4] for r in gated)
-    median = statistics.median(ratios)
-    reference = ratios[-2] if len(ratios) >= 3 else ratios[-1]
-    norm = reference if args.normalize and reference > 0 else 1.0
     failures = []
-    header = "norm" if args.normalize else "ratio"
-    print(f"{'config':<20} {'kernel':<8} {'baseline':>12} {'fresh':>12} "
-          f"{'ratio':>7} {header:>7}")
-    for config, kernel, b, f, ratio in rows:
-        scaled = ratio / norm
-        mark = ""
-        if kernel == args.kernel and scaled < 1.0 - args.max_regression:
-            failures.append((config, kernel, scaled))
-            mark = "  << REGRESSION"
-        print(f"{config:<20} {kernel:<8} {b:>12.0f} {f:>12.0f} "
-              f"{ratio:>7.2f} {scaled:>7.2f}{mark}")
-    if args.normalize:
-        print(f"reference ratio (2nd-highest): {reference:.2f}; "
-              f"median raw ratio: {median:.2f} (floor {args.min_median:.2f})")
-        if median < args.min_median:
-            failures.append(("<median>", args.kernel, median))
+    gated_total = 0
+    for metric in metrics:
+        rows = []
+        for (config, kernel), brow in sorted(base.items()):
+            frow = fresh.get((config, kernel))
+            if frow is None or metric not in brow or metric not in frow:
+                continue
+            b, f = float(brow[metric]), float(frow[metric])
+            if b <= 0:
+                continue
+            rows.append((config, kernel, b, f, f / b))
+
+        gated = [r for r in rows if r[1] == args.kernel]
+        if not gated:
+            print(f"error: no comparable {metric} rows between fresh run "
+                  "and baseline", file=sys.stderr)
+            return 1
+        gated_total += len(gated)
+
+        ratios = sorted(r[4] for r in gated)
+        median = statistics.median(ratios)
+        reference = ratios[-2] if len(ratios) >= 3 else ratios[-1]
+        norm = reference if args.normalize and reference > 0 else 1.0
+        header = "norm" if args.normalize else "ratio"
+        print(f"\n== {metric} ==")
+        print(f"{'config':<20} {'kernel':<8} {'baseline':>12} {'fresh':>12} "
+              f"{'ratio':>7} {header:>7}")
+        for config, kernel, b, f, ratio in rows:
+            scaled = ratio / norm
+            mark = ""
+            if kernel == args.kernel and scaled < 1.0 - args.max_regression:
+                failures.append((metric, config, kernel, scaled))
+                mark = "  << REGRESSION"
+            print(f"{config:<20} {kernel:<8} {b:>12.0f} {f:>12.0f} "
+                  f"{ratio:>7.2f} {scaled:>7.2f}{mark}")
+        if args.normalize:
+            print(f"reference ratio (2nd-highest): {reference:.2f}; "
+                  f"median raw ratio: {median:.2f} (floor {args.min_median:.2f})")
+            if median < args.min_median:
+                failures.append((metric, "<median>", args.kernel, median))
 
     if failures:
         print(f"\n{len(failures)} check(s) regressed more than "
               f"{args.max_regression:.0%} on the {args.kernel} path:",
               file=sys.stderr)
-        for config, kernel, ratio in failures:
-            print(f"  {config} [{kernel}]: {ratio:.2f}x", file=sys.stderr)
+        for metric, config, kernel, ratio in failures:
+            print(f"  {metric}: {config} [{kernel}]: {ratio:.2f}x",
+                  file=sys.stderr)
         return 1
-    print(f"\nOK: {len(gated)} {args.kernel} config(s) within "
+    print(f"\nOK: {gated_total} {args.kernel} (config, metric) cell(s) within "
           f"{args.max_regression:.0%} of baseline"
-          f"{' (median-normalized)' if args.normalize else ''}")
+          f"{' (normalized)' if args.normalize else ''}")
     return 0
 
 
