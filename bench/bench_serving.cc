@@ -13,6 +13,15 @@
 // writer core; scheduling can stretch the observed mean on oversubscribed
 // machines).
 //
+// A second, single-threaded "publish cost" section measures what the
+// copy-on-write paged storage buys a high-cadence serving tier: for large
+// tables at small ServeEvery(k) it times explicit snapshot publications and
+// reports bytes physically copied per publish (dirtied pages only) against
+// the full-table bytes the pre-paged implementation copied every time,
+// plus per-snapshot resident bytes. Rows carry kernel tag "publish";
+// publish_gain (= full_table_bytes / publish_bytes) is the machine-
+// independent gate metric, publish_us the latency one.
+//
 // Stream lengths scale with WMS_BENCH_SCALE like every other bench.
 
 #include <atomic>
@@ -66,6 +75,8 @@ struct RunResult {
   double staleness_max = 0.0;
   bool monotone = true;
   double checksum = 0.0;
+  double publish_bytes_mean = 0.0;   // bytes copied per publication (dirty pages)
+  double snapshot_resident_bytes = 0.0;
 };
 
 double Seconds(std::chrono::steady_clock::time_point a,
@@ -160,6 +171,7 @@ RunResult RunMixed(const ServingConfig& c, int readers,
     });
   }
 
+  const TablePublishStats pub0 = model.impl().publish_stats();
   start.store(true, std::memory_order_release);
   const auto t0 = std::chrono::steady_clock::now();
   for (size_t at = warm; at < stream.size(); at += kWriteChunk) {
@@ -170,6 +182,7 @@ RunResult RunMixed(const ServingConfig& c, int readers,
   const auto t1 = std::chrono::steady_clock::now();
   done.store(true, std::memory_order_release);
   for (std::thread& t : threads) t.join();
+  const TablePublishStats pub1 = model.impl().publish_stats();
 
   const double elapsed = Seconds(t0, t1);
   RunResult out;
@@ -190,6 +203,92 @@ RunResult RunMixed(const ServingConfig& c, int readers,
   out.staleness_mean =
       samples == 0 ? 0.0 : stale_sum / static_cast<double>(samples);
   out.staleness_max = static_cast<double>(stale_max);
+  const uint64_t publishes = pub1.publishes - pub0.publishes;
+  out.publish_bytes_mean =
+      publishes == 0 ? 0.0
+                     : static_cast<double>(pub1.copied_bytes - pub0.copied_bytes) /
+                           static_cast<double>(publishes);
+  const auto snap = CaptureServingSnapshot(model.impl(), Learner::kDefaultSnapshotTopK);
+  out.snapshot_resident_bytes = static_cast<double>(snap->resident_bytes);
+  return out;
+}
+
+// ------------------------------------------------------------ publish cost
+
+struct PublishCostConfig {
+  const char* label;
+  Method method;
+  uint32_t width;
+  uint32_t depth;  // 0 = method without a depth knob
+  size_t heap;
+  uint64_t serve_every;  // the k the row models (updates between publishes)
+};
+
+// Large tables + small k: the high-cadence regime the paged storage exists
+// for. The k64 row shows the gain eroding as more pages dirty per interval.
+constexpr PublishCostConfig kPublishConfigs[] = {
+    {"wm_w65536_d3_k2", Method::kWmSketch, 65536, 3, 128, 2},
+    {"wm_w65536_d3_k64", Method::kWmSketch, 65536, 3, 128, 64},
+    {"hash_w262144_k8", Method::kFeatureHashing, 262144, 0, 0, 8},
+};
+
+struct PublishCostResult {
+  double publish_bytes = 0.0;          // mean bytes copied per publish
+  double publish_us = 0.0;             // mean publish latency
+  double full_table_bytes = 0.0;       // what the pre-paged capture copied
+  double publish_gain = 0.0;           // full_table_bytes / publish_bytes
+  double snapshot_resident_bytes = 0.0;
+  uint64_t publishes = 0;
+};
+
+PublishCostResult RunPublishCost(const PublishCostConfig& c,
+                                 const std::vector<Example>& stream) {
+  LearnerBuilder b = PaperBuilder(1e-6, 77).SetMethod(c.method).SetWidth(c.width);
+  if (c.depth > 0) b.SetDepth(c.depth);
+  if (c.heap > 0) b.SetHeapCapacity(c.heap);
+  // ServeEvery(0): the loop paces updates and publishes explicitly so each
+  // publication can be timed on its own.
+  Learner model = BuildOrDie(b.Build());
+
+  const size_t warm = std::min<size_t>(4096, stream.size() / 4);
+  model.UpdateBatch(std::span<const Example>(stream.data(), warm));
+
+  // The first acquisition publishes the initial snapshot — the O(budget)
+  // full copy every snapshot used to pay. Not part of the measured window.
+  Result<ServingHandle> handle = model.AcquireServingHandle();
+  if (!handle.ok()) {
+    std::fprintf(stderr, "serving handle: %s\n", handle.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  const uint64_t publishes = static_cast<uint64_t>(ScaledCount(200));
+  const TablePublishStats pub0 = model.impl().publish_stats();
+  double publish_seconds = 0.0;
+  size_t at = warm;
+  for (uint64_t p = 0; p < publishes; ++p) {
+    for (uint64_t u = 0; u < c.serve_every; ++u) {
+      model.Update(stream[at]);
+      at = (at + 1) % stream.size();
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    model.PublishServingSnapshot();
+    const auto t1 = std::chrono::steady_clock::now();
+    publish_seconds += Seconds(t0, t1);
+  }
+  const TablePublishStats pub1 = model.impl().publish_stats();
+
+  PublishCostResult out;
+  out.publishes = pub1.publishes - pub0.publishes;
+  const size_t cells =
+      static_cast<size_t>(c.width) * (c.depth > 0 ? c.depth : 1);
+  out.full_table_bytes = static_cast<double>(cells * sizeof(float));
+  out.publish_bytes = static_cast<double>(pub1.copied_bytes - pub0.copied_bytes) /
+                      static_cast<double>(out.publishes);
+  out.publish_us = publish_seconds / static_cast<double>(out.publishes) * 1e6;
+  out.publish_gain =
+      out.publish_bytes > 0.0 ? out.full_table_bytes / out.publish_bytes : 0.0;
+  const auto snap = CaptureServingSnapshot(model.impl(), Learner::kDefaultSnapshotTopK);
+  out.snapshot_resident_bytes = static_cast<double>(snap->resident_bytes);
   return out;
 }
 
@@ -230,6 +329,8 @@ int main(int argc, char** argv) {
       json.Row()
           .Str("config", std::string(c.label) + "_r" + std::to_string(r))
           .Str("base_config", c.label)
+          .Num("publish_bytes", res.publish_bytes_mean)
+          .Num("snapshot_resident_bytes", res.snapshot_resident_bytes)
           // The bench measures the production path (runtime kernel dispatch,
           // whatever this machine has). The "kernel" tag instead encodes the
           // workload group: writer-only rows and mixed-reader rows scale
@@ -246,6 +347,28 @@ int main(int argc, char** argv) {
           .Num("staleness_max_updates", res.staleness_max)
           .Num("checksum", res.checksum);
     }
+  }
+
+  Banner("Publish cost — copy-on-write paged snapshots at high cadence "
+         "(bytes copied per publish vs the full-table copy)");
+  PrintRow({"config", "k", "publish_B", "full_B", "gain", "publish_us",
+            "resident_B"});
+  for (const PublishCostConfig& c : kPublishConfigs) {
+    const PublishCostResult res = RunPublishCost(c, stream);
+    PrintRow({c.label, std::to_string(c.serve_every), Fmt(res.publish_bytes, 0),
+              Fmt(res.full_table_bytes, 0), Fmt(res.publish_gain, 1),
+              Fmt(res.publish_us, 1), Fmt(res.snapshot_resident_bytes, 0)});
+    json.Row()
+        .Str("config", c.label)
+        .Str("base_config", c.label)
+        .Str("kernel", "publish")
+        .Num("serve_every", static_cast<double>(c.serve_every))
+        .Num("publishes", static_cast<double>(res.publishes))
+        .Num("publish_bytes", res.publish_bytes)
+        .Num("full_table_bytes", res.full_table_bytes)
+        .Num("publish_gain", res.publish_gain)
+        .Num("publish_us", res.publish_us)
+        .Num("snapshot_resident_bytes", res.snapshot_resident_bytes);
   }
   json.WriteIfRequested(argc, argv);
   return 0;

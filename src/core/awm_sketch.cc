@@ -21,17 +21,18 @@ constexpr double kMinScale = 1e-25;
 
 /// The frozen AWM read model: the active set as a hash map of *raw* weights
 /// plus its scale (so margins keep the live path's double-precision
-/// heap_scale·raw products), and a copy of the tail sketch. Answers are
+/// heap_scale·raw products), and the published pages of the tail sketch
+/// (shared across snapshots; only dirtied pages were copied). Answers are
 /// bit-identical to what the live model answered at capture time.
 class AwmReadModel final : public ReadModel {
  public:
   AwmReadModel(std::unordered_map<uint32_t, float> active, double heap_scale,
-               std::vector<SignedBucketHash> rows, std::vector<float> table,
+               std::vector<SignedBucketHash> rows, PageSet<float> pages,
                double estimate_factor)
       : active_(std::move(active)),
         heap_scale_(heap_scale),
         rows_(std::move(rows)),
-        table_(std::move(table)),
+        pages_(std::move(pages)),
         estimate_factor_(estimate_factor) {}
 
   double PredictMargin(const SparseVector& x) const override {
@@ -64,8 +65,8 @@ class AwmReadModel final : public ReadModel {
   }
 
   void EstimateBatch(std::span<const uint32_t> features, float* out) const override {
-    readpath::ActiveGatherMedianBatch(
-        table_.data(), rows_, features, estimate_factor_,
+    readpath::ActiveEstimateBatchPaged(
+        pages_.view(), rows_, features, estimate_factor_,
         [this](uint32_t feature) -> std::optional<float> {
           const auto it = active_.find(feature);
           if (it == active_.end()) return std::nullopt;
@@ -74,15 +75,19 @@ class AwmReadModel final : public ReadModel {
         out);
   }
 
+  size_t ResidentBytes() const override {
+    return pages_.ResidentBytes() + active_.size() * (sizeof(uint32_t) + sizeof(float));
+  }
+
  private:
   float TailQuery(uint32_t feature) const {
-    return readpath::FusedEstimate(table_.data(), rows_, feature, estimate_factor_);
+    return readpath::FusedEstimatePaged(pages_.view(), rows_, feature, estimate_factor_);
   }
 
   std::unordered_map<uint32_t, float> active_;  // raw active-set weights
   double heap_scale_;
   std::vector<SignedBucketHash> rows_;
-  std::vector<float> table_;
+  PageSet<float> pages_;
   double estimate_factor_;  // √s·α for the tail sketch
 };
 
@@ -99,7 +104,7 @@ AwmSketch::AwmSketch(const AwmSketchConfig& config, const LearnerOptions& opts)
   SplitMix64 sm(opts.seed);
   rows_.reserve(config.depth);
   for (uint32_t j = 0; j < config.depth; ++j) rows_.emplace_back(sm.Next(), config.width);
-  table_.assign(static_cast<size_t>(config.width) * config.depth, 0.0f);
+  table_ = PagedTable(static_cast<size_t>(config.width) * config.depth);
 }
 
 double AwmSketch::PredictMargin(const SparseVector& x) const {
@@ -155,8 +160,8 @@ std::unique_ptr<const ReadModel> AwmSketch::MakeReadModel() const {
   std::unordered_map<uint32_t, float> active;
   active.reserve(heap_.size());
   for (const FeatureWeight& fw : heap_.Entries()) active.emplace(fw.feature, fw.weight);
-  return std::make_unique<AwmReadModel>(std::move(active), heap_scale_, rows_, table_,
-                                        sqrt_depth_ * sketch_scale_);
+  return std::make_unique<AwmReadModel>(std::move(active), heap_scale_, rows_,
+                                        table_.SharePages(), sqrt_depth_ * sketch_scale_);
 }
 
 float AwmSketch::SketchQuery(uint32_t feature) const {
@@ -187,6 +192,7 @@ void AwmSketch::SketchAdd(uint32_t feature, double delta) {
     uint32_t bucket;
     float sign;
     rows_[j].BucketAndSign(feature, &bucket, &sign);
+    table_.MarkDirtyOffset(static_cast<size_t>(j) * config_.width + bucket);
     Row(j)[bucket] += static_cast<float>(static_cast<double>(sign) * raw_delta);
   }
 }
@@ -197,8 +203,10 @@ void AwmSketch::SketchAddFromPlan(HashPlan& plan, size_t i, uint32_t feature,
   const double raw_delta = delta / (sqrt_depth_ * sketch_scale_);
   const uint32_t* off = plan.offsets(i);
   const float* sg = plan.signs(i);
+  table_.MarkPlanDirty(off, plan.depth());
+  float* tbl = table_.data();
   for (uint32_t j = 0; j < plan.depth(); ++j) {
-    table_[off[j]] += static_cast<float>(static_cast<double>(sg[j]) * raw_delta);
+    tbl[off[j]] += static_cast<float>(static_cast<double>(sg[j]) * raw_delta);
   }
 }
 
@@ -316,8 +324,10 @@ Status AwmSketch::MergeScaled(const BudgetedClassifier& other, double coeff) {
   }
 
   // 2. Combine the tail tables in this sketch's raw representation:
-  //    z = α_a·v_a + c·α_b·v_b = α_a·(v_a + (c·α_b/α_a)·v_b).
+  //    z = α_a·v_a + c·α_b·v_b = α_a·(v_a + (c·α_b/α_a)·v_b). The sweep
+  //    writes every cell, so the whole table COWs.
   const double ratio = coeff * o.sketch_scale_ / sketch_scale_;
+  table_.MarkAllDirty();
   simd::MergeScaledTable(table_.data(), o.table_.data(), table_.size(), ratio);
 
   // 3. The |S| largest-magnitude union members (ties: ascending id, for
@@ -364,12 +374,13 @@ std::unique_ptr<BudgetedClassifier> AwmSketch::Clone() const {
 }
 
 WeightEstimator AwmSketch::EstimatorSnapshot() const {
+  // Tail pages shared with every other snapshot (O(dirty) capture); the
+  // closure's tail answer is the paged fused estimate, bit-identical to the
+  // live SketchQuery at capture time.
   struct State {
     std::unordered_map<uint32_t, float> active;  // raw active-set weights
     std::vector<SignedBucketHash> rows;
-    std::vector<float> table;
-    uint32_t width;
-    uint32_t depth;
+    PageSet<float> pages;
     double heap_scale;
     double sketch_scale;  // √s·α, the factor SketchQuery applies
   };
@@ -377,9 +388,7 @@ WeightEstimator AwmSketch::EstimatorSnapshot() const {
   st.active.reserve(heap_.size());
   for (const FeatureWeight& fw : heap_.Entries()) st.active.emplace(fw.feature, fw.weight);
   st.rows = rows_;
-  st.table = table_;
-  st.width = config_.width;
-  st.depth = config_.depth;
+  st.pages = table_.SharePages();
   st.heap_scale = heap_scale_;
   st.sketch_scale = sqrt_depth_ * sketch_scale_;
   auto shared = std::make_shared<const State>(std::move(st));
@@ -388,20 +397,14 @@ WeightEstimator AwmSketch::EstimatorSnapshot() const {
     if (it != shared->active.end()) {
       return static_cast<float>(shared->heap_scale * static_cast<double>(it->second));
     }
-    float est[kMaxDepth];
-    for (uint32_t j = 0; j < shared->depth; ++j) {
-      uint32_t bucket;
-      float sign;
-      shared->rows[j].BucketAndSign(feature, &bucket, &sign);
-      est[j] = sign * shared->table[static_cast<size_t>(j) * shared->width + bucket];
-    }
-    return static_cast<float>(shared->sketch_scale *
-                              static_cast<double>(MedianInPlace(est, shared->depth)));
+    return readpath::FusedEstimatePaged(shared->pages.view(), shared->rows, feature,
+                                        shared->sketch_scale);
   };
 }
 
 void AwmSketch::MaybeRescale() {
   if (sketch_scale_ < kMinScale) {
+    table_.MarkAllDirty();
     simd::ScaleTable(table_.data(), table_.size(), static_cast<float>(sketch_scale_));
     sketch_scale_ = 1.0;
   }

@@ -7,6 +7,7 @@
 #include "hash/tabulation.h"
 #include "linear/classifier.h"
 #include "util/memory_cost.h"
+#include "util/paged_table.h"
 #include "util/simd.h"
 #include "util/top_k_heap.h"
 
@@ -102,6 +103,10 @@ class AwmSketch final : public BudgetedClassifier {
   /// AWM-Sketch's answer to top-K queries.
   std::vector<FeatureWeight> TopK(size_t k) const override;
   size_t MemoryCostBytes() const override { return config_.MemoryCostBytes(); }
+  size_t ResidentStorageBytes() const override {
+    return config_.MemoryCostBytes() + table_.MetadataBytes();
+  }
+  TablePublishStats publish_stats() const override { return table_.publish_stats(); }
   uint64_t steps() const override { return t_; }
   const LearnerOptions& options() const override { return opts_; }
   std::string Name() const override { return "awm"; }
@@ -140,7 +145,11 @@ class AwmSketch final : public BudgetedClassifier {
   AwmSketchConfig config_;
   LearnerOptions opts_;
   std::vector<SignedBucketHash> rows_;
-  std::vector<float> table_;   // raw sketch; true cell value = sketch_scale_ * cell
+  // Raw tail sketch (true cell value = sketch_scale_ * cell) in copy-on-
+  // write paged storage: live arena contiguous, snapshots publish shared
+  // pages and copy only what was dirtied. Active-set-only update bursts
+  // dirty no pages at all, so a high-cadence AWM publish is nearly free.
+  PagedTable table_;
   double sketch_scale_ = 1.0;  // α for the sketch
   double heap_scale_ = 1.0;    // α for the active set
   double sqrt_depth_;

@@ -1,8 +1,10 @@
 #include "core/serialization.h"
 
+#include <algorithm>
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -12,6 +14,8 @@ namespace wmsketch {
 
 namespace {
 
+// Version-1 magics: the original flat-table layout (table written as one
+// u64-count + raw-cell array). Still accepted by the loaders.
 constexpr uint32_t kWmMagic = 0x314d5357;    // "WSM1"
 constexpr uint32_t kAwmMagic = 0x314d5741;   // "AWM1"
 constexpr uint32_t kTrunMagic = 0x314e5254;  // "TRN1"
@@ -19,6 +23,15 @@ constexpr uint32_t kPtrnMagic = 0x31525450;  // "PTR1"
 constexpr uint32_t kSsfMagic = 0x31465353;   // "SSF1"
 constexpr uint32_t kCmfMagic = 0x31464d43;   // "CMF1"
 constexpr uint32_t kFhsMagic = 0x31534846;   // "FHS1"
+// Version-2 magics for the paged-table methods: the table section gains the
+// writer's page size (u32, diagnostics/forward-compat for page-delta
+// shipping) and is streamed page by page. Cell bytes and order are identical
+// to v1, and restore is layout-independent (any reader page size works), so
+// v2 of a given model state differs from its v1 stream by exactly that one
+// field. Savers emit v2; loaders accept both.
+constexpr uint32_t kWmMagic2 = 0x324d5357;   // "WSM2"
+constexpr uint32_t kAwmMagic2 = 0x324d5741;  // "AWM2"
+constexpr uint32_t kFhsMagic2 = 0x32534846;  // "FHS2"
 
 template <typename T>
 void WriteRaw(std::ostream& out, const T& value) {
@@ -41,7 +54,7 @@ void WriteHeapEntries(std::ostream& out, const TopKHeap& heap) {
 }
 
 template <typename T>
-void WriteArray(std::ostream& out, const std::vector<T>& values) {
+void WriteArray(std::ostream& out, std::span<const T> values) {
   WriteRaw(out, static_cast<uint64_t>(values.size()));
   out.write(reinterpret_cast<const char*>(values.data()),
             static_cast<std::streamsize>(values.size() * sizeof(T)));
@@ -57,6 +70,40 @@ Status ReadArrayExact(std::istream& in, std::vector<T>* values, size_t expected)
   in.read(reinterpret_cast<char*>(values->data()),
           static_cast<std::streamsize>(expected * sizeof(T)));
   if (!in) return Status::Corruption("truncated array");
+  return Status::OK();
+}
+
+// The v2 table section: logical cell count, the saver's page size, then the
+// cells in page order. Pages are contiguous slices of the live arena, so
+// page-ordered iteration IS the flat arena order — one write emits exactly
+// the v1 cell bytes, and the recorded page size is what a future
+// page-delta format needs to address them.
+void WritePagedTable(std::ostream& out, const PagedTable& table) {
+  WriteRaw(out, static_cast<uint64_t>(table.size()));
+  WriteRaw(out, static_cast<uint32_t>(table.page_cells()));
+  out.write(reinterpret_cast<const char*>(table.data()),
+            static_cast<std::streamsize>(table.size() * sizeof(float)));
+}
+
+// Restores a table section written by WritePagedTable (`paged_layout` true)
+// or by the v1 flat writer (false). Restore is layout-independent: the
+// saver's page size is validated but the cells land in whatever pages the
+// live table uses.
+Status ReadTableInto(std::istream& in, PagedTable* table, bool paged_layout) {
+  uint64_t cells = 0;
+  if (!ReadRaw(in, &cells)) return Status::Corruption("truncated table header");
+  if (cells != table->size()) return Status::Corruption("table size mismatch");
+  if (paged_layout) {
+    uint32_t page_cells = 0;
+    if (!ReadRaw(in, &page_cells)) return Status::Corruption("truncated page header");
+    if (page_cells == 0 || (page_cells & (page_cells - 1)) != 0) {
+      return Status::Corruption("invalid page size");
+    }
+  }
+  in.read(reinterpret_cast<char*>(table->data()),
+          static_cast<std::streamsize>(cells * sizeof(float)));
+  if (!in) return Status::Corruption("truncated table");
+  table->MarkAllDirty();
   return Status::OK();
 }
 
@@ -79,7 +126,7 @@ Status ReadHeapEntries(std::istream& in, TopKHeap* heap) {
 }  // namespace
 
 Status SaveWmSketch(const WmSketch& sketch, std::ostream& out) {
-  WriteRaw(out, kWmMagic);
+  WriteRaw(out, kWmMagic2);
   WriteRaw(out, sketch.config_.width);
   WriteRaw(out, sketch.config_.depth);
   WriteRaw(out, static_cast<uint64_t>(sketch.config_.heap_capacity));
@@ -87,9 +134,7 @@ Status SaveWmSketch(const WmSketch& sketch, std::ostream& out) {
   WriteRaw(out, sketch.opts_.seed);
   WriteRaw(out, sketch.t_);
   WriteRaw(out, sketch.scale_);
-  WriteRaw(out, static_cast<uint64_t>(sketch.table_.size()));
-  out.write(reinterpret_cast<const char*>(sketch.table_.data()),
-            static_cast<std::streamsize>(sketch.table_.size() * sizeof(float)));
+  WritePagedTable(out, sketch.table_);
   WriteHeapEntries(out, sketch.heap_);
   if (!out) return Status::IOError("write failed");
   return Status::OK();
@@ -98,7 +143,9 @@ Status SaveWmSketch(const WmSketch& sketch, std::ostream& out) {
 Result<WmSketch> LoadWmSketch(std::istream& in, const LearnerOptions& opts) {
   uint32_t magic;
   if (!ReadRaw(in, &magic)) return Status::Corruption("truncated header");
-  if (magic != kWmMagic) return Status::Corruption("not a WM-Sketch snapshot");
+  if (magic != kWmMagic && magic != kWmMagic2) {
+    return Status::Corruption("not a WM-Sketch snapshot");
+  }
   WmSketchConfig config;
   uint64_t heap_capacity;
   LearnerOptions restored = opts;
@@ -113,20 +160,16 @@ Result<WmSketch> LoadWmSketch(std::istream& in, const LearnerOptions& opts) {
     return Status::Corruption("invalid sketch shape");
   }
   WmSketch sketch(config, restored);
-  uint64_t cells;
-  if (!ReadRaw(in, &sketch.t_) || !ReadRaw(in, &sketch.scale_) || !ReadRaw(in, &cells)) {
+  if (!ReadRaw(in, &sketch.t_) || !ReadRaw(in, &sketch.scale_)) {
     return Status::Corruption("truncated state");
   }
-  if (cells != sketch.table_.size()) return Status::Corruption("table size mismatch");
-  in.read(reinterpret_cast<char*>(sketch.table_.data()),
-          static_cast<std::streamsize>(cells * sizeof(float)));
-  if (!in) return Status::Corruption("truncated table");
+  WMS_RETURN_NOT_OK(ReadTableInto(in, &sketch.table_, magic == kWmMagic2));
   WMS_RETURN_NOT_OK(ReadHeapEntries(in, &sketch.heap_));
   return sketch;
 }
 
 Status SaveAwmSketch(const AwmSketch& sketch, std::ostream& out) {
-  WriteRaw(out, kAwmMagic);
+  WriteRaw(out, kAwmMagic2);
   WriteRaw(out, sketch.config_.width);
   WriteRaw(out, sketch.config_.depth);
   WriteRaw(out, static_cast<uint64_t>(sketch.config_.heap_capacity));
@@ -135,9 +178,7 @@ Status SaveAwmSketch(const AwmSketch& sketch, std::ostream& out) {
   WriteRaw(out, sketch.t_);
   WriteRaw(out, sketch.sketch_scale_);
   WriteRaw(out, sketch.heap_scale_);
-  WriteRaw(out, static_cast<uint64_t>(sketch.table_.size()));
-  out.write(reinterpret_cast<const char*>(sketch.table_.data()),
-            static_cast<std::streamsize>(sketch.table_.size() * sizeof(float)));
+  WritePagedTable(out, sketch.table_);
   WriteHeapEntries(out, sketch.heap_);
   if (!out) return Status::IOError("write failed");
   return Status::OK();
@@ -146,7 +187,9 @@ Status SaveAwmSketch(const AwmSketch& sketch, std::ostream& out) {
 Result<AwmSketch> LoadAwmSketch(std::istream& in, const LearnerOptions& opts) {
   uint32_t magic;
   if (!ReadRaw(in, &magic)) return Status::Corruption("truncated header");
-  if (magic != kAwmMagic) return Status::Corruption("not an AWM-Sketch snapshot");
+  if (magic != kAwmMagic && magic != kAwmMagic2) {
+    return Status::Corruption("not an AWM-Sketch snapshot");
+  }
   AwmSketchConfig config;
   uint64_t heap_capacity;
   LearnerOptions restored = opts;
@@ -161,15 +204,11 @@ Result<AwmSketch> LoadAwmSketch(std::istream& in, const LearnerOptions& opts) {
     return Status::Corruption("invalid sketch shape");
   }
   AwmSketch sketch(config, restored);
-  uint64_t cells;
   if (!ReadRaw(in, &sketch.t_) || !ReadRaw(in, &sketch.sketch_scale_) ||
-      !ReadRaw(in, &sketch.heap_scale_) || !ReadRaw(in, &cells)) {
+      !ReadRaw(in, &sketch.heap_scale_)) {
     return Status::Corruption("truncated state");
   }
-  if (cells != sketch.table_.size()) return Status::Corruption("table size mismatch");
-  in.read(reinterpret_cast<char*>(sketch.table_.data()),
-          static_cast<std::streamsize>(cells * sizeof(float)));
-  if (!in) return Status::Corruption("truncated table");
+  WMS_RETURN_NOT_OK(ReadTableInto(in, &sketch.table_, magic == kAwmMagic2));
   WMS_RETURN_NOT_OK(ReadHeapEntries(in, &sketch.heap_));
   return sketch;
 }
@@ -392,13 +431,13 @@ Result<CountMinFrequent> LoadCountMinFrequent(std::istream& in, const LearnerOpt
 }
 
 Status SaveFeatureHashing(const FeatureHashingClassifier& model, std::ostream& out) {
-  WriteRaw(out, kFhsMagic);
+  WriteRaw(out, kFhsMagic2);
   WriteRaw(out, model.buckets());
   WriteRaw(out, model.opts_.lambda);
   WriteRaw(out, model.opts_.seed);
   WriteRaw(out, model.t_);
   WriteRaw(out, model.scale_);
-  WriteArray(out, model.table_);
+  WritePagedTable(out, model.table_);
   if (!out) return Status::IOError("write failed");
   return Status::OK();
 }
@@ -407,7 +446,9 @@ Result<FeatureHashingClassifier> LoadFeatureHashing(std::istream& in,
                                                     const LearnerOptions& opts) {
   uint32_t magic;
   if (!ReadRaw(in, &magic)) return Status::Corruption("truncated header");
-  if (magic != kFhsMagic) return Status::Corruption("not a feature-hashing snapshot");
+  if (magic != kFhsMagic && magic != kFhsMagic2) {
+    return Status::Corruption("not a feature-hashing snapshot");
+  }
   uint32_t buckets;
   LearnerOptions restored = opts;
   if (!ReadRaw(in, &buckets) || !ReadRaw(in, &restored.lambda) ||
@@ -419,7 +460,7 @@ Result<FeatureHashingClassifier> LoadFeatureHashing(std::istream& in,
   if (!ReadRaw(in, &model.t_) || !ReadRaw(in, &model.scale_)) {
     return Status::Corruption("truncated state");
   }
-  WMS_RETURN_NOT_OK(ReadArrayExact(in, &model.table_, buckets));
+  WMS_RETURN_NOT_OK(ReadTableInto(in, &model.table_, magic == kFhsMagic2));
   return model;
 }
 

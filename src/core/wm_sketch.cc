@@ -18,39 +18,42 @@ namespace {
 
 constexpr double kMinScale = 1e-25;
 
-/// The frozen WM read model: copies of the hash rows and raw table plus the
-/// two resolved scale factors. Every answer delegates to the shared
-/// sketch/read_path.h kernels, so frozen answers are bit-identical to what
-/// the live model answered at capture time — by shared definition, not by
-/// parallel copies of the loops.
+/// The frozen WM read model: copies of the hash rows, the *published pages*
+/// of the raw table (shared with other snapshots; only pages dirtied since
+/// the previous publication were copied), and the two resolved scale
+/// factors. Every answer runs the shared sketch/read_path.h paged kernels,
+/// whose arithmetic is the flat kernels' verbatim — frozen answers stay
+/// bit-identical to what the live model answered at capture time.
 class WmReadModel final : public ReadModel {
  public:
-  WmReadModel(std::vector<SignedBucketHash> rows, std::vector<float> table,
+  WmReadModel(std::vector<SignedBucketHash> rows, PageSet<float> pages,
               double margin_factor, double estimate_factor)
       : rows_(std::move(rows)),
-        table_(std::move(table)),
+        pages_(std::move(pages)),
         margin_factor_(margin_factor),
         estimate_factor_(estimate_factor) {}
 
   double PredictMargin(const SparseVector& x) const override {
-    return readpath::FusedMargin(table_.data(), rows_, x, margin_factor_);
+    return readpath::FusedMarginPaged(pages_.view(), rows_, x, margin_factor_);
   }
 
   void PredictBatch(std::span<const Example> batch, double* out) const override {
-    readpath::PlanMarginBatch(table_.data(), rows_, batch, margin_factor_, out);
+    readpath::MarginBatchPaged(pages_.view(), rows_, batch, margin_factor_, out);
   }
 
   float Estimate(uint32_t feature) const override {
-    return readpath::FusedEstimate(table_.data(), rows_, feature, estimate_factor_);
+    return readpath::FusedEstimatePaged(pages_.view(), rows_, feature, estimate_factor_);
   }
 
   void EstimateBatch(std::span<const uint32_t> features, float* out) const override {
-    readpath::GatherMedianBatch(table_.data(), rows_, features, estimate_factor_, out);
+    readpath::EstimateBatchPaged(pages_.view(), rows_, features, estimate_factor_, out);
   }
+
+  size_t ResidentBytes() const override { return pages_.ResidentBytes(); }
 
  private:
   std::vector<SignedBucketHash> rows_;
-  std::vector<float> table_;
+  PageSet<float> pages_;
   double margin_factor_;    // α/√s — applied to raw margin sums
   double estimate_factor_;  // √s·α — applied to raw medians
 };
@@ -67,7 +70,7 @@ WmSketch::WmSketch(const WmSketchConfig& config, const LearnerOptions& opts)
   SplitMix64 sm(opts.seed);
   rows_.reserve(config.depth);
   for (uint32_t j = 0; j < config.depth; ++j) rows_.emplace_back(sm.Next(), config.width);
-  table_.assign(static_cast<size_t>(config.width) * config.depth, 0.0f);
+  table_ = PagedTable(static_cast<size_t>(config.width) * config.depth);
 }
 
 double WmSketch::PredictMargin(const SparseVector& x) const {
@@ -100,7 +103,7 @@ void WmSketch::EstimateBatch(std::span<const uint32_t> features, float* out) con
 }
 
 std::unique_ptr<const ReadModel> WmSketch::MakeReadModel() const {
-  return std::make_unique<WmReadModel>(rows_, table_, scale_ / sqrt_depth_,
+  return std::make_unique<WmReadModel>(rows_, table_.SharePages(), scale_ / sqrt_depth_,
                                        sqrt_depth_ * scale_);
 }
 
@@ -130,6 +133,9 @@ double WmSketch::UpdateWithPlan(const SparseVector& x, int8_t y,
 
   // z ← z − η·y·g·Rx: each nonzero feature touches one bucket per row with
   // its sign, scaled by 1/√s (from R = A/√s) and divided by the new α.
+  // Every cell the scatter will touch is in the plan, so one batched mark
+  // covers the whole write set (no-op until the first snapshot publication).
+  table_.MarkPlanDirty(plan.offsets, plan.entries());
   const double step = eta * static_cast<double>(y) * g / (sqrt_depth_ * scale_);
   if (config_.heap_capacity > 0) {
     // Passive top-K tracking on raw medians (Sec. 5.2 baseline scheme): raw
@@ -139,12 +145,13 @@ double WmSketch::UpdateWithPlan(const SparseVector& x, int8_t y,
     // read different intermediate cells), so scatter and offer interleave
     // per feature exactly as the pre-plan loop did.
     const uint32_t d = plan.depth;
+    float* tbl = table_.data();
     for (size_t i = 0; i < plan.nnz; ++i) {
       const double delta = step * static_cast<double>(x.value(i));
       const uint32_t* off = plan.offsets + i * d;
       const float* sg = plan.signs + i * d;
       for (uint32_t j = 0; j < d; ++j) {
-        table_[off[j]] -= static_cast<float>(delta * static_cast<double>(sg[j]));
+        tbl[off[j]] -= static_cast<float>(delta * static_cast<double>(sg[j]));
       }
       heap_.Offer(x.index(i), RawMedianFromPlan(plan, i));
     }
@@ -171,25 +178,18 @@ void WmSketch::UpdateBatch(std::span<const Example> batch, std::vector<double>* 
 }
 
 WeightEstimator WmSketch::EstimatorSnapshot() const {
+  // Shares published pages with every other snapshot (O(dirty) capture, not
+  // O(budget)); the closure is the paged fused estimate, bit-identical to
+  // the live WeightEstimate at capture time.
   struct State {
     std::vector<SignedBucketHash> rows;
-    std::vector<float> table;
-    uint32_t width;
-    uint32_t depth;
+    PageSet<float> pages;
     double scale;  // √s·α, the factor WeightEstimate applies to raw medians
   };
   auto st = std::make_shared<const State>(
-      State{rows_, table_, config_.width, config_.depth, sqrt_depth_ * scale_});
+      State{rows_, table_.SharePages(), sqrt_depth_ * scale_});
   return [st](uint32_t feature) {
-    float est[kMaxDepth];
-    for (uint32_t j = 0; j < st->depth; ++j) {
-      uint32_t bucket;
-      float sign;
-      st->rows[j].BucketAndSign(feature, &bucket, &sign);
-      est[j] = sign * st->table[static_cast<size_t>(j) * st->width + bucket];
-    }
-    return static_cast<float>(st->scale *
-                              static_cast<double>(MedianInPlace(est, st->depth)));
+    return readpath::FusedEstimatePaged(st->pages.view(), st->rows, feature, st->scale);
   };
 }
 
@@ -214,8 +214,10 @@ Status WmSketch::MergeScaled(const BudgetedClassifier& other, double coeff) {
   const WmSketch& o = static_cast<const WmSketch&>(other);
 
   // Resolve the two lazy global scales into this sketch's representation:
-  // z = α_a·v_a + c·α_b·v_b = α_a·(v_a + (c·α_b/α_a)·v_b).
+  // z = α_a·v_a + c·α_b·v_b = α_a·(v_a + (c·α_b/α_a)·v_b). A merge sweeps
+  // every cell, so only the pages it writes — all of them — are COW'd.
   const double ratio = coeff * o.scale_ / scale_;
+  table_.MarkAllDirty();
   simd::MergeScaledTable(table_.data(), o.table_.data(), table_.size(), ratio);
 
   // The merged table shifts every bucket, so neither heap's cached raw
@@ -277,6 +279,7 @@ float WmSketch::RawMedianFromPlan(const simd::PlanView& plan, size_t i) const {
 
 void WmSketch::MaybeRescale() {
   if (scale_ >= kMinScale) return;
+  table_.MarkAllDirty();
   simd::ScaleTable(table_.data(), table_.size(), static_cast<float>(scale_));
   heap_.Scale(static_cast<float>(scale_));
   scale_ = 1.0;

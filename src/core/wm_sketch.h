@@ -7,6 +7,7 @@
 #include "hash/tabulation.h"
 #include "linear/classifier.h"
 #include "util/memory_cost.h"
+#include "util/paged_table.h"
 #include "util/simd.h"
 #include "util/top_k_heap.h"
 
@@ -88,6 +89,10 @@ class WmSketch final : public BudgetedClassifier {
   WeightEstimator EstimatorSnapshot() const override;
   std::vector<FeatureWeight> TopK(size_t k) const override;
   size_t MemoryCostBytes() const override { return config_.MemoryCostBytes(); }
+  size_t ResidentStorageBytes() const override {
+    return config_.MemoryCostBytes() + table_.MetadataBytes();
+  }
+  TablePublishStats publish_stats() const override { return table_.publish_stats(); }
   uint64_t steps() const override { return t_; }
   const LearnerOptions& options() const override { return opts_; }
   std::string Name() const override { return "wm"; }
@@ -119,7 +124,11 @@ class WmSketch final : public BudgetedClassifier {
   WmSketchConfig config_;
   LearnerOptions opts_;
   std::vector<SignedBucketHash> rows_;
-  std::vector<float> table_;  // raw v; z = scale_ * v
+  // Raw v (z = scale_ * v) in copy-on-write paged storage: the live arena
+  // stays contiguous (hot paths and Row() unchanged); MakeReadModel /
+  // EstimatorSnapshot publish refcounted pages, copying only those dirtied
+  // since the previous publication.
+  PagedTable table_;
   double scale_ = 1.0;        // α
   double sqrt_depth_;         // √s, applied at predict/query time
   uint64_t t_ = 0;

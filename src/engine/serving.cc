@@ -149,8 +149,15 @@ std::unique_ptr<ServingSnapshot> CaptureServingSnapshot(const BudgetedClassifier
                                                         size_t top_k) {
   auto snap = std::make_unique<ServingSnapshot>();
   snap->steps = model.steps();
+  // Difference the paged-storage counters around the capture: what this
+  // snapshot cost is exactly the pages MakeReadModel copied out (zero for
+  // the closure-backed baselines, whose stats stay zero).
+  const uint64_t copied_before = model.publish_stats().copied_bytes;
   snap->model = model.MakeReadModel();
+  snap->publish_bytes = model.publish_stats().copied_bytes - copied_before;
   snap->top_k = model.TopK(top_k);
+  snap->resident_bytes =
+      snap->model->ResidentBytes() + snap->top_k.size() * sizeof(FeatureWeight);
   return snap;
 }
 

@@ -61,6 +61,13 @@ struct ServingSnapshot {
   /// The top-K heaviest tracked features at capture time (descending
   /// magnitude; empty for identifier-free methods).
   std::vector<FeatureWeight> top_k;
+  /// Bytes the capture physically copied. For the paged-table methods this
+  /// is the dirtied pages only (clean pages were re-shared by refcount), so
+  /// it is O(what changed since the previous capture), not O(budget).
+  uint64_t publish_bytes = 0;
+  /// Bytes of model state this snapshot keeps alive (shared pages counted
+  /// in full — see ReadModel::ResidentBytes — plus the materialized top-K).
+  size_t resident_bytes = 0;
 };
 
 /// The shared publication state: the atomic current-snapshot pointer, the

@@ -10,6 +10,7 @@
 #include "linear/learning_rate.h"
 #include "linear/loss.h"
 #include "stream/sparse_vector.h"
+#include "util/paged_table.h"
 #include "util/status.h"
 #include "util/top_k_heap.h"
 
@@ -57,6 +58,13 @@ class ReadModel {
   virtual void EstimateBatch(std::span<const uint32_t> features, float* out) const {
     for (size_t i = 0; i < features.size(); ++i) out[i] = Estimate(features[i]);
   }
+
+  /// Bytes of model state this frozen view keeps alive. Page-backed models
+  /// (the sketches, feature hashing) report the pages they pin plus
+  /// metadata — pages shared with other snapshots count in full (see
+  /// PageSet::ResidentBytes). The default (closure-backed baselines) reports
+  /// 0: their capture is opaque to this accounting.
+  virtual size_t ResidentBytes() const { return 0; }
 };
 
 /// Hyperparameters shared by every online linear learner in the library.
@@ -203,8 +211,22 @@ class BudgetedClassifier {
   virtual std::vector<FeatureWeight> TopK(size_t k) const = 0;
 
   /// Memory footprint under the Sec. 7.1 cost model (4 bytes per id /
-  /// weight / auxiliary scalar).
+  /// weight / auxiliary scalar). Deliberately excludes paged-storage
+  /// bookkeeping: this is the *cost model* every method is compared under at
+  /// equal budgets (and the planner sizes against), not resident memory —
+  /// see ResidentStorageBytes for the latter.
   virtual size_t MemoryCostBytes() const = 0;
+
+  /// Actual resident bytes of the model's own storage: the cost-model bytes
+  /// plus paged-table metadata (per-page mirror pointers and epoch tags) for
+  /// the table-backed methods. Snapshot-pinned page copies are accounted to
+  /// the snapshots that pin them (ReadModel::ResidentBytes), not here.
+  virtual size_t ResidentStorageBytes() const { return MemoryCostBytes(); }
+
+  /// Cumulative paged-storage publication counters (zeroes for methods
+  /// without paged tables). The serving bench differences these around a
+  /// window to report bytes copied per publish.
+  virtual TablePublishStats publish_stats() const { return {}; }
 
   /// Number of Update() calls so far.
   virtual uint64_t steps() const = 0;

@@ -14,48 +14,51 @@ namespace {
 
 constexpr double kMinScale = 1e-25;
 
-/// Frozen feature-hashing read model: the bucket hash, a copy of the raw
-/// table, and the resolved scale. A depth-1 "sketch" as far as the batched
-/// read paths are concerned (the median of one row is the row itself).
+/// Frozen feature-hashing read model: the bucket hash, the published pages
+/// of the raw table (shared across snapshots; dirtied pages copied), and
+/// the resolved scale. A depth-1 "sketch" as far as the paged read paths
+/// are concerned (the median of one row is the row itself).
 class HashReadModel final : public ReadModel {
  public:
-  HashReadModel(SignedBucketHash hash, std::vector<float> table, double scale)
-      : hash_(hash), table_(std::move(table)), scale_(scale) {}
+  HashReadModel(SignedBucketHash hash, PageSet<float> pages, double scale)
+      : hash_(hash), pages_(std::move(pages)), scale_(scale) {}
 
   double PredictMargin(const SparseVector& x) const override {
-    return readpath::FusedMargin(table_.data(),
-                                 std::span<const SignedBucketHash>(&hash_, 1), x,
-                                 scale_);
+    return readpath::FusedMarginPaged(pages_.view(),
+                                      std::span<const SignedBucketHash>(&hash_, 1), x,
+                                      scale_);
   }
 
   void PredictBatch(std::span<const Example> batch, double* out) const override {
-    readpath::PlanMarginBatch(table_.data(),
-                              std::span<const SignedBucketHash>(&hash_, 1), batch,
-                              scale_, out);
+    readpath::MarginBatchPaged(pages_.view(),
+                               std::span<const SignedBucketHash>(&hash_, 1), batch,
+                               scale_, out);
   }
 
   float Estimate(uint32_t feature) const override {
-    return readpath::FusedEstimate(table_.data(),
-                                   std::span<const SignedBucketHash>(&hash_, 1),
-                                   feature, scale_);
+    return readpath::FusedEstimatePaged(pages_.view(),
+                                        std::span<const SignedBucketHash>(&hash_, 1),
+                                        feature, scale_);
   }
 
   void EstimateBatch(std::span<const uint32_t> features, float* out) const override {
-    readpath::GatherMedianBatch(table_.data(),
-                                std::span<const SignedBucketHash>(&hash_, 1), features,
-                                scale_, out);
+    readpath::EstimateBatchPaged(pages_.view(),
+                                 std::span<const SignedBucketHash>(&hash_, 1), features,
+                                 scale_, out);
   }
+
+  size_t ResidentBytes() const override { return pages_.ResidentBytes(); }
 
  private:
   SignedBucketHash hash_;
-  std::vector<float> table_;
+  PageSet<float> pages_;
   double scale_;
 };
 
 }  // namespace
 
 FeatureHashingClassifier::FeatureHashingClassifier(uint32_t buckets, const LearnerOptions& opts)
-    : opts_(opts), hash_(SplitMix64(opts.seed).Next(), buckets), table_(buckets, 0.0f) {
+    : opts_(opts), hash_(SplitMix64(opts.seed).Next(), buckets), table_(buckets) {
   assert(IsPowerOfTwo(buckets));
 }
 
@@ -68,7 +71,7 @@ double FeatureHashingClassifier::PredictMargin(const SparseVector& x) const {
     uint32_t bucket;
     float sign;
     hash_.BucketAndSign(x.index(i), &bucket, &sign);
-    acc += static_cast<double>(sign) * static_cast<double>(table_[bucket]) *
+    acc += static_cast<double>(sign) * static_cast<double>(table_.data()[bucket]) *
            static_cast<double>(x.value(i));
   }
   return scale_ * acc;
@@ -87,7 +90,7 @@ void FeatureHashingClassifier::EstimateBatch(std::span<const uint32_t> features,
 }
 
 std::unique_ptr<const ReadModel> FeatureHashingClassifier::MakeReadModel() const {
-  return std::make_unique<HashReadModel>(hash_, table_, scale_);
+  return std::make_unique<HashReadModel>(hash_, table_.SharePages(), scale_);
 }
 
 double FeatureHashingClassifier::Update(const SparseVector& x, int8_t y) {
@@ -106,6 +109,7 @@ double FeatureHashingClassifier::UpdateWithPlan(const SparseVector& x, int8_t y,
   const double g = opts_.loss->Derivative(static_cast<double>(y) * margin);
   if (opts_.lambda > 0.0) scale_ *= (1.0 - eta * opts_.lambda);
   const double step = eta * static_cast<double>(y) * g / scale_;
+  table_.MarkPlanDirty(plan.offsets, plan.entries());
   simd::PlanScatter(table_.data(), plan, x.values().data(), step, scratch);
   MaybeRescale();
   return margin;
@@ -125,23 +129,25 @@ void FeatureHashingClassifier::UpdateBatch(std::span<const Example> batch, std::
 }
 
 WeightEstimator FeatureHashingClassifier::EstimatorSnapshot() const {
+  // Shares published pages (O(dirty) capture, not O(buckets)).
   struct State {
     SignedBucketHash hash;
-    std::vector<float> table;
+    PageSet<float> pages;
     double scale;
   };
-  auto st = std::make_shared<const State>(State{hash_, table_, scale_});
+  auto st = std::make_shared<const State>(State{hash_, table_.SharePages(), scale_});
   return [st](uint32_t feature) {
     uint32_t bucket;
     float sign;
     st->hash.BucketAndSign(feature, &bucket, &sign);
     return static_cast<float>(st->scale * static_cast<double>(sign) *
-                              static_cast<double>(st->table[bucket]));
+                              static_cast<double>(st->pages.view().At(bucket)));
   };
 }
 
 void FeatureHashingClassifier::MaybeRescale() {
   if (scale_ >= kMinScale) return;
+  table_.MarkAllDirty();
   simd::ScaleTable(table_.data(), table_.size(), static_cast<float>(scale_));
   scale_ = 1.0;
 }
@@ -151,7 +157,7 @@ float FeatureHashingClassifier::WeightEstimate(uint32_t feature) const {
   float sign;
   hash_.BucketAndSign(feature, &bucket, &sign);
   return static_cast<float>(scale_ * static_cast<double>(sign) *
-                            static_cast<double>(table_[bucket]));
+                            static_cast<double>(table_.data()[bucket]));
 }
 
 std::vector<FeatureWeight> FeatureHashingClassifier::TopK(size_t) const { return {}; }

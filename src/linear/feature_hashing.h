@@ -7,6 +7,7 @@
 #include "hash/tabulation.h"
 #include "linear/classifier.h"
 #include "util/memory_cost.h"
+#include "util/paged_table.h"
 #include "util/simd.h"
 #include "util/status.h"
 
@@ -48,6 +49,10 @@ class FeatureHashingClassifier final : public BudgetedClassifier {
   /// ScanTopK to rank an explicit universe).
   std::vector<FeatureWeight> TopK(size_t k) const override;
   size_t MemoryCostBytes() const override { return TableBytes(table_.size()); }
+  size_t ResidentStorageBytes() const override {
+    return TableBytes(table_.size()) + table_.MetadataBytes();
+  }
+  TablePublishStats publish_stats() const override { return table_.publish_stats(); }
   uint64_t steps() const override { return t_; }
   const LearnerOptions& options() const override { return opts_; }
   std::string Name() const override { return "hash"; }
@@ -66,7 +71,9 @@ class FeatureHashingClassifier final : public BudgetedClassifier {
 
   LearnerOptions opts_;
   SignedBucketHash hash_;
-  std::vector<float> table_;  // raw; true hashed weight = scale_ * cell
+  // Raw bucket weights (true hashed weight = scale_ * cell) in copy-on-write
+  // paged storage: live arena contiguous, snapshots publish shared pages.
+  PagedTable table_;
   double scale_ = 1.0;
   uint64_t t_ = 0;
 };

@@ -16,7 +16,7 @@ CountMinSketch::CountMinSketch(uint32_t width, uint32_t depth, uint64_t seed, bo
   SplitMix64 sm(seed);
   rows_.reserve(depth);
   for (uint32_t j = 0; j < depth; ++j) rows_.emplace_back(sm.Next(), width);
-  table_.assign(static_cast<size_t>(width) * depth, 0.0);
+  table_ = BasicPagedTable<double>(static_cast<size_t>(width) * depth);
 }
 
 void CountMinSketch::Update(uint32_t key, double delta) { UpdateAndQuery(key, delta); }
@@ -29,7 +29,10 @@ double CountMinSketch::UpdateAndQuery(uint32_t key, double delta) {
   // its internal Query, once for the raise — and callers following with
   // Query(key) paid a third round).
   uint32_t buckets[kMaxDepth];
-  for (uint32_t j = 0; j < depth_; ++j) buckets[j] = rows_[j].Bucket(key);
+  for (uint32_t j = 0; j < depth_; ++j) {
+    buckets[j] = rows_[j].Bucket(key);
+    table_.MarkDirtyOffset(static_cast<size_t>(j) * width_ + buckets[j]);
+  }
   if (!conservative_) {
     double est = std::numeric_limits<double>::infinity();
     for (uint32_t j = 0; j < depth_; ++j) {
@@ -60,7 +63,7 @@ double CountMinSketch::Query(uint32_t key) const {
 }
 
 void CountMinSketch::Clear() {
-  table_.assign(table_.size(), 0.0);
+  table_.Fill(0.0);
   total_ = 0.0;
 }
 
@@ -68,7 +71,8 @@ Status CountMinSketch::RestoreState(const std::vector<double>& table, double tot
   if (table.size() != table_.size()) {
     return Status::InvalidArgument("counter array size does not match sketch shape");
   }
-  table_ = table;
+  table_.MarkAllDirty();
+  std::copy(table.begin(), table.end(), table_.data());
   total_ = total;
   return Status::OK();
 }

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "hash/tabulation.h"
 #include "util/memory_cost.h"
+#include "util/paged_table.h"
 #include "util/status.h"
 
 namespace wmsketch {
@@ -41,7 +43,7 @@ class CountMinSketch {
   void Clear();
 
   /// The raw counter array in row-major order (snapshot-save support).
-  const std::vector<double>& table() const { return table_; }
+  std::span<const double> table() const { return {table_.data(), table_.size()}; }
 
   /// Replaces the counter array and total mass (snapshot-restore support;
   /// hash rows stay as constructed from the seed). Returns InvalidArgument
@@ -66,7 +68,7 @@ class CountMinSketch {
   bool conservative_;
   double total_ = 0.0;
   std::vector<SignedBucketHash> rows_;  // signs unused; bucket mapping only
-  std::vector<double> table_;
+  BasicPagedTable<double> table_;  // row-major live arena, paged for snapshots
 };
 
 }  // namespace wmsketch

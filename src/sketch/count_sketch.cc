@@ -16,7 +16,7 @@ CountSketch::CountSketch(uint32_t width, uint32_t depth, uint64_t seed)
   SplitMix64 sm(seed);
   rows_.reserve(depth);
   for (uint32_t j = 0; j < depth; ++j) rows_.emplace_back(sm.Next(), width);
-  table_.assign(static_cast<size_t>(width) * depth, 0.0f);
+  table_ = PagedTable(static_cast<size_t>(width) * depth);
 }
 
 void CountSketch::Update(uint32_t key, float delta) {
@@ -24,6 +24,7 @@ void CountSketch::Update(uint32_t key, float delta) {
     uint32_t bucket;
     float sign;
     rows_[j].BucketAndSign(key, &bucket, &sign);
+    table_.MarkDirtyOffset(static_cast<size_t>(j) * width_ + bucket);
     Row(j)[bucket] += sign * delta;
   }
 }
@@ -47,6 +48,7 @@ float CountSketch::UpdateAndQuery(uint32_t key, float delta) {
     uint32_t bucket;
     float sign;
     rows_[j].BucketAndSign(key, &bucket, &sign);
+    table_.MarkDirtyOffset(static_cast<size_t>(j) * width_ + bucket);
     float& cell = Row(j)[bucket];
     cell += sign * delta;
     est[j] = sign * cell;
@@ -58,15 +60,17 @@ Status CountSketch::Merge(const CountSketch& other) {
   WMS_RETURN_NOT_OK(CheckMergeCompatible("count-sketch",
                                          SketchShape{width_, depth_, seed_},
                                          SketchShape{other.width_, other.depth_, other.seed_}));
+  table_.MarkAllDirty();
   simd::MergeScaledTable(table_.data(), other.table_.data(), table_.size(), 1.0);
   return Status::OK();
 }
 
 void CountSketch::Scale(float factor) {
+  table_.MarkAllDirty();
   simd::ScaleTable(table_.data(), table_.size(), factor);
 }
 
-void CountSketch::Clear() { table_.assign(table_.size(), 0.0f); }
+void CountSketch::Clear() { table_.Fill(0.0f); }
 
 double CountSketch::TableL2Norm() const {
   return std::sqrt(simd::L2NormSquared(table_.data(), table_.size()));

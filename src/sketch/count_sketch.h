@@ -6,6 +6,7 @@
 #include "hash/tabulation.h"
 #include "sketch/merge_compat.h"
 #include "util/memory_cost.h"
+#include "util/paged_table.h"
 
 namespace wmsketch {
 
@@ -61,6 +62,13 @@ class CountSketch {
   /// Cost under the Sec. 7.1 model: 4 bytes per counter.
   size_t MemoryCostBytes() const { return TableBytes(table_.size()); }
 
+  /// Publishes the current table as an immutable shared page set (copying
+  /// only pages dirtied since the last publication) — the O(dirty) snapshot
+  /// primitive of the paged storage layer. Writer-thread only.
+  PageSet<float> SharePages() const { return table_.SharePages(); }
+  /// Cumulative publication counters of the paged storage.
+  const TablePublishStats& publish_stats() const { return table_.publish_stats(); }
+
   /// L2 norm of the raw table (diagnostics / tests).
   double TableL2Norm() const;
 
@@ -72,7 +80,7 @@ class CountSketch {
   uint32_t depth_;
   uint64_t seed_;
   std::vector<SignedBucketHash> rows_;
-  std::vector<float> table_;  // depth_ * width_, row-major
+  PagedTable table_;  // depth_ * width_ counters, row-major live arena
 };
 
 }  // namespace wmsketch

@@ -24,6 +24,7 @@
 #include "sketch/hash_plan.h"
 #include "stream/sparse_vector.h"
 #include "util/math.h"
+#include "util/paged_table.h"
 #include "util/simd.h"
 
 namespace wmsketch::readpath {
@@ -123,6 +124,92 @@ inline void GatherMedianBatch(const float* table, std::span<const SignedBucketHa
   for (size_t i = 0; i < keys.size(); ++i) {
     out[i] = static_cast<float>(
         factor * static_cast<double>(MedianInPlace(gathered + i * depth, depth)));
+  }
+}
+
+// ------------------------------------------------------------ paged reads
+//
+// The frozen read models published by the serving layer hold refcounted
+// table *pages* (util/paged_table.h) instead of a flat copy, so their read
+// paths resolve cells through a PagedView: table[off] becomes
+// pages[off >> shift][off & mask]. Everything else — hash evaluation order,
+// per-feature double accumulation, median networks — is the flat kernels'
+// code verbatim, so a paged frozen model answers bit-identically to the live
+// flat model it was captured from. The wide vpgatherdps route needs one
+// contiguous base pointer and therefore does not apply to paged snapshots;
+// paged batch reads run the fused per-key/per-example loops (the route the
+// gather calibration picks on most parts anyway — an AVX2 i64-gather page
+// walk is a candidate in ROADMAP.md, not worth its two dependent gathers
+// per four lanes today).
+
+/// FusedMargin over a paged snapshot — bit-identical to FusedMargin on a
+/// flat copy of the same cells.
+inline double FusedMarginPaged(const PagedView<float>& table,
+                               std::span<const SignedBucketHash> rows,
+                               const SparseVector& x, double factor) {
+  double acc = 0.0;
+  for (size_t i = 0; i < x.nnz(); ++i) {
+    const uint32_t feature = x.index(i);
+    double per_feature = 0.0;
+    for (size_t j = 0; j < rows.size(); ++j) {
+      uint32_t bucket;
+      float sign;
+      rows[j].BucketAndSign(feature, &bucket, &sign);
+      per_feature += static_cast<double>(sign) *
+                     static_cast<double>(table.At(j * rows[j].width() + bucket));
+    }
+    acc += per_feature * static_cast<double>(x.value(i));
+  }
+  return factor * acc;
+}
+
+/// FusedEstimate over a paged snapshot — bit-identical to the flat kernel.
+inline float FusedEstimatePaged(const PagedView<float>& table,
+                                std::span<const SignedBucketHash> rows, uint32_t key,
+                                double factor) {
+  float est[kMaxSketchDepth];
+  for (size_t j = 0; j < rows.size(); ++j) {
+    uint32_t bucket;
+    float sign;
+    rows[j].BucketAndSign(key, &bucket, &sign);
+    est[j] = sign * table.At(j * rows[j].width() + bucket);
+  }
+  return static_cast<float>(factor *
+                            static_cast<double>(MedianInPlace(est, rows.size())));
+}
+
+/// Batched paged margins: the fused loop per example (see the section
+/// comment for why no plan/gather route exists for paged snapshots).
+inline void MarginBatchPaged(const PagedView<float>& table,
+                             std::span<const SignedBucketHash> rows,
+                             std::span<const Example> batch, double factor,
+                             double* out) {
+  for (size_t e = 0; e < batch.size(); ++e) {
+    out[e] = FusedMarginPaged(table, rows, batch[e].x, factor);
+  }
+}
+
+/// Batched paged point estimates: the fused loop per key.
+inline void EstimateBatchPaged(const PagedView<float>& table,
+                               std::span<const SignedBucketHash> rows,
+                               std::span<const uint32_t> keys, double factor,
+                               float* out) {
+  for (size_t i = 0; i < keys.size(); ++i) {
+    out[i] = FusedEstimatePaged(table, rows, keys[i], factor);
+  }
+}
+
+/// EstimateBatchPaged with an exact active set in front of the tail sketch
+/// (the frozen AWM): active hits answer exactly, the rest take the paged
+/// fused estimate.
+template <typename ActiveLookup>
+inline void ActiveEstimateBatchPaged(const PagedView<float>& table,
+                                     std::span<const SignedBucketHash> rows,
+                                     std::span<const uint32_t> keys, double factor,
+                                     ActiveLookup&& lookup, float* out) {
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const std::optional<float> exact = lookup(keys[i]);
+    out[i] = exact.has_value() ? *exact : FusedEstimatePaged(table, rows, keys[i], factor);
   }
 }
 

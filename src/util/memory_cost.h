@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace wmsketch {
 
@@ -22,6 +23,22 @@ constexpr size_t HeapBytes(size_t capacity, size_t aux_per_entry = 0) {
 
 /// Cost of a flat array of `cells` sketch counters/weights.
 constexpr size_t TableBytes(size_t cells) { return cells * kBytesPerWeight; }
+
+/// Per-page bookkeeping of the copy-on-write paged tables
+/// (util/paged_table.h): the refcounted mirror pointer with its control
+/// block plus the 64-bit epoch tag. Charged by the *resident* accounting
+/// (BudgetedClassifier::ResidentStorageBytes, PageSet::ResidentBytes,
+/// bench_serving's per-snapshot reporting) — deliberately NOT by the
+/// Sec. 7.1 cost model above, which is the equal-budget comparison metric
+/// the planner sizes against, not a resident-set measure.
+inline constexpr size_t kBytesPerPageMeta = 2 * sizeof(void*) + sizeof(uint64_t);
+
+/// Resident bytes of a paged table of `cells` cells split into `pages`
+/// pages: the live cells plus per-page metadata. Snapshot-pinned page
+/// copies are accounted to the snapshots that pin them.
+constexpr size_t PagedTableBytes(size_t cells, size_t pages) {
+  return cells * kBytesPerWeight + pages * kBytesPerPageMeta;
+}
 
 /// Kilobyte convenience (budgets in the paper are quoted in KB).
 constexpr size_t KiB(size_t n) { return n * 1024; }

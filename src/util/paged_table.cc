@@ -1,0 +1,38 @@
+#include "util/paged_table.h"
+
+namespace wmsketch {
+
+namespace {
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+size_t PickPageCells(size_t cells) {
+  // Target ~4K pages: the publish sweep pays one refcount bump per page even
+  // when nothing changed, so the page count must stay small enough that the
+  // sweep is a rounding error next to the copies it replaces, while the page
+  // size stays small enough that a lightly-dirtied table publishes a small
+  // fraction of itself.
+  //  * floor 64 cells (256 B for floats): below that, copying a page costs
+  //    about as much as the refcount bump that sharing it saves, and per-page
+  //    metadata (kBytesPerPageMeta) rivals the data;
+  //  * cap 4096 cells: bounds the latency contribution of one dirty page and
+  //    keeps granularity useful for multi-megabyte tables.
+  // Power of two, so with power-of-two row widths pages subdivide rows
+  // evenly (or hold whole rows) and never straddle a row boundary.
+  constexpr size_t kMinPageCells = 64;
+  constexpr size_t kMaxPageCells = 4096;
+  constexpr size_t kTargetPages = 4096;
+  if (cells == 0) return kMinPageCells;
+  const size_t ideal = NextPowerOfTwo((cells + kTargetPages - 1) / kTargetPages);
+  if (ideal < kMinPageCells) return kMinPageCells;
+  if (ideal > kMaxPageCells) return kMaxPageCells;
+  return ideal;
+}
+
+}  // namespace wmsketch

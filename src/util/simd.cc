@@ -336,8 +336,28 @@ void CalibrateGatherImpl() {
 #endif  // WMS_SIMD_X86
 
 #ifdef WMS_SIMD_X86
+// WMS_SKIP_CALIBRATION: opt out of the ~1 ms timing run entirely (CI and
+// short-lived test binaries). Dispatch then stands on the static defaults —
+// both dispatch targets are bit-identical, so this only trades the measured
+// per-machine routing for the unmeasured default one.
+bool SkipCalibrationByEnv() {
+  static const bool skip = std::getenv("WMS_SKIP_CALIBRATION") != nullptr;
+  return skip;
+}
+
 void EnsureGatherCalibrated() {
   if (g_gather_cal_state.load(std::memory_order_acquire) == 2) return;
+  // Deferral, not settlement: with the AVX2 path off nothing can dispatch a
+  // gather, so there is nothing to calibrate — but a later SetEnabled(true)
+  // must still be able to trigger the measurement.
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  if (SkipCalibrationByEnv()) {
+    // Settle on the static defaults without measuring ("explicit choice
+    // stands", like SetThresholds).
+    std::lock_guard<std::mutex> lk(g_threshold_writer_mu);
+    g_gather_cal_state.store(2, std::memory_order_release);
+    return;
+  }
   int expected = 0;
   if (g_gather_cal_state.compare_exchange_strong(expected, 1,
                                                  std::memory_order_acq_rel)) {
@@ -393,16 +413,28 @@ void CalibrateGather() {
 #endif
 }
 
+// The calibration triggers only on a SIMD-*eligible* call — one that would
+// dispatch the AVX2 gather under the thresholds as they stand. That check
+// is sound uncalibrated: the calibration only ever *raises*
+// gather_min_entries (to batch-only or off) and only ever *enables* the
+// read-plan route, so a call that fails the pre-check would fail it after
+// calibrating too. Short-lived binaries that never reach an eligible size
+// (unit tests, scalar-routed workloads) therefore never pay the ~1 ms run.
+
 bool GatherDispatched(size_t entries) {
 #ifdef WMS_SIMD_X86
-  EnsureGatherCalibrated();
+  if (DispatchAvx2(entries, g_thresholds.gather_min_entries)) {
+    EnsureGatherCalibrated();
+  }
 #endif
   return DispatchAvx2(entries, g_thresholds.gather_min_entries);
 }
 
 bool ReadPlanDispatched(size_t entries) {
 #ifdef WMS_SIMD_X86
-  EnsureGatherCalibrated();
+  if (DispatchAvx2(entries, g_thresholds.gather_min_entries)) {
+    EnsureGatherCalibrated();
+  }
 #endif
   return g_read_plan_profitable.load(std::memory_order_relaxed) &&
          DispatchAvx2(entries, g_thresholds.gather_min_entries);
@@ -413,12 +445,15 @@ void GatherSigned(const float* table, const uint32_t* offsets, const float* sign
 #ifdef WMS_SIMD_X86
   // Below the crossover (in particular every depth ≤ 7 per-feature median
   // gather) the AVX2 variant would pay the vpgatherdps setup only to run its
-  // scalar tail anyway; skip the extra call. The first dispatch calibrates
-  // whether this machine's hardware gather is worth using at all.
-  EnsureGatherCalibrated();
+  // scalar tail anyway; skip the extra call. The first *eligible* dispatch
+  // calibrates whether this machine's hardware gather is worth using at all
+  // (and may raise the threshold, hence the re-check).
   if (DispatchAvx2(n, g_thresholds.gather_min_entries)) {
-    GatherSignedAvx2(table, offsets, signs, n, out);
-    return;
+    EnsureGatherCalibrated();
+    if (DispatchAvx2(n, g_thresholds.gather_min_entries)) {
+      GatherSignedAvx2(table, offsets, signs, n, out);
+      return;
+    }
   }
 #endif
   GatherSignedScalar(table, offsets, signs, n, out);
@@ -450,7 +485,7 @@ double PlanMargin(const float* table, const PlanView& plan, const float* values,
 }
 
 void PlanScatter(float* table, const PlanView& plan, const float* values, double step,
-                 float* scratch) {
+                 [[maybe_unused]] float* scratch) {  // scratch feeds the AVX2 path only
 #ifdef WMS_SIMD_X86
   if (DispatchAvx2(plan.nnz, g_thresholds.scatter_min_nnz)) {
     // float(step·xᵢ·σ) == float(step·xᵢ)·σ for σ = ±1, so precomputing the

@@ -91,9 +91,14 @@ void SetReadPlanDispatched(bool on);
 /// (gather_min_entries = UINT32_MAX) when it does not measurably win —
 /// vpgatherdps is fast on some parts and microcode-crippled or
 /// emulation-slow on others, and no compile-time signal distinguishes them.
-/// Runs automatically before the first gather dispatch (≈1 ms, once per
-/// process); calling SetThresholds first suppresses it, so explicit
-/// thresholds always stand. No-op without AVX2.
+/// Runs automatically before the first SIMD-*eligible* gather dispatch (a
+/// call that would dispatch under the current thresholds; ≈1 ms, once per
+/// process) — short-lived binaries whose gathers never reach an eligible
+/// size never pay it. Calling SetThresholds first suppresses it, so
+/// explicit thresholds always stand, and setting the WMS_SKIP_CALIBRATION
+/// environment variable skips the measurement entirely (dispatch then uses
+/// the static defaults; both paths are bit-identical, so this only affects
+/// routing). No-op without AVX2.
 void CalibrateGather();
 
 /// Lower-middle order statistic of v[0..n) for n >= 8 — the median path for

@@ -1,0 +1,166 @@
+// Unit tests for the copy-on-write paged table storage (util/paged_table.h):
+// page sizing, dirty tracking via epoch tags, publish-time sharing vs
+// copying, clone page sharing, and snapshot immutability.
+
+#include "util/paged_table.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace wmsketch {
+namespace {
+
+bool IsPow2(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+TEST(PagedTableTest, PageSizingIsPowerOfTwoWithinBounds) {
+  for (const size_t cells : {size_t{1}, size_t{64}, size_t{768}, size_t{4096},
+                             size_t{196608}, size_t{1} << 22}) {
+    const size_t pc = PickPageCells(cells);
+    EXPECT_TRUE(IsPow2(pc)) << cells;
+    EXPECT_GE(pc, 64u) << cells;
+    EXPECT_LE(pc, 4096u) << cells;
+  }
+  // Power-of-two pages subdivide power-of-two rows evenly (or hold whole
+  // rows): a page never straddles a row boundary.
+  const size_t pc = PickPageCells(196608);  // width 65536 x depth 3
+  EXPECT_TRUE(65536 % pc == 0 || pc % 65536 == 0);
+}
+
+TEST(PagedTableTest, ViewMatchesArenaByteForByte) {
+  PagedTable t(1000);  // not a multiple of the page size: padded tail
+  for (size_t i = 0; i < t.size(); ++i) t.data()[i] = static_cast<float>(i) * 0.5f;
+  const PageSet<float> pages = t.SharePages();
+  ASSERT_EQ(pages.cells(), 1000u);
+  for (size_t i = 0; i < t.size(); ++i) {
+    const float a = t.data()[i];
+    const float b = pages.view().At(i);
+    EXPECT_EQ(0, std::memcmp(&a, &b, sizeof(float))) << i;
+  }
+}
+
+TEST(PagedTableTest, FirstPublishCopiesAllLaterPublishesCopyDirtyOnly) {
+  PagedTable t(4096);
+  const size_t pages = t.num_pages();
+  ASSERT_GE(pages, 2u);
+
+  const PageSet<float> s1 = t.SharePages();
+  EXPECT_EQ(t.publish_stats().publishes, 1u);
+  EXPECT_EQ(t.publish_stats().copied_pages, pages);  // nothing shared yet
+
+  // No writes: the second publish shares everything.
+  const PageSet<float> s2 = t.SharePages();
+  EXPECT_EQ(t.publish_stats().copied_pages, pages);
+  EXPECT_EQ(t.publish_stats().shared_pages, pages);
+
+  // Dirty exactly one page: the third publish copies exactly one.
+  t.MarkDirtyOffset(0);
+  t.data()[0] = 42.0f;
+  const PageSet<float> s3 = t.SharePages();
+  EXPECT_EQ(t.publish_stats().copied_pages, pages + 1);
+  EXPECT_EQ(t.publish_stats().shared_pages, 2 * pages - 1);
+
+  // Clean pages are physically shared: same page base pointers.
+  EXPECT_EQ(s2.view().pages[1], s3.view().pages[1]);
+  // The dirtied page diverged.
+  EXPECT_NE(s2.view().pages[0], s3.view().pages[0]);
+}
+
+TEST(PagedTableTest, SnapshotsAreImmutableUnderLaterWrites) {
+  PagedTable t(512);
+  t.MarkDirtyOffset(7);
+  t.data()[7] = 1.0f;
+  const PageSet<float> snap = t.SharePages();
+  t.MarkDirtyOffset(7);
+  t.data()[7] = 2.0f;
+  EXPECT_EQ(snap.view().At(7), 1.0f);
+  EXPECT_EQ(t.data()[7], 2.0f);
+  const PageSet<float> snap2 = t.SharePages();
+  EXPECT_EQ(snap.view().At(7), 1.0f);  // still pinned at its version
+  EXPECT_EQ(snap2.view().At(7), 2.0f);
+}
+
+TEST(PagedTableTest, MarkPlanDirtyCoversExactlyTheTouchedPages) {
+  PagedTable t(4096);
+  const size_t pages = t.num_pages();
+  (void)t.SharePages();  // enable tracking; everything now clean
+  const uint32_t pc = static_cast<uint32_t>(t.page_cells());
+  // Touch two distinct pages through a fake plan.
+  const uint32_t offsets[3] = {0, 1, pc};  // page 0 twice, page 1 once
+  t.MarkPlanDirty(offsets, 3);
+  const uint64_t copied_before = t.publish_stats().copied_pages;
+  (void)t.SharePages();
+  EXPECT_EQ(t.publish_stats().copied_pages - copied_before, 2u);
+  EXPECT_EQ(t.publish_stats().shared_pages, pages - 2);
+}
+
+TEST(PagedTableTest, MarkingBeforeFirstPublishIsFreeAndHarmless) {
+  PagedTable t(4096);
+  // No publish yet: marks are no-ops (nothing is shared to diverge from).
+  t.MarkDirtyOffset(0);
+  t.MarkAllDirty();
+  EXPECT_EQ(t.publish_stats().publishes, 0u);
+  (void)t.SharePages();
+  EXPECT_EQ(t.publish_stats().copied_pages, t.num_pages());
+}
+
+TEST(PagedTableTest, CloneSharesCleanPagesWithTheOriginal) {
+  PagedTable a(4096);
+  for (size_t i = 0; i < a.size(); ++i) a.data()[i] = static_cast<float>(i);
+  const PageSet<float> sa = a.SharePages();
+
+  PagedTable b = a;  // clone
+  // The clone's first publish re-shares the original's clean mirrors: zero
+  // new copies, identical page pointers.
+  const uint64_t copied_before = b.publish_stats().copied_pages;
+  const PageSet<float> sb = b.SharePages();
+  EXPECT_EQ(b.publish_stats().copied_pages, copied_before);
+  for (size_t p = 0; p < a.num_pages(); ++p) {
+    EXPECT_EQ(sa.view().pages[p], sb.view().pages[p]) << p;
+  }
+
+  // Divergence after cloning COWs only the clone's dirtied page, and the
+  // original never sees it.
+  b.MarkDirtyOffset(0);
+  b.data()[0] = -1.0f;
+  const PageSet<float> sb2 = b.SharePages();
+  EXPECT_EQ(sb2.view().At(0), -1.0f);
+  EXPECT_EQ(sa.view().At(0), 0.0f);
+  EXPECT_EQ(a.data()[0], 0.0f);
+  EXPECT_NE(sb2.view().pages[0], sa.view().pages[0]);
+  EXPECT_EQ(sb2.view().pages[1], sa.view().pages[1]);
+}
+
+TEST(PagedTableTest, FillMarksEverythingDirty) {
+  PagedTable t(1024);
+  (void)t.SharePages();
+  t.Fill(3.5f);
+  const uint64_t copied_before = t.publish_stats().copied_pages;
+  const PageSet<float> s = t.SharePages();
+  EXPECT_EQ(t.publish_stats().copied_pages - copied_before, t.num_pages());
+  EXPECT_EQ(s.view().At(1023), 3.5f);
+}
+
+TEST(PagedTableTest, DoubleTableWorksTheSameWay) {
+  BasicPagedTable<double> t(300);
+  t.data()[299] = 2.25;
+  const PageSet<double> s = t.SharePages();
+  EXPECT_EQ(s.view().At(299), 2.25);
+  t.MarkDirtyOffset(299);
+  t.data()[299] = 4.5;
+  EXPECT_EQ(s.view().At(299), 2.25);
+}
+
+TEST(PagedTableTest, ResidentAccounting) {
+  PagedTable t(4096);
+  const PageSet<float> s = t.SharePages();
+  EXPECT_EQ(s.ResidentBytes(),
+            t.num_pages() * (t.page_cells() * sizeof(float) + kBytesPerPageMeta));
+  EXPECT_EQ(t.MetadataBytes(), t.num_pages() * kBytesPerPageMeta);
+  EXPECT_EQ(PagedTableBytes(t.size(), t.num_pages()),
+            t.size() * 4 + t.num_pages() * kBytesPerPageMeta);
+}
+
+}  // namespace
+}  // namespace wmsketch

@@ -152,5 +152,76 @@ TEST(SerializationTest, SnapshotSizeIsCompact) {
   EXPECT_GT(size, 1024 * 4);
 }
 
+// ----------------------------------------------------- v1 back-compat
+//
+// The v2 (paged) stream of a given model differs from its legacy v1 (flat)
+// stream by exactly the magic and the u32 page-size field after the cell
+// count, so a v1 stream can be synthesized from a v2 one: swap the magic
+// back and cut those 4 bytes. Loaders must accept both layouts and restore
+// identical state.
+
+std::string SynthesizeV1(std::string v2, uint32_t v1_magic, size_t cells_offset) {
+  std::memcpy(v2.data(), &v1_magic, sizeof(v1_magic));
+  v2.erase(cells_offset + sizeof(uint64_t), sizeof(uint32_t));
+  return v2;
+}
+
+TEST(SerializationTest, WmFlatV1LayoutStillLoads) {
+  WmSketch original(WmSketchConfig{256, 3, 32}, Opts());
+  Train(original, 7, 1500);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveWmSketch(original, buffer).ok());
+  // WM header: magic(4) width(4) depth(4) heap(8) lambda(8) seed(8) t(8)
+  // scale(8) = 52 bytes before the cell count.
+  std::stringstream v1(SynthesizeV1(buffer.str(), 0x314d5357u, 52));
+  Result<WmSketch> restored = LoadWmSketch(v1, Opts());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  for (uint32_t f = 0; f < 2048; ++f) {
+    EXPECT_EQ(restored.value().WeightEstimate(f), original.WeightEstimate(f)) << f;
+  }
+  EXPECT_EQ(restored.value().steps(), original.steps());
+}
+
+TEST(SerializationTest, AwmFlatV1LayoutStillLoads) {
+  AwmSketch original(AwmSketchConfig{256, 1, 64}, Opts(23));
+  Train(original, 13, 1500);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveAwmSketch(original, buffer).ok());
+  // AWM header: magic(4) width(4) depth(4) heap(8) lambda(8) seed(8) t(8)
+  // sketch_scale(8) heap_scale(8) = 60 bytes before the cell count.
+  std::stringstream v1(SynthesizeV1(buffer.str(), 0x314d5741u, 60));
+  Result<AwmSketch> restored = LoadAwmSketch(v1, Opts(23));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  for (uint32_t f = 0; f < 2048; ++f) {
+    EXPECT_EQ(restored.value().WeightEstimate(f), original.WeightEstimate(f)) << f;
+  }
+}
+
+TEST(SerializationTest, HashFlatV1LayoutStillLoads) {
+  FeatureHashingClassifier original(1024, Opts(31));
+  Train(original, 17, 1500);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveFeatureHashing(original, buffer).ok());
+  // FHS header: magic(4) buckets(4) lambda(8) seed(8) t(8) scale(8) = 40.
+  std::stringstream v1(SynthesizeV1(buffer.str(), 0x31534846u, 40));
+  Result<FeatureHashingClassifier> restored = LoadFeatureHashing(v1, Opts(31));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  for (uint32_t f = 0; f < 2048; ++f) {
+    EXPECT_EQ(restored.value().WeightEstimate(f), original.WeightEstimate(f)) << f;
+  }
+}
+
+TEST(SerializationTest, InvalidPageSizeRejected) {
+  WmSketch original(WmSketchConfig{128, 2, 16}, Opts());
+  Train(original, 5, 200);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveWmSketch(original, buffer).ok());
+  std::string bytes = buffer.str();
+  const uint32_t bad_page = 3;  // not a power of two
+  std::memcpy(bytes.data() + 52 + sizeof(uint64_t), &bad_page, sizeof(bad_page));
+  std::stringstream in(bytes);
+  EXPECT_EQ(LoadWmSketch(in, Opts()).status().code(), StatusCode::kCorruption);
+}
+
 }  // namespace
 }  // namespace wmsketch

@@ -60,6 +60,11 @@ def main():
     parser.add_argument("--metrics", default="updates_per_sec",
                         help="comma-separated row fields to gate "
                              "(default: updates_per_sec)")
+    parser.add_argument("--lower-better", default="",
+                        help="comma-separated metrics where smaller is "
+                             "better (publish_bytes, publish_us): their "
+                             "ratios are inverted (baseline/fresh) so a "
+                             "rise gates exactly like a throughput drop")
     parser.add_argument("--normalize", action="store_true",
                         help="gate on ratios normalized by the second-highest "
                              "ratio (for baselines recorded on another machine)")
@@ -71,6 +76,7 @@ def main():
     fresh = load_rows(args.fresh)
     base = load_rows(args.baseline)
     metrics = [m.strip() for m in args.metrics.split(",") if m.strip()]
+    lower_better = {m.strip() for m in args.lower_better.split(",") if m.strip()}
 
     failures = []
     gated_total = 0
@@ -81,9 +87,10 @@ def main():
             if frow is None or metric not in brow or metric not in frow:
                 continue
             b, f = float(brow[metric]), float(frow[metric])
-            if b <= 0:
+            if b <= 0 or (metric in lower_better and f <= 0):
                 continue
-            rows.append((config, kernel, b, f, f / b))
+            ratio = b / f if metric in lower_better else f / b
+            rows.append((config, kernel, b, f, ratio))
 
         gated = [r for r in rows if r[1] == args.kernel]
         if not gated:
