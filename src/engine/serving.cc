@@ -17,7 +17,7 @@ ServingState::~ServingState() {
 }
 
 void ServingState::Publish(std::unique_ptr<ServingSnapshot> snap) {
-  std::lock_guard<std::mutex> lk(writer_mu_);
+  MutexLock lk(writer_mu_);
   snap->version = next_version_++;
   const ServingSnapshot* fresh = snap.get();
   live_.push_back(std::move(snap));
@@ -57,7 +57,7 @@ uint64_t ServingState::published_version() const {
 }
 
 ServingState::Slot* ServingState::RegisterHandle() {
-  std::lock_guard<std::mutex> lk(writer_mu_);
+  MutexLock lk(writer_mu_);
   for (Slot& slot : slots_) {
     if (!slot.in_use.load(std::memory_order_relaxed)) {
       slot.pinned.store(nullptr, std::memory_order_relaxed);
@@ -69,7 +69,7 @@ ServingState::Slot* ServingState::RegisterHandle() {
 }
 
 void ServingState::ReleaseHandle(Slot* slot) {
-  std::lock_guard<std::mutex> lk(writer_mu_);
+  MutexLock lk(writer_mu_);
   slot->pinned.store(nullptr, std::memory_order_release);
   slot->in_use.store(false, std::memory_order_release);
 }

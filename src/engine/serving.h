@@ -37,12 +37,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "linear/classifier.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace wmsketch {
 
@@ -117,10 +117,15 @@ class ServingState {
   std::atomic<const ServingSnapshot*> current_{nullptr};
   std::array<Slot, kMaxHandles> slots_;
 
-  std::mutex writer_mu_;
-  uint64_t next_version_ = 1;
+  /// Serializes the writer side: publication, reclamation, and handle
+  /// registration. Readers never take it — Pin works on `current_` and the
+  /// slots alone. clang -Wthread-safety enforces that the guarded members
+  /// below are only touched with it held.
+  Mutex writer_mu_;
+  uint64_t next_version_ WMS_GUARDED_BY(writer_mu_) = 1;
   /// Every snapshot not yet freed (the published one included).
-  std::vector<std::unique_ptr<const ServingSnapshot>> live_;
+  std::vector<std::unique_ptr<const ServingSnapshot>> live_
+      WMS_GUARDED_BY(writer_mu_);
 };
 
 /// A single reader's wait-free view of a served learner. Obtain via

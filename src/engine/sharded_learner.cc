@@ -3,14 +3,13 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "core/budget.h"
 #include "engine/serving.h"
 #include "engine/spsc_ring.h"
+#include "util/thread_annotations.h"
 
 namespace wmsketch {
 
@@ -75,8 +74,13 @@ struct ShardedLearner::Impl {
     SpscRing<Example> ring;
     std::unique_ptr<BudgetedClassifier> model;
     std::thread thread;
-    std::mutex mu;
-    std::condition_variable cv;
+    /// Backs the park/sleep protocol only. No data is guarded: the ring is
+    /// SPSC-safe on its own and the flags are atomics. The lock exists so a
+    /// Wake between an idle worker's final ring check and its wait cannot be
+    /// lost — the annotated CondVar still makes clang verify every wait
+    /// happens with `mu` held.
+    Mutex mu;
+    CondVar cv;
     std::atomic<bool> sleeping{false};
     /// The pause epoch this worker last parked in (0 = never). A worker
     /// counts as parked for barrier k only when this equals k, so a stale
@@ -136,7 +140,7 @@ struct ShardedLearner::Impl {
       // Queue empty: park, stop, or sleep until there is work.
       if (stop.load(std::memory_order_acquire)) return;
       if (pause.load(std::memory_order_acquire)) {
-        std::unique_lock<std::mutex> lk(w.mu);
+        MutexLock lk(w.mu);
         for (;;) {
           if (stop.load(std::memory_order_acquire)) break;
           if (!pause.load(std::memory_order_acquire)) break;
@@ -145,13 +149,13 @@ struct ShardedLearner::Impl {
           if (!w.ring.Empty()) break;
           w.parked_epoch.store(pause_epoch.load(std::memory_order_acquire),
                                std::memory_order_release);
-          w.cv.wait(lk);
+          w.cv.Wait(w.mu, lk);
         }
         continue;
       }
-      std::unique_lock<std::mutex> lk(w.mu);
+      MutexLock lk(w.mu);
       w.sleeping.store(true, std::memory_order_relaxed);
-      w.cv.wait_for(lk, kIdleWait, [&] {
+      w.cv.WaitFor(w.mu, lk, kIdleWait, [&] {
         return !w.ring.Empty() || stop.load(std::memory_order_acquire) ||
                pause.load(std::memory_order_acquire);
       });
@@ -160,8 +164,11 @@ struct ShardedLearner::Impl {
   }
 
   void Wake(Worker& w) {
-    std::lock_guard<std::mutex> lk(w.mu);
-    w.cv.notify_one();
+    // Taking the lock (empty critical section) orders this notify after the
+    // worker's flag checks, so a wakeup racing the decision to sleep is
+    // observed by the wait and never lost.
+    MutexLock lk(w.mu);
+    w.cv.NotifyOne();
   }
 
   /// Barrier: every queued example is trained and every worker is parked in

@@ -36,6 +36,20 @@
 // same contract the serving layer already imposes. Published PageSets are
 // immutable and may be read (and destroyed) from any thread; page lifetime
 // is managed by atomic shared_ptr refcounts.
+//
+// The contract is machine-checked under ThreadSanitizer: every dirty-mark
+// and every publish does a plain store to one `writer_fence_` byte, so two
+// threads that mutate or publish the same table without a happens-before
+// edge between them race on that byte and get a deterministic TSan report —
+// even when their actual writes land on disjoint pages or cells, which TSan
+// alone would never flag. Legitimate writer handoffs (a worker thread joins,
+// the owner thread takes over; a merge barrier parks the workers first)
+// carry the required edge and stay silent. There is deliberately no mutex
+// and no clang thread-safety capability here: a lock would put an
+// acquire/release on the hottest write paths to protect state that is never
+// legally shared, and a static writer-role capability would cascade
+// annotations through the whole virtual classifier SPI. The annotated-mutex
+// layers live where real locks exist (engine/serving.h, sharded_learner.cc).
 
 #include <cassert>
 #include <cstdint>
@@ -44,6 +58,14 @@
 #include <vector>
 
 #include "util/memory_cost.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define WMS_PAGED_TABLE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define WMS_PAGED_TABLE_TSAN 1
+#endif
+#endif
 
 namespace wmsketch {
 
@@ -161,6 +183,7 @@ class BasicPagedTable {
   /// idempotent within one publish interval). A no-op until the first
   /// publish: before anything is shared there is nothing to diverge from.
   void MarkDirtyOffset(size_t off) {
+    TouchWriterFence();
     if (!tracking_) return;
     page_epoch_[off >> shift_] = epoch_;
   }
@@ -169,6 +192,7 @@ class BasicPagedTable {
   /// barrier of the plan-driven scatter paths (offsets are the plan's
   /// absolute table offsets).
   void MarkPlanDirty(const uint32_t* offsets, size_t n) {
+    TouchWriterFence();
     if (!tracking_) return;
     const uint64_t e = epoch_;
     for (size_t i = 0; i < n; ++i) page_epoch_[offsets[i] >> shift_] = e;
@@ -176,6 +200,7 @@ class BasicPagedTable {
 
   /// Marks everything dirty (table-wide sweeps: merge, scale, clear, load).
   void MarkAllDirty() {
+    TouchWriterFence();
     if (!tracking_) return;
     const uint64_t e = epoch_;
     for (uint64_t& pe : page_epoch_) pe = e;
@@ -193,6 +218,7 @@ class BasicPagedTable {
   /// table's values are untouched; the mirror cache, epoch counter, and
   /// stats are memoization. Writer-thread only (see file comment).
   PageSet<T> SharePages() const {
+    TouchWriterFence();
     PageSet<T> out;
     out.shift_ = shift_;
     out.mask_ = mask_;
@@ -246,6 +272,18 @@ class BasicPagedTable {
   mutable uint64_t epoch_ = 1;
   mutable bool tracking_ = false;  // becomes true at the first publish
   mutable TablePublishStats stats_;
+
+#if defined(WMS_PAGED_TABLE_TSAN)
+  // Single-writer tripwire (see file comment): plain unsynchronized stores,
+  // so TSan reports any two mutation/publish calls lacking a happens-before
+  // edge. `volatile` keeps the dead store from being optimized away.
+  mutable volatile unsigned char writer_fence_ = 0;
+  void TouchWriterFence() const {
+    writer_fence_ = static_cast<unsigned char>(writer_fence_ + 1);
+  }
+#else
+  void TouchWriterFence() const {}
+#endif
 };
 
 using PagedTable = BasicPagedTable<float>;

@@ -197,6 +197,31 @@ TEST(HashPlanBatchTest, BatchStateBitIdenticalToPerExampleLoop) {
 
 // ---------------------------------------------------------- SIMD kernels
 
+// Machine-checked coverage registry: tools/lint/wms_lint.py (rule
+// simd-paired) extracts every __attribute__((target("avx2...")))  kernel
+// from src/util/simd.cc and fails CI unless its name appears between these
+// markers — so no vector kernel can ship without its scalar twin being
+// asserted (bit-)equal in this binary. Keep each entry's comment pointing
+// at the test that exercises it.
+// wms-lint: simd-kernel-table begin
+constexpr const char* const kAvx2KernelBitIdentityCoverage[] = {
+    "GatherSignedAvx2",      // Avx2MatchesScalarOnAllKernels (exact equality)
+    "StepDeltasAvx2",        // via PlanScatter in Avx2MatchesScalarOnAllKernels
+    "MergeScaledTableAvx2",  // Avx2MatchesScalarOnAllKernels (exact equality)
+    "ScaleTableAvx2",        // Avx2MatchesScalarOnAllKernels (exact equality)
+    "L2NormSquaredAvx2",     // Avx2MatchesScalarOnAllKernels (1e-5 rel: 4-lane reduction reorders)
+    "MedianLargeAvx2",       // MedianLargeBitIdenticalAcrossKernelPaths
+};
+// wms-lint: simd-kernel-table end
+
+TEST(SimdKernelTest, KernelCoverageTableEntriesAreWellFormed) {
+  for (const char* name : kAvx2KernelBitIdentityCoverage) {
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string_view(name).size(), 0u);
+    EXPECT_TRUE(std::string_view(name).ends_with("Avx2")) << name;
+  }
+}
+
 TEST(SimdKernelTest, ReportsCompileAndCpuState) {
 #ifndef WMS_SIMD
   EXPECT_FALSE(simd::Available());  // compiled out: never available

@@ -1,0 +1,18 @@
+#include <cstddef>
+namespace simd {
+void ScaleTable(float*, std::size_t, float);
+}  // namespace simd
+struct Table {
+  float* data();
+  std::size_t size() const;
+};
+struct Model {
+  Table table_;
+  float* Row(unsigned j);
+  void PointWriteNoMark(unsigned j, unsigned bucket, float delta) {
+    Row(j)[bucket] += delta;  // no MarkDirty*: snapshot serves stale pages
+  }
+  void SweepNoMark(float factor) {
+    simd::ScaleTable(table_.data(), table_.size(), factor);
+  }
+};

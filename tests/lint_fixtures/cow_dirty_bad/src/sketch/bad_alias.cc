@@ -1,0 +1,11 @@
+#include <cstddef>
+struct Table {
+  float* data();
+};
+struct Model {
+  Table table_;
+  void AliasWriteNoMark(const unsigned* offsets, std::size_t n, float delta) {
+    float* tbl = table_.data();
+    for (std::size_t i = 0; i < n; ++i) tbl[offsets[i]] -= delta;
+  }
+};

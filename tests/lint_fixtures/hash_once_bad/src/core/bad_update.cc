@@ -1,0 +1,14 @@
+struct Hash {
+  void BucketAndSign(unsigned key, unsigned* bucket, float* sign) const;
+};
+float ReHashingUpdate(const Hash& h, const unsigned* keys, unsigned n,
+                      const float* table) {
+  float acc = 0.0f;
+  for (unsigned i = 0; i < n; ++i) {
+    unsigned bucket;
+    float sign;
+    h.BucketAndSign(keys[i], &bucket, &sign);  // forbidden outside src/hash/
+    acc += sign * table[bucket];
+  }
+  return acc;
+}

@@ -1,0 +1,10 @@
+// A hot path that consumes a pre-built plan instead of re-hashing.
+struct Plan {
+  const unsigned* offsets;
+  unsigned entries;
+};
+float Consume(const Plan& plan, const float* table) {
+  float acc = 0.0f;
+  for (unsigned k = 0; k < plan.entries; ++k) acc += table[plan.offsets[k]];
+  return acc;
+}

@@ -1,0 +1,11 @@
+// Hash implementations may define and call BucketAndSign freely.
+#pragma once
+struct MyHash {
+  void BucketAndSign(unsigned key, unsigned* bucket, float* sign) const {
+    *bucket = key & 7u;
+    *sign = 1.0f;
+  }
+};
+inline void Helper(const MyHash& h, unsigned k, unsigned* b, float* s) {
+  h.BucketAndSign(k, b, s);  // inside src/hash/: allowed
+}

@@ -1,0 +1,11 @@
+struct Hash {
+  void BucketAndSign(unsigned key, unsigned* bucket, float* sign) const;
+};
+float ReadTwice(const Hash& h, unsigned key, const float* table) {
+  unsigned bucket;
+  float sign;
+  h.BucketAndSign(key, &bucket, &sign);
+  const float a = sign * table[bucket];
+  h.BucketAndSign(key + 1, &bucket, &sign);  // second site: over the ratchet
+  return a + sign * table[bucket];
+}

@@ -1,0 +1,9 @@
+struct Hash {
+  void BucketAndSign(unsigned key, unsigned* bucket, float* sign) const;
+};
+float Suppressed(const Hash& h, unsigned key, const float* table) {
+  unsigned bucket;
+  float sign;
+  h.BucketAndSign(key, &bucket, &sign);  // wms-lint: allow(hash-once): fixture reason
+  return sign * table[bucket];
+}

@@ -1,0 +1,3 @@
+__attribute__((target("avx2,fma"))) void DemoKernelAvx2(float* t, int n) {
+  for (int i = 0; i < n; ++i) t[i] += 1.0f;
+}

@@ -1,0 +1,5 @@
+// wms-lint: simd-kernel-table begin
+constexpr const char* const kAvx2KernelBitIdentityCoverage[] = {
+    "DemoKernelAvx2",
+};
+// wms-lint: simd-kernel-table end

@@ -1,0 +1,6 @@
+// wms-lint: simd-kernel-table begin
+constexpr const char* const kAvx2KernelBitIdentityCoverage[] = {
+    "DemoKernelAvx2",
+    "RemovedKernelAvx2",
+};
+// wms-lint: simd-kernel-table end
