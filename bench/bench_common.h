@@ -23,10 +23,13 @@
 #include "api/learner.h"
 #include "core/budget.h"
 #include "datagen/classification_gen.h"
+#include "datagen/sparsity_profile.h"
 #include "linear/dense_linear_model.h"
 #include "metrics/online_error.h"
 #include "metrics/recovery.h"
+#include "stream/libsvm_io.h"
 #include "util/memory_cost.h"
+#include "util/simd.h"
 
 namespace wmsketch::bench {
 
@@ -82,6 +85,22 @@ inline int IntFlagArg(int argc, char** argv, const char* flag, int fallback) {
   }
   return fallback;
 }
+
+/// Scans argv for `<flag> <value>`; returns "" when the flag is absent.
+inline std::string StrFlagArg(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return "";
+}
+
+/// Runs the one-shot SIMD kernel calibration *now*, before any timed cell.
+/// Left to its lazy trigger, the ~1 ms measurement fires inside whichever
+/// bench cell first issues an eligible gather — silently inflating that
+/// cell's time and, worse, doing so for exactly one (config, kernel) row of
+/// the committed baseline. Every bench main() calls this once after flag
+/// parsing; WMS_SKIP_CALIBRATION still short-circuits it to the defaults.
+inline void CalibrateKernelsBeforeTiming() { simd::CalibrateGather(); }
 
 /// Collector for a bench's machine-readable output: flat rows of named
 /// numbers/strings, written as {"bench": <name>, "rows": [{...}, ...]}.
@@ -160,6 +179,117 @@ class BenchJson {
   std::string name_;
   std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
 };
+
+/// One example stream a hot-path bench measures, plus how to label its rows.
+struct BenchStreamSpec {
+  /// Appended to every config label in tables and JSON rows ("" for the
+  /// default synthetic stream, "_<profile name>" / "_<dataset stem>"
+  /// otherwise), so rows from different streams never collide on the
+  /// (config, kernel) key check_perf.py joins baselines on.
+  std::string suffix;
+  /// Feature-id domain for point-estimate sampling.
+  uint32_t dimension = 0;
+  std::vector<Example> examples;
+};
+
+/// "path/to/rcv1_train.txt.gz" → "rcv1_train".
+inline std::string DatasetStem(const std::string& path) {
+  std::string stem = path;
+  if (const size_t slash = stem.find_last_of('/'); slash != std::string::npos) {
+    stem = stem.substr(slash + 1);
+  }
+  if (stem.size() > 3 && stem.compare(stem.size() - 3, 3, ".gz") == 0) {
+    stem = stem.substr(0, stem.size() - 3);
+  }
+  if (const size_t dot = stem.find_last_of('.'); dot != std::string::npos && dot > 0) {
+    stem = stem.substr(0, dot);
+  }
+  return stem;
+}
+
+/// Resolves the streams a hot-path bench measures from its flags:
+///
+///   --libsvm <path[.gz]>     measure a real dataset instead of the default
+///                            synthetic stream (rows suffixed _<stem>)
+///   --profile <path.json>    additionally measure a committed sparsity
+///                            profile replayed deterministically (rows
+///                            suffixed _<profile name>) — the committable
+///                            stand-in for datasets that cannot ship
+///   --dump-profile <out>     with --libsvm: measure the dataset's sparsity
+///                            profile and write it as JSON (how committed
+///                            profiles are made)
+///
+/// Any malformed input aborts with the parse error (path:line) — a bench
+/// that silently fell back to synthetic data would poison every committed
+/// baseline row derived from the run.
+inline std::vector<BenchStreamSpec> ResolveBenchStreams(int argc, char** argv,
+                                                        const ClassificationProfile& synthetic,
+                                                        int examples, uint64_t seed) {
+  std::vector<BenchStreamSpec> streams;
+  const std::string libsvm_path = StrFlagArg(argc, argv, "--libsvm");
+  const std::string profile_path = StrFlagArg(argc, argv, "--profile");
+  const std::string dump_path = StrFlagArg(argc, argv, "--dump-profile");
+
+  if (!libsvm_path.empty()) {
+    Result<std::vector<Example>> r = ReadLibsvmFile(libsvm_path);
+    if (!r.ok()) {
+      std::fprintf(stderr, "--libsvm: %s\n", r.status().ToString().c_str());
+      std::exit(1);
+    }
+    BenchStreamSpec spec;
+    spec.suffix = "_" + DatasetStem(libsvm_path);
+    for (const Example& ex : r.value()) {
+      spec.dimension = std::max<uint32_t>(
+          spec.dimension, ex.x.empty() ? 1 : ex.x.index(ex.x.nnz() - 1) + 1);
+    }
+    spec.examples = std::move(r).value();
+    if (!dump_path.empty()) {
+      Result<SparsityProfile> p =
+          MeasureSparsityProfile(spec.examples, DatasetStem(libsvm_path) + "_replay");
+      if (!p.ok()) {
+        std::fprintf(stderr, "--dump-profile: %s\n", p.status().ToString().c_str());
+        std::exit(1);
+      }
+      std::FILE* f = std::fopen(dump_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "--dump-profile: cannot write %s\n", dump_path.c_str());
+        std::exit(1);
+      }
+      const std::string json = FormatSparsityProfileJson(p.value());
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("wrote sparsity profile %s\n", dump_path.c_str());
+    }
+    streams.push_back(std::move(spec));
+  } else {
+    if (!dump_path.empty()) {
+      std::fprintf(stderr, "--dump-profile requires --libsvm\n");
+      std::exit(1);
+    }
+    BenchStreamSpec spec;
+    spec.dimension = synthetic.dimension;
+    SyntheticClassificationGen gen(synthetic, seed);
+    spec.examples.reserve(static_cast<size_t>(examples));
+    for (int i = 0; i < examples; ++i) spec.examples.push_back(gen.Next());
+    streams.push_back(std::move(spec));
+  }
+
+  if (!profile_path.empty()) {
+    Result<SparsityProfile> p = LoadSparsityProfile(profile_path);
+    if (!p.ok()) {
+      std::fprintf(stderr, "--profile: %s\n", p.status().ToString().c_str());
+      std::exit(1);
+    }
+    BenchStreamSpec spec;
+    spec.suffix = "_" + p.value().name;
+    spec.dimension = p.value().dimension;
+    SparsityReplayGen gen(p.value(), seed);
+    spec.examples.reserve(static_cast<size_t>(examples));
+    for (int i = 0; i < examples; ++i) spec.examples.push_back(gen.Next());
+    streams.push_back(std::move(spec));
+  }
+  return streams;
+}
 
 /// The paper's standard learner settings (η0 = 0.1, inverse-sqrt decay).
 inline LearnerOptions PaperOptions(double lambda, uint64_t seed) {

@@ -4,6 +4,13 @@
 // reports the scalar-vs-SIMD speedup on this machine.
 //
 //   ./bench_hot_path [--json BENCH_hot_path.json] [--reps N]
+//                    [--libsvm data.txt[.gz]] [--profile profile.json]
+//                    [--dump-profile out.json]
+//
+// By default the stream is the synthetic RCV1-like generator. --libsvm
+// measures a real dataset instead (rows suffixed with the file stem);
+// --profile additionally replays a committed sparsity profile (rows suffixed
+// with the profile name) — see bench/profiles/ and ResolveBenchStreams.
 //
 // Rows (one per config × kernel path):
 //   updates_per_sec          batched ingest through Learner::UpdateBatch
@@ -229,14 +236,13 @@ int main(int argc, char** argv) {
   const ClassificationProfile profile = ClassificationProfile::Rcv1Like();
   const int examples = ScaledCount(120000);
   const int reps = IntFlagArg(argc, argv, "--reps", 2);
-  SyntheticClassificationGen gen(profile, 88);
-  std::vector<Example> stream;
-  stream.reserve(static_cast<size_t>(examples));
-  for (int i = 0; i < examples; ++i) stream.push_back(gen.Next());
+  const std::vector<BenchStreamSpec> streams =
+      ResolveBenchStreams(argc, argv, profile, examples, 88);
+  CalibrateKernelsBeforeTiming();
 
   Banner("Hot path — single-threaded throughput (Table 2 configs, " +
-         std::to_string(examples) + " examples, best of " + std::to_string(reps) +
-         ")");
+         std::to_string(streams.front().examples.size()) + " examples, best of " +
+         std::to_string(reps) + ")");
   std::printf("simd available: %s (compiled %s)\n", simd::Available() ? "yes" : "no",
 #ifdef WMS_SIMD
               "in"
@@ -248,50 +254,53 @@ int main(int argc, char** argv) {
             "estimates/s", "batchest/s", "hashes/upd"});
 
   BenchJson json("hot_path");
-  // Kernel paths alternate within each rep (pairwise per config) AND the
-  // within-pair order flips every rep, so frequency/steal/thermal drift hits
-  // both paths alike — the committed baseline compares them row-against-row,
-  // and a kernel that only "wins" because it ran in the systematically
-  // quieter slot of each pair would poison the dispatch conclusions.
-  const bool kernel_paths[] = {false, true};
-  const size_t paths = simd::Available() ? 2 : 1;
-  std::vector<Throughput> best(std::size(kConfigs) * paths);
-  for (int rep = 0; rep < reps; ++rep) {
-    for (size_t ci = 0; ci < std::size(kConfigs); ++ci) {
-      for (size_t slot = 0; slot < paths; ++slot) {
-        const size_t k = (rep % 2 == 0) ? slot : paths - 1 - slot;
-        simd::SetEnabled(kernel_paths[k]);
-        best[ci * paths + k].MergeBest(Measure(kConfigs[ci], stream, profile.dimension));
+  for (const BenchStreamSpec& spec : streams) {
+    // Kernel paths alternate within each rep (pairwise per config) AND the
+    // within-pair order flips every rep, so frequency/steal/thermal drift hits
+    // both paths alike — the committed baseline compares them row-against-row,
+    // and a kernel that only "wins" because it ran in the systematically
+    // quieter slot of each pair would poison the dispatch conclusions.
+    const bool kernel_paths[] = {false, true};
+    const size_t paths = simd::Available() ? 2 : 1;
+    std::vector<Throughput> best(std::size(kConfigs) * paths);
+    for (int rep = 0; rep < reps; ++rep) {
+      for (size_t ci = 0; ci < std::size(kConfigs); ++ci) {
+        for (size_t slot = 0; slot < paths; ++slot) {
+          const size_t k = (rep % 2 == 0) ? slot : paths - 1 - slot;
+          simd::SetEnabled(kernel_paths[k]);
+          best[ci * paths + k].MergeBest(Measure(kConfigs[ci], spec.examples, spec.dimension));
+        }
       }
     }
-  }
-  for (size_t k = 0; k < paths; ++k) {
-    simd::SetEnabled(kernel_paths[k]);
-    for (size_t ci = 0; ci < std::size(kConfigs); ++ci) {
-      const HotConfig& c = kConfigs[ci];
-      const Throughput& t = best[ci * paths + k];
-      PrintRow({c.label, simd::ActiveKernel(), Fmt(t.updates_per_sec, 0),
-                Fmt(t.predicts_per_sec, 0), Fmt(t.batch_predicts_per_sec, 0),
-                Fmt(t.estimates_per_sec, 0), Fmt(t.batch_estimates_per_sec, 0),
-                t.hashes_per_update < 0 ? "n/a" : Fmt(t.hashes_per_update, 1)});
-      json.Row()
-          .Str("config", c.label)
-          .Str("method", MethodName(c.method))
-          .Num("width", c.width)
-          .Num("depth", c.depth)
-          .Num("heap", static_cast<double>(c.heap))
-          .Str("kernel", simd::ActiveKernel())
-          .Num("updates_per_sec", t.updates_per_sec)
-          .Num("predicts_per_sec", t.predicts_per_sec)
-          .Num("batch_predicts_per_sec", t.batch_predicts_per_sec)
-          .Num("estimates_per_sec", t.estimates_per_sec)
-          .Num("batch_estimates_per_sec", t.batch_estimates_per_sec)
-          .Num("checksum", t.margin_checksum);
+    for (size_t k = 0; k < paths; ++k) {
+      simd::SetEnabled(kernel_paths[k]);
+      for (size_t ci = 0; ci < std::size(kConfigs); ++ci) {
+        const HotConfig& c = kConfigs[ci];
+        const Throughput& t = best[ci * paths + k];
+        const std::string label = c.label + spec.suffix;
+        PrintRow({label, simd::ActiveKernel(), Fmt(t.updates_per_sec, 0),
+                  Fmt(t.predicts_per_sec, 0), Fmt(t.batch_predicts_per_sec, 0),
+                  Fmt(t.estimates_per_sec, 0), Fmt(t.batch_estimates_per_sec, 0),
+                  t.hashes_per_update < 0 ? "n/a" : Fmt(t.hashes_per_update, 1)});
+        json.Row()
+            .Str("config", label)
+            .Str("method", MethodName(c.method))
+            .Num("width", c.width)
+            .Num("depth", c.depth)
+            .Num("heap", static_cast<double>(c.heap))
+            .Str("kernel", simd::ActiveKernel())
+            .Num("updates_per_sec", t.updates_per_sec)
+            .Num("predicts_per_sec", t.predicts_per_sec)
+            .Num("batch_predicts_per_sec", t.batch_predicts_per_sec)
+            .Num("estimates_per_sec", t.estimates_per_sec)
+            .Num("batch_estimates_per_sec", t.batch_estimates_per_sec)
+            .Num("checksum", t.margin_checksum);
 #ifdef WMS_HASH_STATS
-      // Only emitted when the counter is actually compiled in — a -1
-      // placeholder in the committed baseline reads like a measurement.
-      json.Num("hashes_per_update", t.hashes_per_update);
+        // Only emitted when the counter is actually compiled in — a -1
+        // placeholder in the committed baseline reads like a measurement.
+        json.Num("hashes_per_update", t.hashes_per_update);
 #endif
+      }
     }
   }
   simd::SetEnabled(true);  // restore the default for anything after us

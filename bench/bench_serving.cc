@@ -4,6 +4,7 @@
 // publishing every ServeEvery updates.
 //
 //   ./bench_serving [--json BENCH_serving.json] [--readers N]
+//                   [--libsvm data.txt[.gz]] [--profile profile.json]
 //
 // One row per (config, reader count), reader counts {0, N}: the 0-reader
 // row is the writer's no-contention ingest rate (the baseline for the
@@ -21,6 +22,12 @@
 // plus per-snapshot resident bytes. Rows carry kernel tag "publish";
 // publish_gain (= full_table_bytes / publish_bytes) is the machine-
 // independent gate metric, publish_us the latency one.
+//
+// A third "frozen reads" section times single-threaded batched predicts and
+// point estimates against a published snapshot with the kernel paths toggled
+// — the direct measurement of the paged serving gather kernels. These rows
+// repeat for every stream ResolveBenchStreams yields (--libsvm replaces the
+// synthetic stream; --profile adds a deterministic sparsity-profile replay).
 //
 // Stream lengths scale with WMS_BENCH_SCALE like every other bench.
 
@@ -292,6 +299,100 @@ PublishCostResult RunPublishCost(const PublishCostConfig& c,
   return out;
 }
 
+// ------------------------------------------------------------ frozen reads
+//
+// Single-threaded wide reads against a *published* snapshot: the paged
+// frozen read models behind every ServingHandle, measured without writer or
+// reader contention so the row isolates the paged gather kernels themselves
+// (GatherSignedPaged / GatherMedianFusedPaged vs the fused per-cell loops).
+// Kernel paths toggle like bench_hot_path; the checksum is deterministic and
+// must match across paths (bit-identity contract).
+
+struct FrozenReadResult {
+  double batch_predicts_per_sec = 0.0;
+  double batch_estimates_per_sec = 0.0;
+  double checksum = 0.0;
+};
+
+// Keeps the timed frozen-read loops observable without touching the
+// deterministic checksum.
+volatile double g_frozen_sink = 0.0;
+
+constexpr double kMinWindowSeconds = 0.12;
+
+FrozenReadResult RunFrozenReads(const ServingConfig& c, const std::vector<Example>& stream,
+                                uint32_t dimension) {
+  LearnerBuilder b = PaperBuilder(1e-6, 77).SetMethod(c.method).SetWidth(c.width);
+  if (c.depth > 0) b.SetDepth(c.depth);
+  if (c.heap > 0) b.SetHeapCapacity(c.heap);
+  Learner model = BuildOrDie(b.Build());
+  model.UpdateBatch(stream);
+  Result<ServingHandle> handle = model.AcquireServingHandle();
+  if (!handle.ok()) {
+    std::fprintf(stderr, "serving handle: %s\n", handle.status().ToString().c_str());
+    std::exit(1);
+  }
+  ServingHandle& h = handle.value();
+
+  const size_t chunk = std::min(kReadChunk, stream.size());
+  const std::span<const Example> queries(stream.data(),
+                                         std::min<size_t>(stream.size(), 20000));
+  std::vector<double> margins(chunk);
+  std::vector<uint32_t> keys(chunk);
+  std::vector<float> estimates(chunk);
+
+  auto rate = [](size_t ops_per_pass, auto&& workload) {
+    size_t passes = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto t1 = t0;
+    do {
+      workload();
+      ++passes;
+      t1 = std::chrono::steady_clock::now();
+    } while (Seconds(t0, t1) < kMinWindowSeconds);
+    return static_cast<double>(ops_per_pass) * static_cast<double>(passes) /
+           Seconds(t0, t1);
+  };
+
+  FrozenReadResult out;
+  double sink = 0.0;
+  out.batch_predicts_per_sec = rate(queries.size(), [&] {
+    for (size_t at = 0; at < queries.size(); at += chunk) {
+      const size_t n = std::min(chunk, queries.size() - at);
+      h.PredictBatch(std::span<const Example>(queries.data() + at, n), margins.data());
+      sink += margins[0];
+    }
+  });
+  const size_t estimates_per_pass = 200000;
+  out.batch_estimates_per_sec = rate(estimates_per_pass, [&] {
+    SplitMix64 ids(99);
+    for (size_t at = 0; at < estimates_per_pass; at += chunk) {
+      const size_t n = std::min(chunk, estimates_per_pass - at);
+      for (size_t i = 0; i < n; ++i) {
+        keys[i] = static_cast<uint32_t>(ids.Next() % dimension);
+      }
+      h.EstimateBatch(std::span<const uint32_t>(keys.data(), n), estimates.data());
+      sink += static_cast<double>(estimates[0]);
+    }
+  });
+  g_frozen_sink = g_frozen_sink + sink;
+
+  // Deterministic checksum: one fixed pass, identical across kernel paths.
+  double checksum = 0.0;
+  const size_t check = std::min<size_t>(queries.size(), 2000);
+  margins.resize(std::max(chunk, check));
+  h.PredictBatch(std::span<const Example>(queries.data(), check), margins.data());
+  for (size_t i = 0; i < check; ++i) checksum += margins[i];
+  SplitMix64 check_ids(99);
+  for (size_t i = 0; i < chunk; ++i) {
+    keys[i] = static_cast<uint32_t>(check_ids.Next() % dimension);
+  }
+  h.EstimateBatch(std::span<const uint32_t>(keys.data(), chunk), estimates.data());
+  for (size_t i = 0; i < chunk; ++i) checksum += static_cast<double>(estimates[i]);
+  out.checksum = checksum;
+  return out;
+}
+
 }  // namespace
 }  // namespace wmsketch::bench
 
@@ -302,13 +403,14 @@ int main(int argc, char** argv) {
   const ClassificationProfile profile = ClassificationProfile::Rcv1Like();
   const int examples = ScaledCount(120000);
   const int readers = IntFlagArg(argc, argv, "--readers", 4);
-  SyntheticClassificationGen gen(profile, 88);
-  std::vector<Example> stream;
-  stream.reserve(static_cast<size_t>(examples));
-  for (int i = 0; i < examples; ++i) stream.push_back(gen.Next());
+  const std::vector<BenchStreamSpec> streams =
+      ResolveBenchStreams(argc, argv, profile, examples, 88);
+  const std::vector<Example>& stream = streams.front().examples;
+  const uint32_t dimension = streams.front().dimension;
+  CalibrateKernelsBeforeTiming();
 
   Banner("Serving — " + std::to_string(readers) + " readers × 1 writer, publish every " +
-         std::to_string(kServeEvery) + " updates (" + std::to_string(examples) +
+         std::to_string(kServeEvery) + " updates (" + std::to_string(stream.size()) +
          " examples, " + std::to_string(std::thread::hardware_concurrency()) +
          " hardware threads)");
   PrintRow({"config", "readers", "updates/s", "predicts/s", "estimates/s",
@@ -317,7 +419,7 @@ int main(int argc, char** argv) {
   BenchJson json("serving");
   for (const ServingConfig& c : kConfigs) {
     for (const int r : {0, readers}) {
-      const RunResult res = RunMixed(c, r, stream, profile.dimension);
+      const RunResult res = RunMixed(c, r, stream, dimension);
       if (!res.monotone) {
         std::fprintf(stderr, "%s: observed a non-monotone snapshot version!\n",
                      c.label);
@@ -370,6 +472,31 @@ int main(int argc, char** argv) {
         .Num("publish_us", res.publish_us)
         .Num("snapshot_resident_bytes", res.snapshot_resident_bytes);
   }
+  Banner("Frozen reads — single-threaded wide reads on a published snapshot "
+         "(the paged serving kernels, scalar vs avx2)");
+  PrintRow({"config", "kernel", "batchpred/s", "batchest/s"});
+  const bool kernel_paths[] = {false, true};
+  const size_t paths = simd::Available() ? 2 : 1;
+  for (const BenchStreamSpec& spec : streams) {
+    for (const ServingConfig& c : kConfigs) {
+      for (size_t k = 0; k < paths; ++k) {
+        simd::SetEnabled(kernel_paths[k]);
+        const FrozenReadResult res = RunFrozenReads(c, spec.examples, spec.dimension);
+        const std::string label = c.label + spec.suffix + "_frozen";
+        PrintRow({label, simd::ActiveKernel(), Fmt(res.batch_predicts_per_sec, 0),
+                  Fmt(res.batch_estimates_per_sec, 0)});
+        json.Row()
+            .Str("config", label)
+            .Str("base_config", c.label)
+            .Str("kernel", simd::ActiveKernel())
+            .Num("batch_predicts_per_sec", res.batch_predicts_per_sec)
+            .Num("batch_estimates_per_sec", res.batch_estimates_per_sec)
+            .Num("checksum", res.checksum);
+      }
+    }
+  }
+  simd::SetEnabled(true);  // restore the default for anything after us
+
   json.WriteIfRequested(argc, argv);
   return 0;
 }

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stream/sparse_vector.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace wmsketch {
+
+/// One bucket of a per-example nonzero-count histogram: examples with nnz in
+/// the inclusive range [lo, hi] carry `mass` of the probability.
+struct NnzBucket {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  double mass = 0.0;
+
+  bool operator==(const NnzBucket&) const = default;
+};
+
+/// One feature-frequency rank band: the features whose frequency rank (0 =
+/// most frequent) falls in the half-open range [rank_lo, rank_hi) collectively
+/// receive `mass` of all (example, feature) occurrences. Geometric bands
+/// capture the heavy-tailed skew that drives sketch cache behavior without
+/// committing a 47k-entry frequency table.
+struct RankBand {
+  uint32_t rank_lo = 0;
+  uint32_t rank_hi = 0;
+  double mass = 0.0;
+
+  bool operator==(const RankBand&) const = default;
+};
+
+/// A measured sparsity profile of a real sparse classification dataset: the
+/// shape information the serving and update hot paths are sensitive to (how
+/// many cells an example touches, and how feature popularity concentrates),
+/// small enough to commit next to the benchmarks. A profile deliberately
+/// carries no label-feature correlation — replayed streams exercise access
+/// patterns, not learnability (use datagen/classification_gen.h for accuracy
+/// experiments).
+struct SparsityProfile {
+  std::string name;
+  /// Number of distinct features (replayed feature ids are < dimension).
+  uint32_t dimension = 0;
+  /// Fraction of +1 labels.
+  double positive_fraction = 0.5;
+  /// True for binary bag-of-words data (all values 1.0); false replays
+  /// |N(0, 1)| magnitudes (tf-idf-like spread).
+  bool binary_values = true;
+  /// Nonzeros-per-example histogram; masses sum to ~1.
+  std::vector<NnzBucket> nnz_histogram;
+  /// Occurrence mass by frequency rank band; bands are disjoint, ordered by
+  /// rank, and masses sum to ~1.
+  std::vector<RankBand> rank_bands;
+
+  /// Checks structural invariants: nonempty histograms, ordered nonempty
+  /// ranges within the dimension, masses in [0, 1] summing to 1 ± 1e-6.
+  Status Validate() const;
+};
+
+/// Parses a profile from its committed JSON form. The parser is a strict
+/// stdlib-only subset of JSON (objects, arrays, numbers, strings, booleans —
+/// exactly what FormatSparsityProfileJson emits); unknown keys are errors so
+/// committed profiles cannot silently rot.
+Result<SparsityProfile> ParseSparsityProfileJson(std::string_view json);
+
+/// Reads and parses a profile file; parse errors are prefixed with the path.
+Result<SparsityProfile> LoadSparsityProfile(const std::string& path);
+
+/// Serializes a profile to the JSON form ParseSparsityProfileJson accepts
+/// (round-trips exactly; used by the benches' --dump-profile).
+std::string FormatSparsityProfileJson(const SparsityProfile& profile);
+
+/// Measures a profile from parsed examples (e.g. a LIBSVM file): geometric
+/// nnz buckets, power-of-two frequency rank bands, label fraction, value
+/// binariness. Requires at least one example with at least one nonzero.
+Result<SparsityProfile> MeasureSparsityProfile(const std::vector<Example>& examples,
+                                               std::string name);
+
+/// Deterministic replay generator for a sparsity profile. Each example draws
+/// its nonzero count from the histogram and its features by rank band
+/// (uniform within a band, identity rank→feature-id mapping so frequency
+/// order is reproducible); indices are sorted and deduplicated to nnz
+/// distinct features. Two generators with equal (profile, seed) yield
+/// identical streams, the same contract as SyntheticClassificationGen.
+class SparsityReplayGen {
+ public:
+  /// Requires profile.Validate().ok().
+  SparsityReplayGen(const SparsityProfile& profile, uint64_t seed);
+
+  /// Draws the next labeled example.
+  Example Next();
+
+  const SparsityProfile& profile() const { return profile_; }
+
+ private:
+  uint32_t DrawNnz();
+  uint32_t DrawFeature();
+
+  SparsityProfile profile_;
+  Rng rng_;
+  /// Cumulative masses, renormalized to end exactly at 1.
+  std::vector<double> nnz_cdf_;
+  std::vector<double> band_cdf_;
+  std::vector<uint32_t> scratch_features_;
+};
+
+}  // namespace wmsketch

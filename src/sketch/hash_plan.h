@@ -120,6 +120,15 @@ class HashPlan {
     }
   }
 
+  /// PrefetchTable against a paged table (frozen snapshots): resolves each
+  /// offset through the page-pointer array. The page pointers themselves are
+  /// a few cache lines and stay hot; prefetching targets the cells.
+  void PrefetchTablePaged(const float* const* pages, uint32_t shift, uint32_t mask) const {
+    for (const uint32_t off : offsets_) {
+      __builtin_prefetch(pages[off >> shift] + (off & mask), /*rw=*/0, /*locality=*/1);
+    }
+  }
+
   /// Prepares an all-empty plan of `nnz` slots for lazy per-feature fills —
   /// the AWM-Sketch's mode: which features touch the sketch depends on live
   /// active-set membership, so slots are hashed on first use (FillSlot)
@@ -218,6 +227,18 @@ class HashPlanArena {
     const size_t end = starts_[e + 1];
     for (size_t k = begin; k < end; ++k) {
       __builtin_prefetch(table + offsets_[k], /*rw=*/1, /*locality=*/1);
+    }
+  }
+
+  /// Prefetches the paged-table cells example `e` will touch (read-only:
+  /// frozen snapshots are never written).
+  void PrefetchTablePaged(const float* const* pages, uint32_t shift, uint32_t mask,
+                          size_t e) const {
+    const size_t begin = starts_[e];
+    const size_t end = starts_[e + 1];
+    for (size_t k = begin; k < end; ++k) {
+      const uint32_t off = offsets_[k];
+      __builtin_prefetch(pages[off >> shift] + (off & mask), /*rw=*/0, /*locality=*/1);
     }
   }
 

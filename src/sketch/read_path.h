@@ -118,9 +118,17 @@ inline void GatherMedianBatch(const float* table, std::span<const SignedBucketHa
   plan.BuildKeys(rows, keys);
   plan.PrefetchTable(table);
   const simd::PlanView view = plan.View();
+  const uint32_t depth = view.depth;
+  if (depth <= 7 && simd::FusedMedianDispatched(keys.size())) {
+    // Register-resident route: gathered lanes never round-trip through
+    // scratch; the sorting networks run in-register on 8 keys at a time.
+    // Bit-identical to the scratch route below.
+    simd::GatherMedianFused(table, view.offsets, view.signs, keys.size(), depth,
+                            factor, out);
+    return;
+  }
   float* gathered = plan.scratch();
   simd::GatherSigned(table, view.offsets, view.signs, view.entries(), gathered);
-  const uint32_t depth = view.depth;
   for (size_t i = 0; i < keys.size(); ++i) {
     out[i] = static_cast<float>(
         factor * static_cast<double>(MedianInPlace(gathered + i * depth, depth)));
@@ -135,12 +143,15 @@ inline void GatherMedianBatch(const float* table, std::span<const SignedBucketHa
 // pages[off >> shift][off & mask]. Everything else — hash evaluation order,
 // per-feature double accumulation, median networks — is the flat kernels'
 // code verbatim, so a paged frozen model answers bit-identically to the live
-// flat model it was captured from. The wide vpgatherdps route needs one
-// contiguous base pointer and therefore does not apply to paged snapshots;
-// paged batch reads run the fused per-key/per-example loops (the route the
-// gather calibration picks on most parts anyway — an AVX2 i64-gather page
-// walk is a candidate in ROADMAP.md, not worth its two dependent gathers
-// per four lanes today).
+// flat model it was captured from. Batched paged reads have their own wide
+// route: GatherSignedPaged walks the page-pointer indirection in registers
+// (vpgatherqq for the page pointers, vpgatherqps through the resulting
+// absolute addresses), so frozen snapshots ride the same plan/gather path as
+// flat tables when simd::PagedReadPlanDispatched approves — a separately
+// calibrated decision, because the dependent-gather chain shifts the
+// crossover (see simd::KernelThresholds::paged_gather_min_entries). Without
+// that approval the fused per-key/per-example loops below remain the route,
+// and either way the answers are bit-identical.
 
 /// FusedMargin over a paged snapshot — bit-identical to FusedMargin on a
 /// flat copy of the same cells.
@@ -178,39 +189,96 @@ inline float FusedEstimatePaged(const PagedView<float>& table,
                             static_cast<double>(MedianInPlace(est, rows.size())));
 }
 
-/// Batched paged margins: the fused loop per example (see the section
-/// comment for why no plan/gather route exists for paged snapshots).
+/// Batched paged margins — the paged mirror of PlanMarginBatch. With the
+/// paged plan route dispatched, the batch is hashed up front, example e+1's
+/// cells are prefetched through the page pointers while example e
+/// accumulates, and PlanMarginPaged runs the page-walk gather; otherwise the
+/// fused loop per example. Bit-identical either way.
 inline void MarginBatchPaged(const PagedView<float>& table,
                              std::span<const SignedBucketHash> rows,
                              std::span<const Example> batch, double factor,
                              double* out) {
+  if (batch.empty()) return;
+  if (!simd::PagedReadPlanDispatched(batch[0].x.nnz() * rows.size())) {
+    for (size_t e = 0; e < batch.size(); ++e) {
+      out[e] = FusedMarginPaged(table, rows, batch[e].x, factor);
+    }
+    return;
+  }
+  HashPlanArena& arena = TlsArena();
+  arena.Build(rows, batch);
   for (size_t e = 0; e < batch.size(); ++e) {
-    out[e] = FusedMarginPaged(table, rows, batch[e].x, factor);
+    if (e + 1 < batch.size()) {
+      arena.PrefetchTablePaged(table.pages, table.shift, table.mask, e + 1);
+    }
+    out[e] = factor * simd::PlanMarginPaged(table.pages, table.shift, table.mask,
+                                            arena.View(e), batch[e].x.values().data(),
+                                            arena.scratch());
   }
 }
 
-/// Batched paged point estimates: the fused loop per key.
+/// Batched paged point estimates — the paged mirror of GatherMedianBatch:
+/// fused per-key loop unless the paged plan route is dispatched, in which
+/// case one wide page-walk gather (register-resident medians when depth ≤ 7
+/// and the fused-median calibration approves, scratch + networks otherwise).
 inline void EstimateBatchPaged(const PagedView<float>& table,
                                std::span<const SignedBucketHash> rows,
                                std::span<const uint32_t> keys, double factor,
                                float* out) {
+  if (keys.empty()) return;
+  if (rows.size() == 1 || !simd::PagedReadPlanDispatched(keys.size() * rows.size())) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      out[i] = FusedEstimatePaged(table, rows, keys[i], factor);
+    }
+    return;
+  }
+  HashPlan& plan = TlsPlan();
+  plan.BuildKeys(rows, keys);
+  plan.PrefetchTablePaged(table.pages, table.shift, table.mask);
+  const simd::PlanView view = plan.View();
+  const uint32_t depth = view.depth;
+  if (depth <= 7 && simd::FusedMedianDispatched(keys.size())) {
+    simd::GatherMedianFusedPaged(table.pages, table.shift, table.mask, view.offsets,
+                                 view.signs, keys.size(), depth, factor, out);
+    return;
+  }
+  float* gathered = plan.scratch();
+  simd::GatherSignedPaged(table.pages, table.shift, table.mask, view.offsets,
+                          view.signs, view.entries(), gathered);
   for (size_t i = 0; i < keys.size(); ++i) {
-    out[i] = FusedEstimatePaged(table, rows, keys[i], factor);
+    out[i] = static_cast<float>(
+        factor * static_cast<double>(MedianInPlace(gathered + i * depth, depth)));
   }
 }
 
 /// EstimateBatchPaged with an exact active set in front of the tail sketch
-/// (the frozen AWM): active hits answer exactly, the rest take the paged
-/// fused estimate.
+/// (the frozen AWM): active hits answer exactly, the rest batch through the
+/// paged tail path (so sketch-tail misses reach the page-walk gather route
+/// instead of degenerating to per-key fused loops). TLS scratch, no
+/// steady-state allocation.
 template <typename ActiveLookup>
 inline void ActiveEstimateBatchPaged(const PagedView<float>& table,
                                      std::span<const SignedBucketHash> rows,
                                      std::span<const uint32_t> keys, double factor,
                                      ActiveLookup&& lookup, float* out) {
+  thread_local std::vector<uint32_t> tail_keys;
+  thread_local std::vector<uint32_t> tail_pos;
+  thread_local std::vector<float> tail_out;
+  tail_keys.clear();
+  tail_pos.clear();
   for (size_t i = 0; i < keys.size(); ++i) {
     const std::optional<float> exact = lookup(keys[i]);
-    out[i] = exact.has_value() ? *exact : FusedEstimatePaged(table, rows, keys[i], factor);
+    if (exact.has_value()) {
+      out[i] = *exact;
+    } else {
+      tail_keys.push_back(keys[i]);
+      tail_pos.push_back(static_cast<uint32_t>(i));
+    }
   }
+  if (tail_keys.empty()) return;
+  tail_out.resize(tail_keys.size());
+  EstimateBatchPaged(table, rows, tail_keys, factor, tail_out.data());
+  for (size_t k = 0; k < tail_keys.size(); ++k) out[tail_pos[k]] = tail_out[k];
 }
 
 /// GatherMedianBatch for models with an exact active set in front of the

@@ -2,6 +2,8 @@
 
 #include <charconv>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -18,6 +20,25 @@ std::string_view NextToken(std::string_view& s) {
   std::string_view tok = s.substr(start, end - start);
   s.remove_prefix(end);
   return tok;
+}
+
+bool EndsWithGz(const std::string& path) {
+  return path.size() > 3 && path.compare(path.size() - 3, 3, ".gz") == 0;
+}
+
+// Single-quotes `s` for /bin/sh so the popen("gzip -cd ...") passthrough is
+// safe for any path the caller hands us.
+std::string ShellQuote(const std::string& s) {
+  std::string q = "'";
+  for (const char c : s) {
+    if (c == '\'') {
+      q += "'\\''";
+    } else {
+      q += c;
+    }
+  }
+  q += "'";
+  return q;
 }
 
 }  // namespace
@@ -42,7 +63,10 @@ Result<Example> ParseLibsvmLine(std::string_view line, bool one_based) {
     return Status::InvalidArgument("unrecognized label '" + std::string(label_tok) + "'");
   }
 
-  std::vector<std::pair<uint32_t, float>> pairs;
+  std::vector<uint32_t> indices;
+  std::vector<float> values;
+  bool have_prev = false;
+  uint64_t prev = 0;
   for (std::string_view tok = NextToken(rest); !tok.empty(); tok = NextToken(rest)) {
     const size_t colon = tok.find(':');
     if (colon == std::string_view::npos || colon == 0 || colon + 1 >= tok.size()) {
@@ -61,6 +85,18 @@ Result<Example> ParseLibsvmLine(std::string_view line, bool one_based) {
     if (idx > 0xffffffffULL) {
       return Status::OutOfRange("feature index " + std::to_string(idx) + " exceeds 32 bits");
     }
+    // Enforce the strictly-increasing index contract here, at the offending
+    // token, rather than silently repairing with FromUnsorted: a duplicate or
+    // out-of-order index in a real dataset export is almost always a
+    // generator bug upstream, and "sort and sum" would mask it while also
+    // changing every downstream hash plan.
+    if (have_prev && idx <= prev) {
+      return Status::InvalidArgument(
+          std::string(idx == prev ? "duplicate" : "out-of-order") + " feature index in '" +
+          std::string(tok) + "' (indices must be strictly increasing)");
+    }
+    have_prev = true;
+    prev = idx;
     // std::from_chars for float is available but strtof handles exponents the
     // same; keep from_chars for locale independence.
     const std::string_view val_sv = tok.substr(colon + 1);
@@ -72,14 +108,64 @@ Result<Example> ParseLibsvmLine(std::string_view line, bool one_based) {
     if (!std::isfinite(val)) {
       return Status::InvalidArgument("non-finite feature value '" + std::string(val_sv) + "'");
     }
-    pairs.emplace_back(static_cast<uint32_t>(idx), val);
+    // Explicit zeros are legal in the wild (some exporters emit the full
+    // active set) but carry no information for a sparse learner; drop them
+    // after they have participated in the monotonicity check.
+    if (val != 0.0f) {
+      indices.push_back(static_cast<uint32_t>(idx));
+      values.push_back(val);
+    }
   }
 
-  WMS_ASSIGN_OR_RETURN(SparseVector x, SparseVector::FromUnsorted(std::move(pairs)));
-  return Example{std::move(x), y};
+  return Example{SparseVector(std::move(indices), std::move(values)), y};
 }
 
+namespace {
+
+// Parses one already-read line in the context of a file scan: skips blanks
+// and comments, prefixes parse failures with path:lineno.
+Status ConsumeLine(const std::string& line, const std::string& path, size_t lineno,
+                   bool one_based, std::vector<Example>& out) {
+  const size_t first = line.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos || line[first] == '#') return Status::OK();
+  Result<Example> ex = ParseLibsvmLine(line, one_based);
+  if (!ex.ok()) {
+    return Status(ex.status().code(),
+                  path + ":" + std::to_string(lineno) + ": " + ex.status().message());
+  }
+  out.push_back(std::move(ex).value());
+  return Status::OK();
+}
+
+// Streams a gzip-compressed file through `gzip -cd` (no zlib dependency; the
+// decompressor is already on every machine that produced the .gz). A nonzero
+// gzip exit (missing file, corrupt stream) surfaces as IOError.
+Result<std::vector<Example>> ReadLibsvmGzFile(const std::string& path, bool one_based) {
+  const std::string cmd = "gzip -cd -- " + ShellQuote(path);
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return Status::IOError("cannot run '" + cmd + "'");
+  std::vector<Example> out;
+  Status st = Status::OK();
+  size_t lineno = 0;
+  char* buf = nullptr;
+  size_t cap = 0;
+  ssize_t n;
+  while (st.ok() && (n = getline(&buf, &cap, pipe)) != -1) {
+    ++lineno;
+    if (n > 0 && buf[n - 1] == '\n') --n;
+    st = ConsumeLine(std::string(buf, static_cast<size_t>(n)), path, lineno, one_based, out);
+  }
+  free(buf);
+  const int rc = pclose(pipe);
+  if (!st.ok()) return st;
+  if (rc != 0) return Status::IOError("gzip -cd failed for '" + path + "'");
+  return out;
+}
+
+}  // namespace
+
 Result<std::vector<Example>> ReadLibsvmFile(const std::string& path, bool one_based) {
+  if (EndsWithGz(path)) return ReadLibsvmGzFile(path, one_based);
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open '" + path + "'");
   std::vector<Example> out;
@@ -87,15 +173,7 @@ Result<std::vector<Example>> ReadLibsvmFile(const std::string& path, bool one_ba
   size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
-    // Skip blank and comment lines.
-    const size_t first = line.find_first_not_of(" \t\r\n");
-    if (first == std::string::npos || line[first] == '#') continue;
-    Result<Example> ex = ParseLibsvmLine(line, one_based);
-    if (!ex.ok()) {
-      return Status(ex.status().code(),
-                    path + ":" + std::to_string(lineno) + ": " + ex.status().message());
-    }
-    out.push_back(std::move(ex).value());
+    WMS_RETURN_NOT_OK(ConsumeLine(line, path, lineno, one_based, out));
   }
   return out;
 }

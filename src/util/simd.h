@@ -49,6 +49,16 @@ const char* ActiveKernel();
 struct KernelThresholds {
   /// GatherSigned / the PlanMargin gather: minimum entry count (nnz·depth).
   uint32_t gather_min_entries = 16;
+  /// GatherSignedPaged / the paged read-plan gathers: minimum entry count.
+  /// Separate from gather_min_entries because the page-pointer walk adds two
+  /// dependent gathers per four lanes — the crossover sits elsewhere, and the
+  /// calibration measures the two shapes independently.
+  uint32_t paged_gather_min_entries = 16;
+  /// GatherMedianFused / GatherMedianFusedPaged: minimum key count at which
+  /// the register-resident median networks beat the gather-to-scratch
+  /// round-trip (the kernels transpose 8 keys at a time, so tiny batches run
+  /// mostly in the scalar tail anyway).
+  uint32_t fused_median_min_keys = 16;
   /// PlanScatter's vectorized per-feature step products: minimum nnz.
   uint32_t scatter_min_nnz = 8;
   /// MergeScaledTable / ScaleTable / L2NormSquared: minimum element count.
@@ -86,9 +96,31 @@ bool ReadPlanDispatched(size_t entries);
 /// the explicit choice stands. The gather size threshold still applies.
 void SetReadPlanDispatched(bool on);
 
-/// One-shot calibration: times the AVX2 gather against the scalar loop on a
-/// representative problem and disables the gather dispatch
-/// (gather_min_entries = UINT32_MAX) when it does not measurably win —
+/// ReadPlanDispatched for *paged* frozen snapshots: true when a read-only
+/// batch of `entries` (feature, row) pairs against a PagedView-backed table
+/// should materialize a plan and run the i64 page-pointer-walk gather
+/// (GatherSignedPaged) instead of the fused per-cell page-walk loops. The
+/// paged gather pays two dependent gathers per four lanes (page pointers,
+/// then cells), so it is calibrated separately from the flat route and is
+/// conservatively off until the measurement says otherwise.
+bool PagedReadPlanDispatched(size_t entries);
+
+/// Forces the paged read-plan decision (the paged analogue of
+/// SetReadPlanDispatched, with the same settle-the-calibration semantics).
+/// The paged gather size threshold still applies.
+void SetPagedReadPlanDispatched(bool on);
+
+/// True when a batched estimate of `keys` point queries should run the
+/// fused gather+median kernel (GatherMedianFused / GatherMedianFusedPaged,
+/// depth ≤ 7 only) instead of gathering into scratch and running the
+/// per-key sorting networks from memory. Calibrated; both routes are
+/// bit-identical, so this is pure routing.
+bool FusedMedianDispatched(size_t keys);
+
+/// One-shot calibration: times the AVX2 gather (flat and paged) and the
+/// fused gather+median kernel against their scalar loops on representative
+/// problems and disables each dispatch (its threshold = UINT32_MAX) when it
+/// does not measurably win —
 /// vpgatherdps is fast on some parts and microcode-crippled or
 /// emulation-slow on others, and no compile-time signal distinguishes them.
 /// Runs automatically before the first SIMD-*eligible* gather dispatch (a
@@ -115,6 +147,56 @@ float MedianLarge(float* v, size_t n);
 void GatherSigned(const float* table, const uint32_t* offsets, const float* signs,
                   size_t n, float* out);
 
+/// GatherSigned against a paged table: out[e] = signs[e] ·
+/// pages[offsets[e] >> shift][offsets[e] & mask]. The raw (pages, shift,
+/// mask) triple is a PagedView<float> unpacked so this header stays free of
+/// util/paged_table.h; callers pass view.pages / view.shift / view.mask. The
+/// AVX2 path walks the page-pointer indirection in registers: vpgatherqq
+/// fetches four 64-bit page pointers, the in-page offsets are shifted to
+/// byte distances and added, and vpgatherqps reads the cells through the
+/// resulting absolute addresses. Pure loads and ±1 sign products — both
+/// paths bit-identical.
+void GatherSignedPaged(const float* const* pages, uint32_t shift, uint32_t mask,
+                       const uint32_t* offsets, const float* signs, size_t n,
+                       float* out);
+
+/// PlanMargin against a paged table: the same gather-then-accumulate with
+/// GatherSignedPaged feeding the seed-order double accumulation, so the
+/// result is bit-identical to FusedMarginPaged over the same pairs (and to
+/// the flat PlanMargin on a flat copy of the cells). `scratch` must hold
+/// plan.entries() floats.
+double PlanMarginPaged(const float* const* pages, uint32_t shift, uint32_t mask,
+                       const PlanView& plan, const float* values, float* scratch);
+
+/// Fused gather+median for batched point estimates, depth in [1, 7]:
+/// out[k] = float(factor · double(median_j(signs[k·d+j] ·
+/// table[offsets[k·d+j]]))) with the lower-middle median convention. The
+/// AVX2 path transposes 8 keys at a time (strided vpgatherdd on the plan
+/// itself), keeps the d gathered lanes in registers, and runs the
+/// util/math.h sorting networks there with compare+blend swaps that
+/// reproduce std::min/std::max exactly (vminps/vmaxps differ on ±0 ties, and
+/// these medians feed serialized state downstream) — no scratch round-trip.
+/// Bit-identical to the per-key gather + MedianInPlace loop.
+void GatherMedianFused(const float* table, const uint32_t* offsets, const float* signs,
+                       size_t keys, uint32_t depth, double factor, float* out);
+
+/// GatherMedianFused against a paged table (cells resolved through the
+/// page-pointer walk of GatherSignedPaged). Bit-identical to the scalar
+/// per-key paged loop.
+void GatherMedianFusedPaged(const float* const* pages, uint32_t shift, uint32_t mask,
+                            const uint32_t* offsets, const float* signs, size_t keys,
+                            uint32_t depth, double factor, float* out);
+
+/// The heap-offer prefilter sweep: abs_out[i] = |v[i]| and above_out[i] =
+/// !(|v[i]| <= floor) ? 1 : 0 — the exact complement of the rejection test a
+/// full TopKHeap applies to an offered weight (fabs(w) <= floor), precomputed
+/// for a whole plan so the scalar heap is only entered for survivors. The
+/// NLE form (not >) keeps NaN weights on the "offer" side, as the heap
+/// itself would. |·| is a sign-bit clear and the comparison is the same on
+/// both paths, so the sweep is bit-identical.
+void AbsAboveFloor(const float* v, size_t n, float floor, float* abs_out,
+                   uint8_t* above_out);
+
 /// The plan-driven margin accumulation Σᵢ xᵢ · Σⱼ signs[i·d+j] ·
 /// table[offsets[i·d+j]], with the per-feature inner sums and the outer
 /// accumulation in double, in exactly the seed evaluation order — so scalar
@@ -127,8 +209,13 @@ double PlanMargin(const float* table, const PlanView& plan, const float* values,
 /// · signs[i·d+j] over the whole plan. Only valid when no other read is
 /// interleaved per feature (no tracking heap); the heap-tracking sketches
 /// scatter per-feature instead. `scratch` must hold plan.nnz floats.
-/// Bit-identical across paths (the AVX2 side vectorizes only the per-feature
-/// step·valueᵢ products; sign application and stores are exact).
+/// Bit-identical across paths: the AVX2 side vectorizes only the per-feature
+/// step·valueᵢ products (sign application and stores are exact), and on
+/// AVX-512F+CD parts the stores themselves run as masked vpscatterdps rounds
+/// with vpconflictd serializing duplicate offsets in lane order, so even
+/// colliding entries see the exact scalar store sequence. The AVX-512 route
+/// rides under the same Enabled()/ActiveKernel() "avx2" tag — it is a wider
+/// implementation of the same dispatch decision, not a third result path.
 void PlanScatter(float* table, const PlanView& plan, const float* values, double step,
                  float* scratch);
 

@@ -12,7 +12,9 @@
 #include "datagen/corpus_gen.h"
 #include "datagen/fec_gen.h"
 #include "datagen/packet_gen.h"
+#include "datagen/sparsity_profile.h"
 #include "metrics/relative_risk.h"
+#include "stream/libsvm_io.h"
 
 namespace wmsketch {
 namespace {
@@ -254,6 +256,119 @@ TEST(CorpusGenTest, CollocationsFollowHeads) {
     EXPECT_NEAR(static_cast<double>(followed) / seen, c.follow_prob, tolerance)
         << "pair (" << c.u << "," << c.v << ") seen " << seen;
   }
+}
+
+// --------------------------------------------------------- SparsityProfile
+
+SparsityProfile TinyProfile() {
+  SparsityProfile p;
+  p.name = "tiny";
+  p.dimension = 1024;
+  p.positive_fraction = 0.25;
+  p.binary_values = true;
+  p.nnz_histogram = {{2, 4, 0.5}, {5, 16, 0.5}};
+  // The head band is wide relative to max nnz so within-example duplicate
+  // rejection barely perturbs the band masses.
+  p.rank_bands = {{0, 64, 0.6}, {64, 256, 0.3}, {256, 1024, 0.1}};
+  return p;
+}
+
+TEST(SparsityProfileTest, JsonRoundTripsExactly) {
+  const SparsityProfile p = TinyProfile();
+  ASSERT_TRUE(p.Validate().ok());
+  auto r = ParseSparsityProfileJson(FormatSparsityProfileJson(p));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().name, p.name);
+  EXPECT_EQ(r.value().dimension, p.dimension);
+  EXPECT_EQ(r.value().positive_fraction, p.positive_fraction);
+  EXPECT_EQ(r.value().binary_values, p.binary_values);
+  EXPECT_EQ(r.value().nnz_histogram, p.nnz_histogram);
+  EXPECT_EQ(r.value().rank_bands, p.rank_bands);
+}
+
+TEST(SparsityProfileTest, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(ParseSparsityProfileJson("").ok());
+  EXPECT_FALSE(ParseSparsityProfileJson("{}").ok());  // missing dimension
+  EXPECT_FALSE(ParseSparsityProfileJson("{\"dimension\": 4, \"bogus\": 1}").ok());
+  EXPECT_FALSE(ParseSparsityProfileJson("{\"dimension\": 4} extra").ok());
+  // Structural invariants: overlapping bands, masses not summing to 1.
+  SparsityProfile p = TinyProfile();
+  p.rank_bands[1].rank_lo = 4;
+  EXPECT_FALSE(p.Validate().ok());
+  p = TinyProfile();
+  p.nnz_histogram[0].mass = 0.25;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(SparsityProfileTest, ReplayIsDeterministicAndMatchesShape) {
+  const SparsityProfile p = TinyProfile();
+  SparsityReplayGen a(p, 11), b(p, 11);
+  int positives = 0;
+  uint64_t head_occurrences = 0, occurrences = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const Example ea = a.Next();
+    const Example eb = b.Next();
+    ASSERT_EQ(ea.x, eb.x);
+    ASSERT_EQ(ea.y, eb.y);
+    ASSERT_TRUE(ea.Validate().ok());
+    ASSERT_GE(ea.x.nnz(), 2u);
+    ASSERT_LE(ea.x.nnz(), 16u);
+    positives += ea.y > 0;
+    for (size_t j = 0; j < ea.x.nnz(); ++j) {
+      ASSERT_LT(ea.x.index(j), p.dimension);
+      ASSERT_EQ(ea.x.value(j), 1.0f);  // binary profile
+      occurrences += 1;
+      head_occurrences += ea.x.index(j) < 64;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(positives) / n, 0.25, 0.03);
+  // The head band holds 0.6 of the occurrence mass, minus what rejection
+  // sampling redistributes when a head feature repeats within an example.
+  EXPECT_NEAR(static_cast<double>(head_occurrences) / occurrences, 0.6, 0.08);
+}
+
+TEST(SparsityProfileTest, MeasureRoundTripsThroughReplay) {
+  // Measure a profile from generated examples, replay it, re-measure: the
+  // coarse shape (dimension bound, mean nnz) should survive.
+  SyntheticClassificationGen gen(ClassificationProfile::SmallTest(), 5);
+  std::vector<Example> examples;
+  for (int i = 0; i < 2000; ++i) examples.push_back(gen.Next());
+  auto measured = MeasureSparsityProfile(examples, "measured");
+  ASSERT_TRUE(measured.ok()) << measured.status().ToString();
+  ASSERT_TRUE(measured.value().Validate().ok());
+  EXPECT_TRUE(measured.value().binary_values);
+
+  SparsityReplayGen replay(measured.value(), 6);
+  double mean_src = 0.0, mean_replay = 0.0;
+  for (const Example& ex : examples) mean_src += static_cast<double>(ex.x.nnz());
+  std::vector<Example> replayed;
+  for (int i = 0; i < 2000; ++i) {
+    replayed.push_back(replay.Next());
+    mean_replay += static_cast<double>(replayed.back().x.nnz());
+  }
+  mean_src /= static_cast<double>(examples.size());
+  mean_replay /= static_cast<double>(replayed.size());
+  EXPECT_NEAR(mean_replay, mean_src, 0.25 * mean_src);
+  auto remeasured = MeasureSparsityProfile(replayed, "remeasured");
+  ASSERT_TRUE(remeasured.ok());
+  EXPECT_LE(remeasured.value().dimension, measured.value().dimension);
+}
+
+TEST(SparsityProfileTest, CommittedRcv1ProfileLoadsAndValidates) {
+  auto r = LoadSparsityProfile("bench/profiles/rcv1_sparsity.json");
+  if (!r.ok()) {
+    // ctest runs from the build tree; fall back to the source-relative path.
+    r = LoadSparsityProfile("../bench/profiles/rcv1_sparsity.json");
+  }
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().dimension, 47236u);
+  ASSERT_TRUE(r.value().Validate().ok());
+  SparsityReplayGen replay(r.value(), 3);
+  double mean = 0.0;
+  for (int i = 0; i < 500; ++i) mean += static_cast<double>(replay.Next().x.nnz());
+  mean /= 500.0;
+  EXPECT_NEAR(mean, 74.0, 12.0);  // the committed histogram's mean is ~74
 }
 
 TEST(CorpusGenTest, DocumentBoundariesOccur) {

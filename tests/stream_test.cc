@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <vector>
@@ -120,6 +121,60 @@ TEST(LibsvmTest, FailureInjection) {
   EXPECT_FALSE(ParseLibsvmLine("+1 :5").ok());            // empty index
   EXPECT_FALSE(ParseLibsvmLine("+1 5:").ok());            // empty value
   EXPECT_FALSE(ParseLibsvmLine("+1 4294967297:1").ok());  // > 32-bit
+}
+
+TEST(LibsvmTest, RejectsNonMonotoneIndices) {
+  // Duplicate and out-of-order indices are reported, not silently repaired:
+  // the strict contract names the offending token.
+  auto dup = ParseLibsvmLine("+1 3:1.0 3:2.0");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.status().message().find("duplicate"), std::string::npos)
+      << dup.status().ToString();
+  EXPECT_NE(dup.status().message().find("3:2.0"), std::string::npos)
+      << dup.status().ToString();
+  auto ooo = ParseLibsvmLine("+1 7:1.0 2:2.0");
+  ASSERT_FALSE(ooo.ok());
+  EXPECT_NE(ooo.status().message().find("out-of-order"), std::string::npos)
+      << ooo.status().ToString();
+  EXPECT_NE(ooo.status().message().find("2:2.0"), std::string::npos)
+      << ooo.status().ToString();
+}
+
+TEST(LibsvmTest, RejectsTrailingJunk) {
+  EXPECT_FALSE(ParseLibsvmLine("+1 1:1.0 junk").ok());     // bare token
+  EXPECT_FALSE(ParseLibsvmLine("+1 1:1.0 2:3.5xy").ok());  // junk glued to value
+  EXPECT_FALSE(ParseLibsvmLine("+1 1:1.0 2q:3.5").ok());   // junk glued to index
+  EXPECT_FALSE(ParseLibsvmLine("+1 1:1.0 -1").ok());       // stray second label
+}
+
+TEST(LibsvmTest, ExplicitZerosValidatedThenDropped) {
+  // A zero value still participates in the monotonicity check but is not
+  // stored (sparse learners only see nonzeros).
+  auto r = ParseLibsvmLine("+1 1:1.0 2:0 5:2.0");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().x.nnz(), 2u);
+  EXPECT_EQ(r.value().x.index(1), 4u);
+  EXPECT_FALSE(ParseLibsvmLine("+1 2:0 2:1.0").ok());  // dup behind a zero
+}
+
+TEST(LibsvmTest, GzipPassthroughReadsCompressedFiles) {
+  const std::string plain = std::filesystem::temp_directory_path() / "wms_libsvm_gz_test.txt";
+  const std::string gz = plain + ".gz";
+  {
+    std::ofstream out(plain);
+    out << "+1 1:0.5 3:-2\n-1 2:1.25\n";
+  }
+  if (std::system(("gzip -f " + plain).c_str()) != 0) {
+    GTEST_SKIP() << "gzip tool unavailable";
+  }
+  auto r = ReadLibsvmFile(gz);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(r.value()[0].x, SparseVector({0, 2}, {0.5f, -2.0f}));
+  EXPECT_EQ(r.value()[1].y, -1);
+  std::remove(gz.c_str());
+  // A missing .gz surfaces gzip's failure as an error, not an empty dataset.
+  EXPECT_FALSE(ReadLibsvmFile("/nonexistent/path/xyz.gz").ok());
 }
 
 TEST(LibsvmTest, ZeroBasedMode) {

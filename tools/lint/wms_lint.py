@@ -20,8 +20,9 @@ linter turns them into CI-failing checks:
                marks internally) or snapshot publication silently serves
                stale pages.
 
-  simd-paired  Every AVX2 kernel in src/util/simd.cc (functions defined with
-               __attribute__((target("avx2...")))) must be registered in the
+  simd-paired  Every AVX2/AVX-512 kernel in src/util/simd.cc (functions
+               defined with __attribute__((target("avx2..."))) or
+               __attribute__((target("avx512...")))) must be registered in the
                scalar bit-identity coverage table in tests/hash_plan_test.cc
                (the block between the `wms-lint: simd-kernel-table begin/end`
                markers), so no vector kernel ships without a scalar twin
@@ -427,7 +428,7 @@ def check_cow_dirty(root, allow, notes):
 # --------------------------------------------------------- simd-paired
 
 AVX2_KERNEL_RE = re.compile(
-    r"__attribute__\s*\(\s*\(\s*target\s*\(\s*\"avx2[^\"]*\"\s*\)\s*\)\s*\)"
+    r"__attribute__\s*\(\s*\(\s*target\s*\(\s*\"avx(?:2|512)[^\"]*\"\s*\)\s*\)\s*\)"
     r"\s*[\w:&*<>]+\s+(\w+)\s*\(")
 
 
@@ -473,13 +474,13 @@ def check_simd_paired(root, allow, notes):
             continue
         findings.append(Finding(
             SIMD_SOURCE, ln, "simd-paired",
-            f"AVX2 kernel {name} is not registered in the scalar "
+            f"vector kernel {name} is not registered in the scalar "
             f"bit-identity table in {SIMD_TABLE_FILE}"))
     for name in sorted(registered - set(kernels)):
         findings.append(Finding(
             SIMD_TABLE_FILE, line_of(test_text, begin), "simd-paired",
             f"coverage table lists '{name}' but src/util/simd.cc defines no "
-            f"such AVX2 kernel (stale entry?)"))
+            f"such vector kernel (stale entry?)"))
     return findings
 
 
