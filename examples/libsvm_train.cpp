@@ -1,19 +1,28 @@
 // Train any budgeted method on a LIBSVM-format file — the bridge from the
 // synthetic reproduction to real data.
 //
-//   $ ./libsvm_train [path.libsvm] [method] [budget-kb]
+//   $ ./libsvm_train [path.libsvm] [method] [budget-kb] [flags]
 //
 // With no arguments, writes and trains on a small self-generated demo file.
 // `method` is one of: trun ptrun ss cmff hash wm awm (default awm).
 // Prints the online error rate and the top-10 recovered features.
+//
+// Durability flags:
+//   --checkpoint-dir=DIR    cut crash-safe checkpoints into DIR
+//   --checkpoint-every=N    checkpoint every N examples (default 0: only at end)
+//   --keep-last=K           retain the K newest checkpoints (default 3)
+//   --resume                restore the newest valid checkpoint from DIR and
+//                           continue training from its step count
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <string>
 
 #include "api/learner.h"
 #include "datagen/classification_gen.h"
+#include "engine/checkpoint.h"
 #include "metrics/online_error.h"
 #include "stream/libsvm_io.h"
 #include "util/memory_cost.h"
@@ -51,9 +60,32 @@ std::string WriteDemoFile() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string path = argc > 1 ? argv[1] : WriteDemoFile();
-  const Method method = argc > 2 ? ParseMethod(argv[2]) : Method::kAwmSketch;
-  const size_t budget = KiB(argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 8);
+  CheckpointSpec ckpt;
+  bool resume = false;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--checkpoint-dir=", 17) == 0) {
+      ckpt.dir = arg + 17;
+    } else if (std::strncmp(arg, "--checkpoint-every=", 19) == 0) {
+      ckpt.every = static_cast<uint64_t>(std::atoll(arg + 19));
+    } else if (std::strncmp(arg, "--keep-last=", 12) == 0) {
+      ckpt.keep_last = static_cast<size_t>(std::atoll(arg + 12));
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      resume = true;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  const std::string path = !positional.empty() ? positional[0] : WriteDemoFile();
+  const Method method =
+      positional.size() > 1 ? ParseMethod(positional[1]) : Method::kAwmSketch;
+  const size_t budget =
+      KiB(positional.size() > 2 ? static_cast<size_t>(std::atoi(positional[2])) : 8);
+  if (resume && ckpt.dir.empty()) {
+    std::fprintf(stderr, "error: --resume requires --checkpoint-dir=DIR\n");
+    return 1;
+  }
 
   Result<std::vector<Example>> data = ReadLibsvmFile(path);
   if (!data.ok()) {
@@ -61,12 +93,46 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  Result<Learner> built = LearnerBuilder()
-                              .SetMethod(method)
-                              .SetBudgetBytes(budget)
-                              .SetLambda(1e-6)
-                              .SetLearningRate(LearningRate::InverseSqrt(0.1))
-                              .Build();
+  LearnerOptions opts;
+  opts.lambda = 1e-6;
+  opts.rate = LearningRate::InverseSqrt(0.1);
+
+  Result<Learner> built = Status::NotFound("unbuilt");
+  uint64_t resumed_steps = 0;
+  if (resume) {
+    // Restore the newest valid checkpoint; corrupt or torn files are skipped.
+    std::vector<std::string> skipped;
+    built = Checkpointer::RecoverFrom(ckpt.dir, opts, &skipped);
+    for (const std::string& s : skipped) {
+      std::fprintf(stderr, "(recovery skipped %s)\n", s.c_str());
+    }
+    if (built.ok()) {
+      resumed_steps = built.value().steps();
+      std::printf("(resumed from %s at step %llu)\n", ckpt.dir.c_str(),
+                  static_cast<unsigned long long>(resumed_steps));
+      if (!ckpt.dir.empty()) {
+        const Status st = built.value().EnableCheckpointing(ckpt);
+        if (!st.ok()) {
+          std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+          return 1;
+        }
+      }
+    } else {
+      std::fprintf(stderr, "(no usable checkpoint: %s — training from scratch)\n",
+                   built.status().ToString().c_str());
+    }
+  }
+  if (!built.ok()) {
+    LearnerBuilder builder;
+    builder.SetMethod(method)
+        .SetBudgetBytes(budget)
+        .SetLambda(1e-6)
+        .SetLearningRate(LearningRate::InverseSqrt(0.1));
+    if (!ckpt.dir.empty()) {
+      builder.CheckpointTo(ckpt.dir, ckpt.keep_last).CheckpointEvery(ckpt.every);
+    }
+    built = builder.Build();
+  }
   if (!built.ok()) {
     std::fprintf(stderr, "error: %s\n", built.status().ToString().c_str());
     return 1;
@@ -74,12 +140,22 @@ int main(int argc, char** argv) {
   Learner model = std::move(built).value();
 
   // Whole-file batch ingest with progressive validation from the returned
-  // pre-update margins.
+  // pre-update margins. On resume, skip the prefix the checkpoint already
+  // trained on so the restored run continues where the crashed one stopped.
+  std::vector<Example>& stream = data.value();
+  const size_t skip = static_cast<size_t>(
+      resumed_steps < stream.size() ? resumed_steps : stream.size());
   OnlineErrorRate err;
   std::vector<double> margins;
-  model.UpdateBatch(data.value(), &margins);
+  model.UpdateBatch(std::span<const Example>(stream).subspan(skip), &margins);
   for (size_t i = 0; i < margins.size(); ++i) {
-    err.Record(margins[i], data.value()[i].y);
+    err.Record(margins[i], stream[skip + i].y);
+  }
+  if (!ckpt.dir.empty()) {
+    const Status st = model.CheckpointNow();  // final durable snapshot
+    if (!st.ok()) {
+      std::fprintf(stderr, "checkpoint error: %s\n", st.ToString().c_str());
+    }
   }
 
   const LearnerSnapshot snapshot = model.Snapshot(10);

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <utility>
 
 #include "core/serialization.h"
+#include "core/snapshot_io.h"
 #include "util/memory_cost.h"
 
 namespace wmsketch {
@@ -45,6 +47,7 @@ Learner::Learner(BudgetConfig config, LearnerOptions opts,
 double Learner::Update(const Example& example) {
   const double margin = impl_->Update(example.x, example.y);
   if (serving_ != nullptr) MaybePublishServing();
+  if (checkpointer_ != nullptr) MaybeCheckpoint();
   return margin;
 }
 
@@ -52,27 +55,39 @@ void Learner::UpdateBatch(std::span<const Example> batch) { UpdateBatch(batch, n
 
 void Learner::UpdateBatch(std::span<const Example> batch, std::vector<double>* margins) {
   if (margins != nullptr) margins->reserve(margins->size() + batch.size());
-  if (serving_ == nullptr || serve_every_ == 0) {
+  const bool chunk_serving = serving_ != nullptr && serve_every_ > 0;
+  const bool chunk_checkpoint = checkpointer_ != nullptr && checkpoint_every_ > 0;
+  if (!chunk_serving && !chunk_checkpoint) {
     impl_->UpdateBatch(batch, margins);  // margins from the same devirtualized loop
     return;
   }
-  // Serving with a staleness bound: split the batch at ServeEvery boundaries
-  // so snapshots are published at exactly the promised step counts (readers
-  // never observe staleness above K updates). Model evolution is
+  // Serving with a staleness bound / checkpointing with a loss bound: split
+  // the batch at ServeEvery and CheckpointEvery boundaries so snapshots are
+  // published (and checkpoints written) at exactly the promised step counts
+  // — readers never observe staleness above K updates, and a crash never
+  // loses more than CheckpointEvery updates. Model evolution is
   // bit-identical to the unchunked call — plans are pure per-example.
   size_t at = 0;
   while (at < batch.size()) {
-    // Catch up first: steps() can already sit at or past the boundary when
+    // Catch up first: steps() can already sit at or past a boundary when
     // something other than an update advanced it (Merge sums step counts).
     // Without this the subtraction below would wrap and the whole batch
     // would run unchunked, silently voiding the staleness bound.
-    if (impl_->steps() >= next_publish_steps_) MaybePublishServing();
-    const uint64_t until_publish = next_publish_steps_ - impl_->steps();
+    if (chunk_serving && impl_->steps() >= next_publish_steps_) MaybePublishServing();
+    if (chunk_checkpoint && impl_->steps() >= next_checkpoint_steps_) MaybeCheckpoint();
+    uint64_t until_boundary = UINT64_MAX;
+    if (chunk_serving) {
+      until_boundary = std::min(until_boundary, next_publish_steps_ - impl_->steps());
+    }
+    if (chunk_checkpoint) {
+      until_boundary = std::min(until_boundary, next_checkpoint_steps_ - impl_->steps());
+    }
     const size_t n = static_cast<size_t>(
-        std::min<uint64_t>(batch.size() - at, until_publish));
+        std::min<uint64_t>(batch.size() - at, until_boundary));
     impl_->UpdateBatch(batch.subspan(at, n), margins);
     at += n;
-    MaybePublishServing();
+    if (chunk_serving) MaybePublishServing();
+    if (chunk_checkpoint) MaybeCheckpoint();
   }
 }
 
@@ -180,6 +195,17 @@ LearnerBuilder& LearnerBuilder::ServeEvery(uint64_t k) {
   return *this;
 }
 
+LearnerBuilder& LearnerBuilder::CheckpointTo(std::string dir, size_t keep_last) {
+  checkpoint_spec_.dir = std::move(dir);
+  checkpoint_spec_.keep_last = keep_last;
+  return *this;
+}
+
+LearnerBuilder& LearnerBuilder::CheckpointEvery(uint64_t k) {
+  checkpoint_spec_.every = k;
+  return *this;
+}
+
 LearnerBuilder& LearnerBuilder::Shards(uint32_t shards) {
   shards_ = shards;
   return *this;
@@ -251,6 +277,11 @@ Result<Learner> LearnerBuilder::Build() const {
   WMS_RETURN_NOT_OK(cfg.Validate());
   Learner learner(cfg, opts_, MakeClassifier(cfg, opts_));
   learner.serve_every_ = serve_every_;
+  if (!checkpoint_spec_.dir.empty()) {
+    // Resolves to src/engine/checkpoint.cc at link time; the api layer sees
+    // only the member declaration, staying engine-header-free.
+    WMS_RETURN_NOT_OK(learner.EnableCheckpointing(checkpoint_spec_));
+  }
   return learner;
 }
 
@@ -260,17 +291,6 @@ namespace {
 
 constexpr uint32_t kLearnerMagic = 0x31464c57;  // "WLF1"
 constexpr uint32_t kLearnerVersion = 1;
-
-template <typename T>
-void WriteRaw(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-bool ReadRaw(std::istream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return static_cast<bool>(in);
-}
 
 // Rebuilds the planner-level view of a restored implementation's shape.
 BudgetConfig ConfigOf(Method method, const BudgetedClassifier& impl) {
@@ -316,38 +336,57 @@ BudgetConfig ConfigOf(Method method, const BudgetedClassifier& impl) {
 
 }  // namespace
 
-Status SaveLearner(const Learner& learner, std::ostream& out) {
-  WriteRaw(out, kLearnerMagic);
-  WriteRaw(out, kLearnerVersion);
-  WriteRaw(out, static_cast<uint8_t>(learner.method()));
-  if (!out) return Status::IOError("write failed");
-  const BudgetedClassifier& impl = learner.impl();
-  switch (learner.method()) {
+Status SaveClassifier(Method method, const BudgetedClassifier& impl, std::ostream& out) {
+  std::ostringstream payload(std::ios::binary);
+  snapshot::WriteRaw(payload, kLearnerMagic);
+  snapshot::WriteRaw(payload, kLearnerVersion);
+  snapshot::WriteRaw(payload, static_cast<uint8_t>(method));
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(payload, "learner", "facade header"));
+  Status body = Status::InvalidArgument("unknown method");
+  switch (method) {
     case Method::kSimpleTruncation:
-      return SaveSimpleTruncation(static_cast<const SimpleTruncation&>(impl), out);
+      body = detail::SaveSimpleTruncationPayload(static_cast<const SimpleTruncation&>(impl),
+                                                 payload);
+      break;
     case Method::kProbabilisticTruncation:
-      return SaveProbabilisticTruncation(static_cast<const ProbabilisticTruncation&>(impl),
-                                         out);
+      body = detail::SaveProbabilisticTruncationPayload(
+          static_cast<const ProbabilisticTruncation&>(impl), payload);
+      break;
     case Method::kSpaceSavingFrequent:
-      return SaveSpaceSavingFrequent(static_cast<const SpaceSavingFrequent&>(impl), out);
+      body = detail::SaveSpaceSavingFrequentPayload(
+          static_cast<const SpaceSavingFrequent&>(impl), payload);
+      break;
     case Method::kCountMinFrequent:
-      return SaveCountMinFrequent(static_cast<const CountMinFrequent&>(impl), out);
+      body = detail::SaveCountMinFrequentPayload(static_cast<const CountMinFrequent&>(impl),
+                                                 payload);
+      break;
     case Method::kFeatureHashing:
-      return SaveFeatureHashing(static_cast<const FeatureHashingClassifier&>(impl), out);
+      body = detail::SaveFeatureHashingPayload(
+          static_cast<const FeatureHashingClassifier&>(impl), payload);
+      break;
     case Method::kWmSketch:
-      return SaveWmSketch(static_cast<const WmSketch&>(impl), out);
+      body = detail::SaveWmSketchPayload(static_cast<const WmSketch&>(impl), payload);
+      break;
     case Method::kAwmSketch:
-      return SaveAwmSketch(static_cast<const AwmSketch&>(impl), out);
+      body = detail::SaveAwmSketchPayload(static_cast<const AwmSketch&>(impl), payload);
+      break;
   }
-  return Status::InvalidArgument("unknown method");
+  WMS_RETURN_NOT_OK(body);
+  return snapshot::WriteEnveloped(out, std::move(payload).str());
+}
+
+Status SaveLearner(const Learner& learner, std::ostream& out) {
+  return SaveClassifier(learner.method(), learner.impl(), out);
 }
 
 Result<Learner> LoadLearner(std::istream& in, const LearnerOptions& opts) {
+  std::string storage;
+  WMS_ASSIGN_OR_RETURN(snapshot::SnapshotReader reader, snapshot::OpenSnapshot(in, &storage));
   uint32_t magic, version;
   uint8_t tag;
-  if (!ReadRaw(in, &magic)) return Status::Corruption("truncated facade header");
+  if (!reader.ReadRaw(&magic)) return Status::Corruption("truncated facade header");
   if (magic != kLearnerMagic) return Status::Corruption("not a learner snapshot");
-  if (!ReadRaw(in, &version) || !ReadRaw(in, &tag)) {
+  if (!reader.ReadRaw(&version) || !reader.ReadRaw(&tag)) {
     return Status::Corruption("truncated facade header");
   }
   if (version != kLearnerVersion) return Status::Corruption("unsupported snapshot version");
@@ -359,38 +398,42 @@ Result<Learner> LoadLearner(std::istream& in, const LearnerOptions& opts) {
   std::unique_ptr<BudgetedClassifier> impl;
   switch (method) {
     case Method::kSimpleTruncation: {
-      WMS_ASSIGN_OR_RETURN(SimpleTruncation model, LoadSimpleTruncation(in, opts));
+      WMS_ASSIGN_OR_RETURN(SimpleTruncation model,
+                           detail::LoadSimpleTruncationPayload(reader, opts));
       impl = std::make_unique<SimpleTruncation>(std::move(model));
       break;
     }
     case Method::kProbabilisticTruncation: {
       WMS_ASSIGN_OR_RETURN(ProbabilisticTruncation model,
-                           LoadProbabilisticTruncation(in, opts));
+                           detail::LoadProbabilisticTruncationPayload(reader, opts));
       impl = std::make_unique<ProbabilisticTruncation>(std::move(model));
       break;
     }
     case Method::kSpaceSavingFrequent: {
-      WMS_ASSIGN_OR_RETURN(SpaceSavingFrequent model, LoadSpaceSavingFrequent(in, opts));
+      WMS_ASSIGN_OR_RETURN(SpaceSavingFrequent model,
+                           detail::LoadSpaceSavingFrequentPayload(reader, opts));
       impl = std::make_unique<SpaceSavingFrequent>(std::move(model));
       break;
     }
     case Method::kCountMinFrequent: {
-      WMS_ASSIGN_OR_RETURN(CountMinFrequent model, LoadCountMinFrequent(in, opts));
+      WMS_ASSIGN_OR_RETURN(CountMinFrequent model,
+                           detail::LoadCountMinFrequentPayload(reader, opts));
       impl = std::make_unique<CountMinFrequent>(std::move(model));
       break;
     }
     case Method::kFeatureHashing: {
-      WMS_ASSIGN_OR_RETURN(FeatureHashingClassifier model, LoadFeatureHashing(in, opts));
+      WMS_ASSIGN_OR_RETURN(FeatureHashingClassifier model,
+                           detail::LoadFeatureHashingPayload(reader, opts));
       impl = std::make_unique<FeatureHashingClassifier>(std::move(model));
       break;
     }
     case Method::kWmSketch: {
-      WMS_ASSIGN_OR_RETURN(WmSketch model, LoadWmSketch(in, opts));
+      WMS_ASSIGN_OR_RETURN(WmSketch model, detail::LoadWmSketchPayload(reader, opts));
       impl = std::make_unique<WmSketch>(std::move(model));
       break;
     }
     case Method::kAwmSketch: {
-      WMS_ASSIGN_OR_RETURN(AwmSketch model, LoadAwmSketch(in, opts));
+      WMS_ASSIGN_OR_RETURN(AwmSketch model, detail::LoadAwmSketchPayload(reader, opts));
       impl = std::make_unique<AwmSketch>(std::move(model));
       break;
     }

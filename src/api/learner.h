@@ -14,10 +14,23 @@
 
 namespace wmsketch {
 
+class Checkpointer;
 class Learner;
 class ServingHandle;
 class ServingState;
 class ShardedLearner;
+
+/// Where and how often a learner checkpoints itself (see
+/// src/engine/checkpoint.h for the atomic write/recover machinery).
+struct CheckpointSpec {
+  /// Checkpoint directory (created if missing). Empty disables.
+  std::string dir;
+  /// Completed checkpoints retained (older ones are pruned).
+  size_t keep_last = 3;
+  /// Updates between automatic checkpoints (0: only explicit
+  /// CheckpointNow / merge-barrier checkpoints).
+  uint64_t every = 0;
+};
 
 /// An immutable, cheaply-copyable view of a learner's queryable state,
 /// decoupled from the live model: the top-K heaviest features materialized
@@ -184,6 +197,31 @@ class Learner {
   /// PublishServingSnapshot calls publish).
   uint64_t serve_every() const { return serve_every_; }
 
+  // --- Crash-safe checkpointing (src/engine/checkpoint.h) ---
+
+  /// Enables atomic checkpointing to `spec.dir`: every checkpoint is a
+  /// SaveLearner stream written temp-file + fsync + rename, so a crash at
+  /// any instant leaves the directory recoverable via
+  /// Checkpointer::RecoverLatest. With `spec.every > 0` the learner
+  /// checkpoints itself automatically at those step boundaries (UpdateBatch
+  /// splits batches so the cadence holds). Normally wired up by
+  /// LearnerBuilder::CheckpointTo/CheckpointEvery; call directly to resume
+  /// checkpointing on a learner restored by RecoverLatest. Defined in
+  /// src/engine/checkpoint.cc so the api layer stays engine-free.
+  Status EnableCheckpointing(const CheckpointSpec& spec);
+
+  /// Writes a checkpoint immediately. Requires EnableCheckpointing.
+  /// Defined in src/engine/checkpoint.cc.
+  Status CheckpointNow();
+
+  /// Outcome of the most recent (automatic or explicit) checkpoint write.
+  /// Automatic checkpoints never abort training: a full disk surfaces here,
+  /// not as a crash mid-ingest.
+  const Status& last_checkpoint_status() const { return last_checkpoint_status_; }
+
+  /// Updates between automatic checkpoints (0 = explicit only).
+  uint64_t checkpoint_every() const { return checkpoint_every_; }
+
   /// The k heaviest tracked features, materialized into a detached vector
   /// (the same list a Snapshot would carry, without paying for the
   /// estimator capture). Empty for identifier-free methods.
@@ -219,6 +257,11 @@ class Learner {
   /// Defined in src/engine/serving.cc.
   void MaybePublishServing();
 
+  /// Checkpoints when steps() has reached the next CheckpointEvery boundary
+  /// (called after every update once checkpointing is enabled). Defined in
+  /// src/engine/checkpoint.cc.
+  void MaybeCheckpoint();
+
   BudgetConfig config_;
   LearnerOptions opts_;
   std::unique_ptr<BudgetedClassifier> impl_;
@@ -228,6 +271,12 @@ class Learner {
   std::shared_ptr<ServingState> serving_;
   uint64_t serve_every_ = 0;
   uint64_t next_publish_steps_ = 0;
+  // Checkpointing: null until EnableCheckpointing. shared_ptr because
+  // Checkpointer is declared but incomplete here (engine type).
+  std::shared_ptr<Checkpointer> checkpointer_;
+  uint64_t checkpoint_every_ = 0;
+  uint64_t next_checkpoint_steps_ = 0;
+  Status last_checkpoint_status_;
 };
 
 /// Fluent, validating constructor for \ref Learner — the single public entry
@@ -282,6 +331,18 @@ class LearnerBuilder {
   /// publish interval (see ShardedLearner::AcquireServingHandle).
   LearnerBuilder& ServeEvery(uint64_t k);
 
+  /// Enables crash-safe checkpointing into `dir` (created if missing),
+  /// retaining the last `keep_last` completed checkpoints. Build() opens the
+  /// directory and attaches a \ref Checkpointer; BuildSharded engines
+  /// checkpoint the merged global model at merge barriers.
+  LearnerBuilder& CheckpointTo(std::string dir, size_t keep_last = 3);
+  /// Checkpoints every `k` updates once CheckpointTo is set (0, the
+  /// default: only explicit CheckpointNow calls — or, for sharded engines,
+  /// every merge barrier). For BuildSharded a checkpoint requires a merge
+  /// barrier, so `k` there acts as a minimum update interval between
+  /// barrier checkpoints.
+  LearnerBuilder& CheckpointEvery(uint64_t k);
+
   /// Number of parallel ingestion shards for BuildSharded (default 1).
   /// Build() is unaffected: it always constructs the sequential learner.
   LearnerBuilder& Shards(uint32_t shards);
@@ -323,13 +384,20 @@ class LearnerBuilder {
   uint32_t shards_ = 1;
   uint64_t sync_interval_ = 0;
   uint64_t serve_every_ = 0;
+  CheckpointSpec checkpoint_spec_;
   LearnerOptions opts_;
 };
 
-/// Writes a self-describing snapshot of any learner: a facade header with a
-/// method tag, then the method-specific payload (the core/serialization.h
-/// format for that method). Works for every Method.
+/// Writes a self-describing snapshot of any learner: one checksummed
+/// envelope (core/snapshot_io.h) whose payload is a facade header with a
+/// method tag followed by the method-specific payload (the
+/// core/serialization.h format for that method). Works for every Method.
 Status SaveLearner(const Learner& learner, std::ostream& out);
+
+/// SaveLearner for a raw SPI classifier plus its method tag — the engine
+/// checkpoint path, which serializes a merged model that is not wrapped in
+/// a Learner. Byte-identical to SaveLearner of a Learner holding `impl`.
+Status SaveClassifier(Method method, const BudgetedClassifier& impl, std::ostream& out);
 
 /// Restores a learner from a SaveLearner stream, dispatching on the stored
 /// method tag. As with the per-method loaders, `opts.loss` and `opts.rate`

@@ -15,6 +15,15 @@ namespace wmsketch {
 
 class HashPlan;
 
+class AwmSketch;
+namespace snapshot {
+class SnapshotReader;
+}
+namespace detail {
+Status SaveAwmSketchPayload(const AwmSketch&, std::ostream&);
+Result<AwmSketch> LoadAwmSketchPayload(snapshot::SnapshotReader&, const LearnerOptions&);
+}  // namespace detail
+
 /// Shape of an Active-Set Weight-Median Sketch. The configuration that
 /// uniformly performed best in the paper (Sec. 7.3) gives half the budget to
 /// the active set and the rest to a depth-1 sketch; that is the default the
@@ -118,8 +127,9 @@ class AwmSketch final : public BudgetedClassifier {
   bool InActiveSet(uint32_t feature) const { return heap_.Contains(feature); }
 
  private:
-  friend Status SaveAwmSketch(const AwmSketch&, std::ostream&);
-  friend Result<AwmSketch> LoadAwmSketch(std::istream&, const LearnerOptions&);
+  friend Status detail::SaveAwmSketchPayload(const AwmSketch&, std::ostream&);
+  friend Result<AwmSketch> detail::LoadAwmSketchPayload(snapshot::SnapshotReader&,
+                                                        const LearnerOptions&);
 
   /// Count-Sketch point estimate of a tail feature's weight (true scale).
   float SketchQuery(uint32_t feature) const;

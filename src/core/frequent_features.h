@@ -14,6 +14,20 @@
 
 namespace wmsketch {
 
+class SpaceSavingFrequent;
+class CountMinFrequent;
+namespace snapshot {
+class SnapshotReader;
+}
+namespace detail {
+Status SaveSpaceSavingFrequentPayload(const SpaceSavingFrequent&, std::ostream&);
+Result<SpaceSavingFrequent> LoadSpaceSavingFrequentPayload(snapshot::SnapshotReader&,
+                                                           const LearnerOptions&);
+Status SaveCountMinFrequentPayload(const CountMinFrequent&, std::ostream&);
+Result<CountMinFrequent> LoadCountMinFrequentPayload(snapshot::SnapshotReader&,
+                                                     const LearnerOptions&);
+}  // namespace detail
+
 /// Space-Saving Frequent-Features classifier ("SS" in Figs. 3–6): the
 /// heavy-hitter heuristic the paper argues against. A Space-Saving summary
 /// tracks the most *frequent* features, and classifier weights are learned
@@ -44,9 +58,10 @@ class SpaceSavingFrequent final : public BudgetedClassifier {
   const SpaceSaving& summary() const { return ss_; }
 
  private:
-  friend Status SaveSpaceSavingFrequent(const SpaceSavingFrequent&, std::ostream&);
-  friend Result<SpaceSavingFrequent> LoadSpaceSavingFrequent(std::istream&,
-                                                             const LearnerOptions&);
+  friend Status detail::SaveSpaceSavingFrequentPayload(const SpaceSavingFrequent&,
+                                                       std::ostream&);
+  friend Result<SpaceSavingFrequent> detail::LoadSpaceSavingFrequentPayload(
+      snapshot::SnapshotReader&, const LearnerOptions&);
 
   void MaybeRescale();
 
@@ -89,8 +104,9 @@ class CountMinFrequent final : public BudgetedClassifier {
   size_t capacity() const { return capacity_; }
 
  private:
-  friend Status SaveCountMinFrequent(const CountMinFrequent&, std::ostream&);
-  friend Result<CountMinFrequent> LoadCountMinFrequent(std::istream&, const LearnerOptions&);
+  friend Status detail::SaveCountMinFrequentPayload(const CountMinFrequent&, std::ostream&);
+  friend Result<CountMinFrequent> detail::LoadCountMinFrequentPayload(
+      snapshot::SnapshotReader&, const LearnerOptions&);
 
   void MaybeRescale();
 

@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 #include <span>
+#include <sstream>
 #include <utility>
 #include <vector>
 
@@ -13,6 +14,10 @@
 namespace wmsketch {
 
 namespace {
+
+using snapshot::SnapshotReader;
+using snapshot::WriteBytes;
+using snapshot::WriteRaw;
 
 // Version-1 magics: the original flat-table layout (table written as one
 // u64-count + raw-cell array). Still accepted by the loaders.
@@ -33,16 +38,10 @@ constexpr uint32_t kWmMagic2 = 0x324d5357;   // "WSM2"
 constexpr uint32_t kAwmMagic2 = 0x324d5741;  // "AWM2"
 constexpr uint32_t kFhsMagic2 = 0x32534846;  // "FHS2"
 
-template <typename T>
-void WriteRaw(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-bool ReadRaw(std::istream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return static_cast<bool>(in);
-}
+// On-wire entry sizes, for bounding declared counts against the stream.
+constexpr size_t kHeapEntryBytes = sizeof(uint32_t) + sizeof(float);
+constexpr size_t kMinHeapEntryBytes = sizeof(uint32_t) + sizeof(double) + sizeof(float);
+constexpr size_t kSpaceSavingEntryBytes = sizeof(uint32_t) + 2 * sizeof(uint64_t);
 
 void WriteHeapEntries(std::ostream& out, const TopKHeap& heap) {
   const std::vector<FeatureWeight> entries = heap.Entries();
@@ -56,20 +55,21 @@ void WriteHeapEntries(std::ostream& out, const TopKHeap& heap) {
 template <typename T>
 void WriteArray(std::ostream& out, std::span<const T> values) {
   WriteRaw(out, static_cast<uint64_t>(values.size()));
-  out.write(reinterpret_cast<const char*>(values.data()),
-            static_cast<std::streamsize>(values.size() * sizeof(T)));
+  WriteBytes(out, values.data(), values.size() * sizeof(T));
 }
 
-// Reads an array whose element count must equal `expected`.
+// Reads an array whose element count must equal `expected`; the count is
+// bounded against the remaining stream bytes before the resize.
 template <typename T>
-Status ReadArrayExact(std::istream& in, std::vector<T>* values, size_t expected) {
+Status ReadArrayExact(SnapshotReader& in, std::vector<T>* values, size_t expected) {
   uint64_t n = 0;
-  if (!ReadRaw(in, &n)) return Status::Corruption("truncated array header");
+  if (!in.ReadRaw(&n)) return Status::Corruption("truncated array header");
   if (n != expected) return Status::Corruption("array size mismatch");
+  if (!in.CanRead(n, sizeof(T))) return Status::Corruption("array exceeds stream size");
   values->resize(expected);
-  in.read(reinterpret_cast<char*>(values->data()),
-          static_cast<std::streamsize>(expected * sizeof(T)));
-  if (!in) return Status::Corruption("truncated array");
+  if (!in.ReadExactRaw(reinterpret_cast<char*>(values->data()), expected * sizeof(T))) {
+    return Status::Corruption("truncated array");
+  }
   return Status::OK();
 }
 
@@ -81,40 +81,45 @@ Status ReadArrayExact(std::istream& in, std::vector<T>* values, size_t expected)
 void WritePagedTable(std::ostream& out, const PagedTable& table) {
   WriteRaw(out, static_cast<uint64_t>(table.size()));
   WriteRaw(out, static_cast<uint32_t>(table.page_cells()));
-  out.write(reinterpret_cast<const char*>(table.data()),
-            static_cast<std::streamsize>(table.size() * sizeof(float)));
+  WriteBytes(out, table.data(), table.size() * sizeof(float));
 }
 
 // Restores a table section written by WritePagedTable (`paged_layout` true)
 // or by the v1 flat writer (false). Restore is layout-independent: the
 // saver's page size is validated but the cells land in whatever pages the
 // live table uses.
-Status ReadTableInto(std::istream& in, PagedTable* table, bool paged_layout) {
+Status ReadTableInto(SnapshotReader& in, PagedTable* table, bool paged_layout) {
   uint64_t cells = 0;
-  if (!ReadRaw(in, &cells)) return Status::Corruption("truncated table header");
+  if (!in.ReadRaw(&cells)) return Status::Corruption("truncated table header");
   if (cells != table->size()) return Status::Corruption("table size mismatch");
   if (paged_layout) {
     uint32_t page_cells = 0;
-    if (!ReadRaw(in, &page_cells)) return Status::Corruption("truncated page header");
+    if (!in.ReadRaw(&page_cells)) return Status::Corruption("truncated page header");
     if (page_cells == 0 || (page_cells & (page_cells - 1)) != 0) {
       return Status::Corruption("invalid page size");
     }
   }
-  in.read(reinterpret_cast<char*>(table->data()),
-          static_cast<std::streamsize>(cells * sizeof(float)));
-  if (!in) return Status::Corruption("truncated table");
+  if (!in.CanRead(cells, sizeof(float))) {
+    return Status::Corruption("table exceeds stream size");
+  }
+  if (!in.ReadExactRaw(reinterpret_cast<char*>(table->data()), cells * sizeof(float))) {
+    return Status::Corruption("truncated table");
+  }
   table->MarkAllDirty();
   return Status::OK();
 }
 
-Status ReadHeapEntries(std::istream& in, TopKHeap* heap) {
+Status ReadHeapEntries(SnapshotReader& in, TopKHeap* heap) {
   uint64_t n = 0;
-  if (!ReadRaw(in, &n)) return Status::Corruption("truncated heap header");
+  if (!in.ReadRaw(&n)) return Status::Corruption("truncated heap header");
   if (n > heap->capacity()) return Status::Corruption("heap entries exceed capacity");
+  if (!in.CanRead(n, kHeapEntryBytes)) {
+    return Status::Corruption("heap entries exceed stream size");
+  }
   for (uint64_t i = 0; i < n; ++i) {
     uint32_t feature;
     float weight;
-    if (!ReadRaw(in, &feature) || !ReadRaw(in, &weight)) {
+    if (!in.ReadRaw(&feature) || !in.ReadRaw(&weight)) {
       return Status::Corruption("truncated heap entry");
     }
     if (heap->Contains(feature)) return Status::Corruption("duplicate heap feature");
@@ -123,44 +128,71 @@ Status ReadHeapEntries(std::istream& in, TopKHeap* heap) {
   return Status::OK();
 }
 
+// A declared heap/active-set/tracked capacity sizes an allocation that is
+// not stream-backed (an empty heap of capacity k occupies no stream bytes),
+// so it can't be bounded by remaining bytes; reject anything beyond the
+// absolute sanity cap before the allocation happens.
+bool CapacityPlausible(uint64_t capacity) {
+  return capacity <= snapshot::kMaxDeclaredCapacity;
+}
+
+// Wraps a serialized payload in the checksummed envelope.
+Status SaveEnveloped(Status payload_status, std::ostringstream&& payload,
+                     std::ostream& out) {
+  WMS_RETURN_NOT_OK(payload_status);
+  return snapshot::WriteEnveloped(out, std::move(payload).str());
+}
+
 }  // namespace
 
-Status SaveWmSketch(const WmSketch& sketch, std::ostream& out) {
+namespace detail {
+
+// ------------------------------------------------------------ WM-Sketch
+
+Status SaveWmSketchPayload(const WmSketch& sketch, std::ostream& out) {
   WriteRaw(out, kWmMagic2);
   WriteRaw(out, sketch.config_.width);
   WriteRaw(out, sketch.config_.depth);
   WriteRaw(out, static_cast<uint64_t>(sketch.config_.heap_capacity));
   WriteRaw(out, sketch.opts_.lambda);
   WriteRaw(out, sketch.opts_.seed);
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(out, "wm-sketch", "config"));
   WriteRaw(out, sketch.t_);
   WriteRaw(out, sketch.scale_);
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(out, "wm-sketch", "state"));
   WritePagedTable(out, sketch.table_);
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(out, "wm-sketch", "table"));
   WriteHeapEntries(out, sketch.heap_);
-  if (!out) return Status::IOError("write failed");
-  return Status::OK();
+  return snapshot::SectionGuard(out, "wm-sketch", "heap");
 }
 
-Result<WmSketch> LoadWmSketch(std::istream& in, const LearnerOptions& opts) {
+Result<WmSketch> LoadWmSketchPayload(SnapshotReader& in, const LearnerOptions& opts) {
   uint32_t magic;
-  if (!ReadRaw(in, &magic)) return Status::Corruption("truncated header");
+  if (!in.ReadRaw(&magic)) return Status::Corruption("truncated header");
   if (magic != kWmMagic && magic != kWmMagic2) {
     return Status::Corruption("not a WM-Sketch snapshot");
   }
   WmSketchConfig config;
   uint64_t heap_capacity;
   LearnerOptions restored = opts;
-  if (!ReadRaw(in, &config.width) || !ReadRaw(in, &config.depth) ||
-      !ReadRaw(in, &heap_capacity) || !ReadRaw(in, &restored.lambda) ||
-      !ReadRaw(in, &restored.seed)) {
+  if (!in.ReadRaw(&config.width) || !in.ReadRaw(&config.depth) ||
+      !in.ReadRaw(&heap_capacity) || !in.ReadRaw(&restored.lambda) ||
+      !in.ReadRaw(&restored.seed)) {
     return Status::Corruption("truncated configuration");
   }
-  config.heap_capacity = heap_capacity;
   if (!IsPowerOfTwo(config.width) || config.depth < 1 ||
       config.depth > WmSketch::kMaxDepth) {
     return Status::Corruption("invalid sketch shape");
   }
+  // Bound the declared shape before the constructor allocates it: the table
+  // must fit in the bytes that actually follow, the capacity under the cap.
+  if (!CapacityPlausible(heap_capacity) ||
+      !in.CanRead(uint64_t{config.width} * config.depth, sizeof(float))) {
+    return Status::Corruption("declared sketch shape exceeds stream size");
+  }
+  config.heap_capacity = heap_capacity;
   WmSketch sketch(config, restored);
-  if (!ReadRaw(in, &sketch.t_) || !ReadRaw(in, &sketch.scale_)) {
+  if (!in.ReadRaw(&sketch.t_) || !in.ReadRaw(&sketch.scale_)) {
     return Status::Corruption("truncated state");
   }
   WMS_RETURN_NOT_OK(ReadTableInto(in, &sketch.table_, magic == kWmMagic2));
@@ -168,44 +200,52 @@ Result<WmSketch> LoadWmSketch(std::istream& in, const LearnerOptions& opts) {
   return sketch;
 }
 
-Status SaveAwmSketch(const AwmSketch& sketch, std::ostream& out) {
+// ----------------------------------------------------------- AWM-Sketch
+
+Status SaveAwmSketchPayload(const AwmSketch& sketch, std::ostream& out) {
   WriteRaw(out, kAwmMagic2);
   WriteRaw(out, sketch.config_.width);
   WriteRaw(out, sketch.config_.depth);
   WriteRaw(out, static_cast<uint64_t>(sketch.config_.heap_capacity));
   WriteRaw(out, sketch.opts_.lambda);
   WriteRaw(out, sketch.opts_.seed);
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(out, "awm-sketch", "config"));
   WriteRaw(out, sketch.t_);
   WriteRaw(out, sketch.sketch_scale_);
   WriteRaw(out, sketch.heap_scale_);
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(out, "awm-sketch", "state"));
   WritePagedTable(out, sketch.table_);
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(out, "awm-sketch", "table"));
   WriteHeapEntries(out, sketch.heap_);
-  if (!out) return Status::IOError("write failed");
-  return Status::OK();
+  return snapshot::SectionGuard(out, "awm-sketch", "heap");
 }
 
-Result<AwmSketch> LoadAwmSketch(std::istream& in, const LearnerOptions& opts) {
+Result<AwmSketch> LoadAwmSketchPayload(SnapshotReader& in, const LearnerOptions& opts) {
   uint32_t magic;
-  if (!ReadRaw(in, &magic)) return Status::Corruption("truncated header");
+  if (!in.ReadRaw(&magic)) return Status::Corruption("truncated header");
   if (magic != kAwmMagic && magic != kAwmMagic2) {
     return Status::Corruption("not an AWM-Sketch snapshot");
   }
   AwmSketchConfig config;
   uint64_t heap_capacity;
   LearnerOptions restored = opts;
-  if (!ReadRaw(in, &config.width) || !ReadRaw(in, &config.depth) ||
-      !ReadRaw(in, &heap_capacity) || !ReadRaw(in, &restored.lambda) ||
-      !ReadRaw(in, &restored.seed)) {
+  if (!in.ReadRaw(&config.width) || !in.ReadRaw(&config.depth) ||
+      !in.ReadRaw(&heap_capacity) || !in.ReadRaw(&restored.lambda) ||
+      !in.ReadRaw(&restored.seed)) {
     return Status::Corruption("truncated configuration");
   }
-  config.heap_capacity = heap_capacity;
   if (!IsPowerOfTwo(config.width) || config.depth < 1 ||
-      config.depth > AwmSketch::kMaxDepth || config.heap_capacity < 1) {
+      config.depth > AwmSketch::kMaxDepth || heap_capacity < 1) {
     return Status::Corruption("invalid sketch shape");
   }
+  if (!CapacityPlausible(heap_capacity) ||
+      !in.CanRead(uint64_t{config.width} * config.depth, sizeof(float))) {
+    return Status::Corruption("declared sketch shape exceeds stream size");
+  }
+  config.heap_capacity = heap_capacity;
   AwmSketch sketch(config, restored);
-  if (!ReadRaw(in, &sketch.t_) || !ReadRaw(in, &sketch.sketch_scale_) ||
-      !ReadRaw(in, &sketch.heap_scale_)) {
+  if (!in.ReadRaw(&sketch.t_) || !in.ReadRaw(&sketch.sketch_scale_) ||
+      !in.ReadRaw(&sketch.heap_scale_)) {
     return Status::Corruption("truncated state");
   }
   WMS_RETURN_NOT_OK(ReadTableInto(in, &sketch.table_, magic == kAwmMagic2));
@@ -215,75 +255,88 @@ Result<AwmSketch> LoadAwmSketch(std::istream& in, const LearnerOptions& opts) {
 
 // ------------------------------------------------------------- baselines
 
-Status SaveSimpleTruncation(const SimpleTruncation& model, std::ostream& out) {
+Status SaveSimpleTruncationPayload(const SimpleTruncation& model, std::ostream& out) {
   WriteRaw(out, kTrunMagic);
   WriteRaw(out, static_cast<uint64_t>(model.heap_.capacity()));
   WriteRaw(out, model.opts_.lambda);
   WriteRaw(out, model.opts_.seed);
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(out, "truncation", "config"));
   WriteRaw(out, model.t_);
   WriteRaw(out, model.scale_);
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(out, "truncation", "state"));
   WriteHeapEntries(out, model.heap_);
-  if (!out) return Status::IOError("write failed");
-  return Status::OK();
+  return snapshot::SectionGuard(out, "truncation", "heap");
 }
 
-Result<SimpleTruncation> LoadSimpleTruncation(std::istream& in, const LearnerOptions& opts) {
+Result<SimpleTruncation> LoadSimpleTruncationPayload(SnapshotReader& in,
+                                                     const LearnerOptions& opts) {
   uint32_t magic;
-  if (!ReadRaw(in, &magic)) return Status::Corruption("truncated header");
+  if (!in.ReadRaw(&magic)) return Status::Corruption("truncated header");
   if (magic != kTrunMagic) return Status::Corruption("not a truncation snapshot");
   uint64_t capacity;
   LearnerOptions restored = opts;
-  if (!ReadRaw(in, &capacity) || !ReadRaw(in, &restored.lambda) ||
-      !ReadRaw(in, &restored.seed)) {
+  if (!in.ReadRaw(&capacity) || !in.ReadRaw(&restored.lambda) ||
+      !in.ReadRaw(&restored.seed)) {
     return Status::Corruption("truncated configuration");
   }
   if (capacity < 1) return Status::Corruption("empty truncation capacity");
+  if (!CapacityPlausible(capacity)) {
+    return Status::Corruption("truncation capacity exceeds sanity cap");
+  }
   SimpleTruncation model(capacity, restored);
-  if (!ReadRaw(in, &model.t_) || !ReadRaw(in, &model.scale_)) {
+  if (!in.ReadRaw(&model.t_) || !in.ReadRaw(&model.scale_)) {
     return Status::Corruption("truncated state");
   }
   WMS_RETURN_NOT_OK(ReadHeapEntries(in, &model.heap_));
   return model;
 }
 
-Status SaveProbabilisticTruncation(const ProbabilisticTruncation& model, std::ostream& out) {
+Status SaveProbabilisticTruncationPayload(const ProbabilisticTruncation& model,
+                                          std::ostream& out) {
   WriteRaw(out, kPtrnMagic);
   WriteRaw(out, static_cast<uint64_t>(model.capacity_));
   WriteRaw(out, model.opts_.lambda);
   WriteRaw(out, model.opts_.seed);
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(out, "ptrun", "config"));
   WriteRaw(out, model.t_);
   WriteRaw(out, model.scale_);
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(out, "ptrun", "state"));
   WriteRaw(out, static_cast<uint64_t>(model.heap_.size()));
   for (const IndexedMinHeap::Entry& e : model.heap_.entries()) {
     WriteRaw(out, e.key);
     WriteRaw(out, e.priority);
     WriteRaw(out, e.value);
   }
-  if (!out) return Status::IOError("write failed");
-  return Status::OK();
+  return snapshot::SectionGuard(out, "ptrun", "heap");
 }
 
-Result<ProbabilisticTruncation> LoadProbabilisticTruncation(std::istream& in,
-                                                            const LearnerOptions& opts) {
+Result<ProbabilisticTruncation> LoadProbabilisticTruncationPayload(
+    SnapshotReader& in, const LearnerOptions& opts) {
   uint32_t magic;
-  if (!ReadRaw(in, &magic)) return Status::Corruption("truncated header");
+  if (!in.ReadRaw(&magic)) return Status::Corruption("truncated header");
   if (magic != kPtrnMagic) return Status::Corruption("not a ptrun snapshot");
   uint64_t capacity;
   LearnerOptions restored = opts;
-  if (!ReadRaw(in, &capacity) || !ReadRaw(in, &restored.lambda) ||
-      !ReadRaw(in, &restored.seed)) {
+  if (!in.ReadRaw(&capacity) || !in.ReadRaw(&restored.lambda) ||
+      !in.ReadRaw(&restored.seed)) {
     return Status::Corruption("truncated configuration");
   }
   if (capacity < 1) return Status::Corruption("empty ptrun capacity");
+  if (!CapacityPlausible(capacity)) {
+    return Status::Corruption("ptrun capacity exceeds sanity cap");
+  }
   ProbabilisticTruncation model(capacity, restored);
   uint64_t entries;
-  if (!ReadRaw(in, &model.t_) || !ReadRaw(in, &model.scale_) || !ReadRaw(in, &entries)) {
+  if (!in.ReadRaw(&model.t_) || !in.ReadRaw(&model.scale_) || !in.ReadRaw(&entries)) {
     return Status::Corruption("truncated state");
   }
   if (entries > capacity) return Status::Corruption("ptrun entries exceed capacity");
+  if (!in.CanRead(entries, kMinHeapEntryBytes)) {
+    return Status::Corruption("ptrun entries exceed stream size");
+  }
   std::vector<IndexedMinHeap::Entry> heap_entries(entries);
   for (IndexedMinHeap::Entry& e : heap_entries) {
-    if (!ReadRaw(in, &e.key) || !ReadRaw(in, &e.priority) || !ReadRaw(in, &e.value)) {
+    if (!in.ReadRaw(&e.key) || !in.ReadRaw(&e.priority) || !in.ReadRaw(&e.value)) {
       return Status::Corruption("truncated ptrun entry");
     }
   }
@@ -294,14 +347,16 @@ Result<ProbabilisticTruncation> LoadProbabilisticTruncation(std::istream& in,
   return model;
 }
 
-Status SaveSpaceSavingFrequent(const SpaceSavingFrequent& model, std::ostream& out) {
+Status SaveSpaceSavingFrequentPayload(const SpaceSavingFrequent& model, std::ostream& out) {
   WriteRaw(out, kSsfMagic);
   WriteRaw(out, static_cast<uint64_t>(model.ss_.capacity()));
   WriteRaw(out, model.opts_.lambda);
   WriteRaw(out, model.opts_.seed);
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(out, "space-saving", "config"));
   WriteRaw(out, model.t_);
   WriteRaw(out, model.scale_);
   WriteRaw(out, model.ss_.TotalCount());
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(out, "space-saving", "state"));
   // Raw heap order: restore must reproduce eviction tie-breaking exactly.
   const std::vector<SpaceSavingEntry> entries = model.ss_.RawEntries();
   WriteRaw(out, static_cast<uint64_t>(entries.size()));
@@ -310,37 +365,43 @@ Status SaveSpaceSavingFrequent(const SpaceSavingFrequent& model, std::ostream& o
     WriteRaw(out, e.count);
     WriteRaw(out, e.error);
   }
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(out, "space-saving", "summary"));
   WriteRaw(out, static_cast<uint64_t>(model.weights_.size()));
   for (const auto& [feature, weight] : model.weights_) {
     WriteRaw(out, feature);
     WriteRaw(out, weight);
   }
-  if (!out) return Status::IOError("write failed");
-  return Status::OK();
+  return snapshot::SectionGuard(out, "space-saving", "weights");
 }
 
-Result<SpaceSavingFrequent> LoadSpaceSavingFrequent(std::istream& in,
-                                                    const LearnerOptions& opts) {
+Result<SpaceSavingFrequent> LoadSpaceSavingFrequentPayload(SnapshotReader& in,
+                                                           const LearnerOptions& opts) {
   uint32_t magic;
-  if (!ReadRaw(in, &magic)) return Status::Corruption("truncated header");
+  if (!in.ReadRaw(&magic)) return Status::Corruption("truncated header");
   if (magic != kSsfMagic) return Status::Corruption("not a Space-Saving snapshot");
   uint64_t capacity;
   LearnerOptions restored = opts;
-  if (!ReadRaw(in, &capacity) || !ReadRaw(in, &restored.lambda) ||
-      !ReadRaw(in, &restored.seed)) {
+  if (!in.ReadRaw(&capacity) || !in.ReadRaw(&restored.lambda) ||
+      !in.ReadRaw(&restored.seed)) {
     return Status::Corruption("truncated configuration");
   }
   if (capacity < 1) return Status::Corruption("empty Space-Saving capacity");
+  if (!CapacityPlausible(capacity)) {
+    return Status::Corruption("Space-Saving capacity exceeds sanity cap");
+  }
   SpaceSavingFrequent model(capacity, restored);
   uint64_t total, entries;
-  if (!ReadRaw(in, &model.t_) || !ReadRaw(in, &model.scale_) || !ReadRaw(in, &total) ||
-      !ReadRaw(in, &entries)) {
+  if (!in.ReadRaw(&model.t_) || !in.ReadRaw(&model.scale_) || !in.ReadRaw(&total) ||
+      !in.ReadRaw(&entries)) {
     return Status::Corruption("truncated state");
   }
   if (entries > capacity) return Status::Corruption("summary entries exceed capacity");
+  if (!in.CanRead(entries, kSpaceSavingEntryBytes)) {
+    return Status::Corruption("summary entries exceed stream size");
+  }
   std::vector<SpaceSavingEntry> summary(entries);
   for (SpaceSavingEntry& e : summary) {
-    if (!ReadRaw(in, &e.item) || !ReadRaw(in, &e.count) || !ReadRaw(in, &e.error)) {
+    if (!in.ReadRaw(&e.item) || !in.ReadRaw(&e.count) || !in.ReadRaw(&e.error)) {
       return Status::Corruption("truncated summary entry");
     }
   }
@@ -349,12 +410,15 @@ Result<SpaceSavingFrequent> LoadSpaceSavingFrequent(std::istream& in,
     if (!st.ok()) return Status::Corruption(st.message());
   }
   uint64_t weights;
-  if (!ReadRaw(in, &weights)) return Status::Corruption("truncated weight header");
+  if (!in.ReadRaw(&weights)) return Status::Corruption("truncated weight header");
   if (weights > capacity) return Status::Corruption("weights exceed capacity");
+  if (!in.CanRead(weights, kHeapEntryBytes)) {
+    return Status::Corruption("weights exceed stream size");
+  }
   for (uint64_t i = 0; i < weights; ++i) {
     uint32_t feature;
     float weight;
-    if (!ReadRaw(in, &feature) || !ReadRaw(in, &weight)) {
+    if (!in.ReadRaw(&feature) || !in.ReadRaw(&weight)) {
       return Status::Corruption("truncated weight entry");
     }
     // A weight's feature must be monitored: an unmonitored feature can never
@@ -367,45 +431,52 @@ Result<SpaceSavingFrequent> LoadSpaceSavingFrequent(std::istream& in,
   return model;
 }
 
-Status SaveCountMinFrequent(const CountMinFrequent& model, std::ostream& out) {
+Status SaveCountMinFrequentPayload(const CountMinFrequent& model, std::ostream& out) {
   WriteRaw(out, kCmfMagic);
   WriteRaw(out, model.cm_.width());
   WriteRaw(out, model.cm_.depth());
   WriteRaw(out, static_cast<uint64_t>(model.capacity_));
   WriteRaw(out, model.opts_.lambda);
   WriteRaw(out, model.opts_.seed);
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(out, "cm-ff", "config"));
   WriteRaw(out, model.t_);
   WriteRaw(out, model.scale_);
   WriteRaw(out, model.cm_.TotalMass());
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(out, "cm-ff", "state"));
   WriteArray(out, model.cm_.table());
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(out, "cm-ff", "table"));
   WriteRaw(out, static_cast<uint64_t>(model.heap_.size()));
   for (const IndexedMinHeap::Entry& e : model.heap_.entries()) {
     WriteRaw(out, e.key);
     WriteRaw(out, e.priority);
     WriteRaw(out, e.value);
   }
-  if (!out) return Status::IOError("write failed");
-  return Status::OK();
+  return snapshot::SectionGuard(out, "cm-ff", "heap");
 }
 
-Result<CountMinFrequent> LoadCountMinFrequent(std::istream& in, const LearnerOptions& opts) {
+Result<CountMinFrequent> LoadCountMinFrequentPayload(SnapshotReader& in,
+                                                     const LearnerOptions& opts) {
   uint32_t magic;
-  if (!ReadRaw(in, &magic)) return Status::Corruption("truncated header");
+  if (!in.ReadRaw(&magic)) return Status::Corruption("truncated header");
   if (magic != kCmfMagic) return Status::Corruption("not a CM-FF snapshot");
   uint32_t width, depth;
   uint64_t capacity;
   LearnerOptions restored = opts;
-  if (!ReadRaw(in, &width) || !ReadRaw(in, &depth) || !ReadRaw(in, &capacity) ||
-      !ReadRaw(in, &restored.lambda) || !ReadRaw(in, &restored.seed)) {
+  if (!in.ReadRaw(&width) || !in.ReadRaw(&depth) || !in.ReadRaw(&capacity) ||
+      !in.ReadRaw(&restored.lambda) || !in.ReadRaw(&restored.seed)) {
     return Status::Corruption("truncated configuration");
   }
   if (!IsPowerOfTwo(width) || depth < 1 || depth > CountMinSketch::kMaxDepth ||
       capacity < 1) {
     return Status::Corruption("invalid CM-FF shape");
   }
+  if (!CapacityPlausible(capacity) ||
+      !in.CanRead(uint64_t{width} * depth, sizeof(double))) {
+    return Status::Corruption("declared CM-FF shape exceeds stream size");
+  }
   CountMinFrequent model(width, depth, capacity, restored);
   double total;
-  if (!ReadRaw(in, &model.t_) || !ReadRaw(in, &model.scale_) || !ReadRaw(in, &total)) {
+  if (!in.ReadRaw(&model.t_) || !in.ReadRaw(&model.scale_) || !in.ReadRaw(&total)) {
     return Status::Corruption("truncated state");
   }
   std::vector<double> table;
@@ -415,11 +486,14 @@ Result<CountMinFrequent> LoadCountMinFrequent(std::istream& in, const LearnerOpt
     if (!st.ok()) return Status::Corruption(st.message());
   }
   uint64_t entries;
-  if (!ReadRaw(in, &entries)) return Status::Corruption("truncated heap header");
+  if (!in.ReadRaw(&entries)) return Status::Corruption("truncated heap header");
   if (entries > capacity) return Status::Corruption("CM-FF entries exceed capacity");
+  if (!in.CanRead(entries, kMinHeapEntryBytes)) {
+    return Status::Corruption("CM-FF entries exceed stream size");
+  }
   std::vector<IndexedMinHeap::Entry> heap_entries(entries);
   for (IndexedMinHeap::Entry& e : heap_entries) {
-    if (!ReadRaw(in, &e.key) || !ReadRaw(in, &e.priority) || !ReadRaw(in, &e.value)) {
+    if (!in.ReadRaw(&e.key) || !in.ReadRaw(&e.priority) || !in.ReadRaw(&e.value)) {
       return Status::Corruption("truncated CM-FF entry");
     }
   }
@@ -430,38 +504,133 @@ Result<CountMinFrequent> LoadCountMinFrequent(std::istream& in, const LearnerOpt
   return model;
 }
 
-Status SaveFeatureHashing(const FeatureHashingClassifier& model, std::ostream& out) {
+Status SaveFeatureHashingPayload(const FeatureHashingClassifier& model, std::ostream& out) {
   WriteRaw(out, kFhsMagic2);
   WriteRaw(out, model.buckets());
   WriteRaw(out, model.opts_.lambda);
   WriteRaw(out, model.opts_.seed);
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(out, "feature-hashing", "config"));
   WriteRaw(out, model.t_);
   WriteRaw(out, model.scale_);
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(out, "feature-hashing", "state"));
   WritePagedTable(out, model.table_);
-  if (!out) return Status::IOError("write failed");
-  return Status::OK();
+  return snapshot::SectionGuard(out, "feature-hashing", "table");
 }
 
-Result<FeatureHashingClassifier> LoadFeatureHashing(std::istream& in,
-                                                    const LearnerOptions& opts) {
+Result<FeatureHashingClassifier> LoadFeatureHashingPayload(SnapshotReader& in,
+                                                           const LearnerOptions& opts) {
   uint32_t magic;
-  if (!ReadRaw(in, &magic)) return Status::Corruption("truncated header");
+  if (!in.ReadRaw(&magic)) return Status::Corruption("truncated header");
   if (magic != kFhsMagic && magic != kFhsMagic2) {
     return Status::Corruption("not a feature-hashing snapshot");
   }
   uint32_t buckets;
   LearnerOptions restored = opts;
-  if (!ReadRaw(in, &buckets) || !ReadRaw(in, &restored.lambda) ||
-      !ReadRaw(in, &restored.seed)) {
+  if (!in.ReadRaw(&buckets) || !in.ReadRaw(&restored.lambda) ||
+      !in.ReadRaw(&restored.seed)) {
     return Status::Corruption("truncated configuration");
   }
   if (!IsPowerOfTwo(buckets)) return Status::Corruption("invalid bucket count");
+  if (!in.CanRead(buckets, sizeof(float))) {
+    return Status::Corruption("declared bucket table exceeds stream size");
+  }
   FeatureHashingClassifier model(buckets, restored);
-  if (!ReadRaw(in, &model.t_) || !ReadRaw(in, &model.scale_)) {
+  if (!in.ReadRaw(&model.t_) || !in.ReadRaw(&model.scale_)) {
     return Status::Corruption("truncated state");
   }
   WMS_RETURN_NOT_OK(ReadTableInto(in, &model.table_, magic == kFhsMagic2));
   return model;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------- enveloped wrappers
+
+Status SaveWmSketch(const WmSketch& sketch, std::ostream& out) {
+  std::ostringstream payload(std::ios::binary);
+  return SaveEnveloped(detail::SaveWmSketchPayload(sketch, payload),
+                       std::move(payload), out);
+}
+
+Result<WmSketch> LoadWmSketch(std::istream& in, const LearnerOptions& opts) {
+  std::string storage;
+  WMS_ASSIGN_OR_RETURN(SnapshotReader reader, snapshot::OpenSnapshot(in, &storage));
+  return detail::LoadWmSketchPayload(reader, opts);
+}
+
+Status SaveAwmSketch(const AwmSketch& sketch, std::ostream& out) {
+  std::ostringstream payload(std::ios::binary);
+  return SaveEnveloped(detail::SaveAwmSketchPayload(sketch, payload),
+                       std::move(payload), out);
+}
+
+Result<AwmSketch> LoadAwmSketch(std::istream& in, const LearnerOptions& opts) {
+  std::string storage;
+  WMS_ASSIGN_OR_RETURN(SnapshotReader reader, snapshot::OpenSnapshot(in, &storage));
+  return detail::LoadAwmSketchPayload(reader, opts);
+}
+
+Status SaveSimpleTruncation(const SimpleTruncation& model, std::ostream& out) {
+  std::ostringstream payload(std::ios::binary);
+  return SaveEnveloped(detail::SaveSimpleTruncationPayload(model, payload),
+                       std::move(payload), out);
+}
+
+Result<SimpleTruncation> LoadSimpleTruncation(std::istream& in, const LearnerOptions& opts) {
+  std::string storage;
+  WMS_ASSIGN_OR_RETURN(SnapshotReader reader, snapshot::OpenSnapshot(in, &storage));
+  return detail::LoadSimpleTruncationPayload(reader, opts);
+}
+
+Status SaveProbabilisticTruncation(const ProbabilisticTruncation& model, std::ostream& out) {
+  std::ostringstream payload(std::ios::binary);
+  return SaveEnveloped(detail::SaveProbabilisticTruncationPayload(model, payload),
+                       std::move(payload), out);
+}
+
+Result<ProbabilisticTruncation> LoadProbabilisticTruncation(std::istream& in,
+                                                            const LearnerOptions& opts) {
+  std::string storage;
+  WMS_ASSIGN_OR_RETURN(SnapshotReader reader, snapshot::OpenSnapshot(in, &storage));
+  return detail::LoadProbabilisticTruncationPayload(reader, opts);
+}
+
+Status SaveSpaceSavingFrequent(const SpaceSavingFrequent& model, std::ostream& out) {
+  std::ostringstream payload(std::ios::binary);
+  return SaveEnveloped(detail::SaveSpaceSavingFrequentPayload(model, payload),
+                       std::move(payload), out);
+}
+
+Result<SpaceSavingFrequent> LoadSpaceSavingFrequent(std::istream& in,
+                                                    const LearnerOptions& opts) {
+  std::string storage;
+  WMS_ASSIGN_OR_RETURN(SnapshotReader reader, snapshot::OpenSnapshot(in, &storage));
+  return detail::LoadSpaceSavingFrequentPayload(reader, opts);
+}
+
+Status SaveCountMinFrequent(const CountMinFrequent& model, std::ostream& out) {
+  std::ostringstream payload(std::ios::binary);
+  return SaveEnveloped(detail::SaveCountMinFrequentPayload(model, payload),
+                       std::move(payload), out);
+}
+
+Result<CountMinFrequent> LoadCountMinFrequent(std::istream& in, const LearnerOptions& opts) {
+  std::string storage;
+  WMS_ASSIGN_OR_RETURN(SnapshotReader reader, snapshot::OpenSnapshot(in, &storage));
+  return detail::LoadCountMinFrequentPayload(reader, opts);
+}
+
+Status SaveFeatureHashing(const FeatureHashingClassifier& model, std::ostream& out) {
+  std::ostringstream payload(std::ios::binary);
+  return SaveEnveloped(detail::SaveFeatureHashingPayload(model, payload),
+                       std::move(payload), out);
+}
+
+Result<FeatureHashingClassifier> LoadFeatureHashing(std::istream& in,
+                                                    const LearnerOptions& opts) {
+  std::string storage;
+  WMS_ASSIGN_OR_RETURN(SnapshotReader reader, snapshot::OpenSnapshot(in, &storage));
+  return detail::LoadFeatureHashingPayload(reader, opts);
 }
 
 }  // namespace wmsketch

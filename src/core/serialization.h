@@ -4,6 +4,7 @@
 
 #include "core/awm_sketch.h"
 #include "core/frequent_features.h"
+#include "core/snapshot_io.h"
 #include "core/truncation.h"
 #include "core/wm_sketch.h"
 #include "linear/feature_hashing.h"
@@ -19,6 +20,14 @@ namespace wmsketch {
 /// stored seed, so a snapshot is just: header, configuration, learner
 /// scalars (λ, schedule, seed, step count), the raw table(s) with their lazy
 /// scales, and the active-set/heap entries.
+///
+/// Every Save* stream is wrapped in the checksummed envelope of
+/// core/snapshot_io.h (magic, version, payload length, CRC32C), so a
+/// truncated or bit-flipped snapshot is detected before any state is
+/// parsed. Load* sniffs the leading magic and still accepts the v1/v2
+/// unwrapped streams written before the envelope existed; either way every
+/// declared size is validated against the remaining stream bytes *before*
+/// the corresponding allocation.
 ///
 /// The loss function is *not* serialized (it may be an arbitrary user type);
 /// the caller supplies LearnerOptions whose loss/rate are used for the
@@ -67,5 +76,44 @@ Result<CountMinFrequent> LoadCountMinFrequent(std::istream& in, const LearnerOpt
 Status SaveFeatureHashing(const FeatureHashingClassifier& model, std::ostream& out);
 Result<FeatureHashingClassifier> LoadFeatureHashing(std::istream& in,
                                                     const LearnerOptions& opts);
+
+namespace detail {
+
+/// Payload-level savers/loaders: the raw per-method stream (method magic
+/// included) with no envelope. SaveLearner composes these under a single
+/// facade header + envelope so the checksum covers the whole stream exactly
+/// once; the public per-method Save*/Load* wrap/unwrap the same payloads.
+/// Loaders accept both the v1 flat and v2 paged table layouts.
+
+Status SaveWmSketchPayload(const WmSketch& sketch, std::ostream& out);
+Result<WmSketch> LoadWmSketchPayload(snapshot::SnapshotReader& in,
+                                     const LearnerOptions& opts);
+
+Status SaveAwmSketchPayload(const AwmSketch& sketch, std::ostream& out);
+Result<AwmSketch> LoadAwmSketchPayload(snapshot::SnapshotReader& in,
+                                       const LearnerOptions& opts);
+
+Status SaveSimpleTruncationPayload(const SimpleTruncation& model, std::ostream& out);
+Result<SimpleTruncation> LoadSimpleTruncationPayload(snapshot::SnapshotReader& in,
+                                                     const LearnerOptions& opts);
+
+Status SaveProbabilisticTruncationPayload(const ProbabilisticTruncation& model,
+                                          std::ostream& out);
+Result<ProbabilisticTruncation> LoadProbabilisticTruncationPayload(
+    snapshot::SnapshotReader& in, const LearnerOptions& opts);
+
+Status SaveSpaceSavingFrequentPayload(const SpaceSavingFrequent& model, std::ostream& out);
+Result<SpaceSavingFrequent> LoadSpaceSavingFrequentPayload(snapshot::SnapshotReader& in,
+                                                           const LearnerOptions& opts);
+
+Status SaveCountMinFrequentPayload(const CountMinFrequent& model, std::ostream& out);
+Result<CountMinFrequent> LoadCountMinFrequentPayload(snapshot::SnapshotReader& in,
+                                                     const LearnerOptions& opts);
+
+Status SaveFeatureHashingPayload(const FeatureHashingClassifier& model, std::ostream& out);
+Result<FeatureHashingClassifier> LoadFeatureHashingPayload(snapshot::SnapshotReader& in,
+                                                           const LearnerOptions& opts);
+
+}  // namespace detail
 
 }  // namespace wmsketch

@@ -13,6 +13,20 @@
 
 namespace wmsketch {
 
+class SimpleTruncation;
+class ProbabilisticTruncation;
+namespace snapshot {
+class SnapshotReader;
+}
+namespace detail {
+Status SaveSimpleTruncationPayload(const SimpleTruncation&, std::ostream&);
+Result<SimpleTruncation> LoadSimpleTruncationPayload(snapshot::SnapshotReader&,
+                                                     const LearnerOptions&);
+Status SaveProbabilisticTruncationPayload(const ProbabilisticTruncation&, std::ostream&);
+Result<ProbabilisticTruncation> LoadProbabilisticTruncationPayload(
+    snapshot::SnapshotReader&, const LearnerOptions&);
+}  // namespace detail
+
 /// Simple Truncation (Algorithm 3): after every gradient step, keep only the
 /// K largest-magnitude weights; everything else is zeroed. Untracked
 /// features contribute nothing to predictions and re-enter only through
@@ -43,8 +57,9 @@ class SimpleTruncation final : public BudgetedClassifier {
   size_t capacity() const { return heap_.capacity(); }
 
  private:
-  friend Status SaveSimpleTruncation(const SimpleTruncation&, std::ostream&);
-  friend Result<SimpleTruncation> LoadSimpleTruncation(std::istream&, const LearnerOptions&);
+  friend Status detail::SaveSimpleTruncationPayload(const SimpleTruncation&, std::ostream&);
+  friend Result<SimpleTruncation> detail::LoadSimpleTruncationPayload(
+      snapshot::SnapshotReader&, const LearnerOptions&);
 
   void MaybeRescale();
 
@@ -82,9 +97,10 @@ class ProbabilisticTruncation final : public BudgetedClassifier {
   size_t capacity() const { return capacity_; }
 
  private:
-  friend Status SaveProbabilisticTruncation(const ProbabilisticTruncation&, std::ostream&);
-  friend Result<ProbabilisticTruncation> LoadProbabilisticTruncation(std::istream&,
-                                                                     const LearnerOptions&);
+  friend Status detail::SaveProbabilisticTruncationPayload(const ProbabilisticTruncation&,
+                                                           std::ostream&);
+  friend Result<ProbabilisticTruncation> detail::LoadProbabilisticTruncationPayload(
+      snapshot::SnapshotReader&, const LearnerOptions&);
 
   void MaybeRescale();
   // Priority of an entry: -A/|raw w| with A = -log r ~ Exp(1). The reservoir

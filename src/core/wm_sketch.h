@@ -13,6 +13,15 @@
 
 namespace wmsketch {
 
+class WmSketch;
+namespace snapshot {
+class SnapshotReader;
+}
+namespace detail {
+Status SaveWmSketchPayload(const WmSketch&, std::ostream&);
+Result<WmSketch> LoadWmSketchPayload(snapshot::SnapshotReader&, const LearnerOptions&);
+}  // namespace detail
+
 /// Shape of a Weight-Median Sketch: a depth×width Count-Sketch-structured
 /// table plus an optional top-K tracking heap. Total size k = width·depth
 /// (the paper writes width as k/s and depth as s).
@@ -100,8 +109,9 @@ class WmSketch final : public BudgetedClassifier {
   const WmSketchConfig& config() const { return config_; }
 
  private:
-  friend Status SaveWmSketch(const WmSketch&, std::ostream&);
-  friend Result<WmSketch> LoadWmSketch(std::istream&, const LearnerOptions&);
+  friend Status detail::SaveWmSketchPayload(const WmSketch&, std::ostream&);
+  friend Result<WmSketch> detail::LoadWmSketchPayload(snapshot::SnapshotReader&,
+                                                      const LearnerOptions&);
 
   // Median over rows of σ_j(i)·v[j, h_j(i)] on the *raw* table (no scale, no
   // √s); WeightEstimate applies √s·α.

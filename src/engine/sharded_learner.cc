@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/budget.h"
+#include "engine/checkpoint.h"
 #include "engine/serving.h"
 #include "engine/spsc_ring.h"
 #include "util/thread_annotations.h"
@@ -119,6 +120,15 @@ struct ShardedLearner::Impl {
   uint64_t serve_every = 0;
   uint64_t since_publish = 0;
 
+  // Checkpointing (null unless CheckpointTo was configured): like serving
+  // publications, checkpoints are cut at merge barriers — the only points
+  // where a consistent global model exists — and a write failure is recorded
+  // rather than aborting ingestion.
+  std::shared_ptr<Checkpointer> checkpointer;
+  uint64_t checkpoint_every = 0;
+  uint64_t since_checkpoint = 0;
+  Status last_checkpoint_status;
+
   void WorkerLoop(Worker& w) {
     Example ex;
     std::vector<Example> run;
@@ -222,8 +232,9 @@ struct ShardedLearner::Impl {
     return acc;
   }
 
-  /// One synchronization round: barrier, combine, redistribute.
-  Status Sync() {
+  /// One synchronization round: barrier, combine, redistribute. With
+  /// `force_checkpoint` the barrier cuts a checkpoint regardless of cadence.
+  Status Sync(bool force_checkpoint = false) {
     PauseAll();
     Status st;
     if (shards > 1) {
@@ -254,6 +265,16 @@ struct ShardedLearner::Impl {
             (shards > 1 && base != nullptr) ? *base : *workers[0]->model;
         serving->Publish(CaptureServingSnapshot(model, Learner::kDefaultSnapshotTopK));
         since_publish = 0;
+      }
+      // Checkpoint inside the same paused window, from the same consistent
+      // model the publication path uses.
+      if (checkpointer != nullptr &&
+          (force_checkpoint ||
+           (checkpoint_every > 0 && since_checkpoint >= checkpoint_every))) {
+        const BudgetedClassifier& model =
+            (shards > 1 && base != nullptr) ? *base : *workers[0]->model;
+        last_checkpoint_status = checkpointer->WriteClassifier(config.method, model);
+        since_checkpoint = 0;
       }
     }
     ResumeAll();
@@ -292,6 +313,10 @@ Status ShardedLearner::Push(Example example) {
     // A publication needs a consistent global model, which only a merge
     // barrier produces — so ServeEvery paces extra sync-and-publish rounds.
     WMS_RETURN_NOT_OK(impl.Sync());
+  } else if (impl.checkpointer != nullptr && impl.checkpoint_every > 0 &&
+             impl.since_checkpoint >= impl.checkpoint_every) {
+    // Likewise CheckpointEvery: a durable snapshot needs a merge barrier.
+    WMS_RETURN_NOT_OK(impl.Sync());
   }
   const size_t shard =
       impl.shards > 1 ? static_cast<size_t>(ExampleHash(example.x) % impl.shards) : 0;
@@ -304,6 +329,7 @@ Status ShardedLearner::Push(Example example) {
   ++impl.pushed;
   ++impl.since_sync;
   ++impl.since_publish;
+  ++impl.since_checkpoint;
   return Status::OK();
 }
 
@@ -349,7 +375,33 @@ Result<Learner> ShardedLearner::Collapse() {
     collapsed.serve_every_ = impl.serve_every;
     collapsed.next_publish_steps_ = collapsed.steps() + impl.serve_every;
   }
+  if (impl.checkpointer != nullptr) {
+    // Cut a final checkpoint of the collapsed model and hand the checkpointer
+    // over: further (sequential) training keeps checkpointing on the same
+    // cadence into the same directory.
+    collapsed.checkpointer_ = std::move(impl.checkpointer);
+    collapsed.checkpoint_every_ = impl.checkpoint_every;
+    collapsed.next_checkpoint_steps_ =
+        impl.checkpoint_every == 0 ? 0 : collapsed.steps() + impl.checkpoint_every;
+    collapsed.last_checkpoint_status_ = collapsed.checkpointer_->Write(collapsed);
+  }
   return collapsed;
+}
+
+Status ShardedLearner::CheckpointNow() {
+  Impl& impl = *impl_;
+  if (impl.collapsed) {
+    return Status::FailedPrecondition("sharded learner already collapsed");
+  }
+  if (impl.checkpointer == nullptr) {
+    return Status::FailedPrecondition("checkpointing not enabled on this engine");
+  }
+  WMS_RETURN_NOT_OK(impl.Sync(/*force_checkpoint=*/true));
+  return impl.last_checkpoint_status;
+}
+
+const Status& ShardedLearner::last_checkpoint_status() const {
+  return impl_->last_checkpoint_status;
 }
 
 Result<ServingHandle> ShardedLearner::AcquireServingHandle() {
@@ -411,6 +463,12 @@ Result<ShardedLearner> LearnerBuilder::BuildSharded() const {
   impl->shards = shards_;
   impl->sync_interval = sync_interval_;
   impl->serve_every = serve_every_;
+  if (!checkpoint_spec_.dir.empty()) {
+    WMS_ASSIGN_OR_RETURN(Checkpointer cp,
+                         Checkpointer::Open(checkpoint_spec_.dir, checkpoint_spec_.keep_last));
+    impl->checkpointer = std::make_shared<Checkpointer>(std::move(cp));
+    impl->checkpoint_every = checkpoint_spec_.every;
+  }
   impl->workers.reserve(shards_);
   for (uint32_t i = 0; i < shards_; ++i) {
     auto worker = std::make_unique<ShardedLearner::Impl::Worker>();

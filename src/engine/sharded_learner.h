@@ -79,6 +79,17 @@ class ShardedLearner {
   /// Collapse.
   Result<ServingHandle> AcquireServingHandle();
 
+  /// Explicit barrier that also cuts a checkpoint (requires CheckpointTo on
+  /// the builder). Returns the checkpoint write status; like periodic merge-
+  /// barrier checkpoints, the model state is the consistent merged view.
+  /// Owner-thread call; FailedPrecondition after Collapse.
+  Status CheckpointNow();
+
+  /// Outcome of the most recent merge-barrier checkpoint (OK before any).
+  /// Periodic checkpoint failures are recorded here, not surfaced from Push:
+  /// a full disk must not abort ingestion.
+  const Status& last_checkpoint_status() const;
+
   /// Number of parallel shards (fixed at build time).
   uint32_t shards() const;
   /// Examples between periodic synchronizations (0 = only at Collapse).

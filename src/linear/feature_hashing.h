@@ -13,6 +13,16 @@
 
 namespace wmsketch {
 
+class FeatureHashingClassifier;
+namespace snapshot {
+class SnapshotReader;
+}
+namespace detail {
+Status SaveFeatureHashingPayload(const FeatureHashingClassifier&, std::ostream&);
+Result<FeatureHashingClassifier> LoadFeatureHashingPayload(snapshot::SnapshotReader&,
+                                                           const LearnerOptions&);
+}  // namespace detail
+
 /// The feature-hashing ("hashing trick") classifier of Shi et al. 2009 /
 /// Weinberger et al. 2009: every feature id is hashed into one of k buckets
 /// with a ±1 sign, and a linear model is trained directly on the k-
@@ -60,9 +70,10 @@ class FeatureHashingClassifier final : public BudgetedClassifier {
   uint32_t buckets() const { return hash_.width(); }
 
  private:
-  friend Status SaveFeatureHashing(const FeatureHashingClassifier&, std::ostream&);
-  friend Result<FeatureHashingClassifier> LoadFeatureHashing(std::istream&,
-                                                             const LearnerOptions&);
+  friend Status detail::SaveFeatureHashingPayload(const FeatureHashingClassifier&,
+                                                  std::ostream&);
+  friend Result<FeatureHashingClassifier> detail::LoadFeatureHashingPayload(
+      snapshot::SnapshotReader&, const LearnerOptions&);
 
   /// The Update body once the plan exists (shared by Update and UpdateBatch).
   double UpdateWithPlan(const SparseVector& x, int8_t y, const simd::PlanView& plan,

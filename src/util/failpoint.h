@@ -1,0 +1,165 @@
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace wmsketch::failpoint {
+
+/// Deterministic fault injection for the durability paths (RocksDB/TiKV
+/// style). Code under test plants named sites with WMS_FAILPOINT("name");
+/// tests arm a site with an \ref Action — force an I/O error, a short
+/// write, or a hard crash — either through the Arm() API or the
+/// WMS_FAILPOINTS environment variable ("name=action[:count],...", e.g.
+/// WMS_FAILPOINTS="checkpoint:before_rename=crash:1").
+///
+/// Disarmed cost: one relaxed atomic load and a branch — no lock, no map
+/// lookup, no string construction — so sites are safe on warm paths.
+enum class Action : uint8_t {
+  kOff = 0,
+  /// The site should fail its operation and surface an IOError.
+  kError,
+  /// The site should write a truncated prefix, then fail (torn output).
+  kShortWrite,
+  /// The process exits immediately (std::_Exit(kCrashExitCode)): no atexit
+  /// handlers, no stream flushes — the closest in-process stand-in for
+  /// kill -9 between two instructions.
+  kCrash,
+};
+
+/// Exit code used by Action::kCrash, asserted by death tests.
+inline constexpr int kCrashExitCode = 134;
+
+namespace internal {
+
+struct Spec {
+  Action action = Action::kOff;
+  // Remaining firings; negative means unlimited.
+  int remaining = -1;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Spec> points;
+  // Number of currently armed sites; the macro's fast-path gate.
+  std::atomic<int> armed{0};
+};
+
+inline Action ParseAction(std::string_view token) {
+  if (token == "error") return Action::kError;
+  if (token == "short" || token == "short_write") return Action::kShortWrite;
+  if (token == "crash") return Action::kCrash;
+  return Action::kOff;
+}
+
+inline void ArmLocked(Registry& reg, const std::string& name, Action action,
+                      int count) {
+  Spec& spec = reg.points[name];
+  const bool was_armed = spec.action != Action::kOff && spec.remaining != 0;
+  spec.action = action;
+  spec.remaining = count;
+  const bool now_armed = action != Action::kOff && count != 0;
+  if (now_armed && !was_armed) reg.armed.fetch_add(1, std::memory_order_relaxed);
+  if (!now_armed && was_armed) reg.armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+// Parses WMS_FAILPOINTS ("name=action[:count]" entries split on ',' or ';')
+// once, at first registry access.
+inline void ArmFromEnvLocked(Registry& reg) {
+  const char* env = std::getenv("WMS_FAILPOINTS");
+  if (env == nullptr) return;
+  std::string_view rest(env);
+  while (!rest.empty()) {
+    const size_t sep = rest.find_first_of(",;");
+    std::string_view entry = rest.substr(0, sep);
+    rest = (sep == std::string_view::npos) ? std::string_view() : rest.substr(sep + 1);
+    const size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;
+    std::string_view name = entry.substr(0, eq);
+    std::string_view action_token = entry.substr(eq + 1);
+    int count = -1;
+    const size_t colon = action_token.find(':');
+    if (colon != std::string_view::npos) {
+      count = std::atoi(std::string(action_token.substr(colon + 1)).c_str());
+      action_token = action_token.substr(0, colon);
+    }
+    ArmLocked(reg, std::string(name), ParseAction(action_token), count);
+  }
+}
+
+inline Registry& GetRegistry() {
+  // Leaked singleton: failpoints may fire during static destruction of
+  // whatever owns a stream.
+  static Registry* reg = [] {
+    auto* r = new Registry();
+    std::lock_guard<std::mutex> lock(r->mu);
+    ArmFromEnvLocked(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+}  // namespace internal
+
+/// Number of armed sites (0 on the untouched fast path).
+inline int ArmedCount() {
+  return internal::GetRegistry().armed.load(std::memory_order_relaxed);
+}
+
+/// Arms `name` with `action`. `count` bounds the number of firings
+/// (negative: unlimited); each firing consumes one, and an exhausted site
+/// reverts to kOff.
+inline void Arm(const std::string& name, Action action, int count = -1) {
+  internal::Registry& reg = internal::GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  internal::ArmLocked(reg, name, action, count);
+}
+
+/// Disarms `name` (no-op when not armed).
+inline void Disarm(const std::string& name) { Arm(name, Action::kOff, 0); }
+
+/// Disarms every site (test teardown).
+inline void DisarmAll() {
+  internal::Registry& reg = internal::GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, spec] : reg.points) {
+    spec.action = Action::kOff;
+    spec.remaining = 0;
+  }
+  reg.armed.store(0, std::memory_order_relaxed);
+}
+
+/// Slow path behind WMS_FAILPOINT: consumes one firing of `name` and
+/// returns the action the site must simulate. kCrash exits here and does
+/// not return.
+inline Action Fire(const char* name) {
+  internal::Registry& reg = internal::GetRegistry();
+  Action action = Action::kOff;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.points.find(name);
+    if (it == reg.points.end()) return Action::kOff;
+    internal::Spec& spec = it->second;
+    if (spec.action == Action::kOff || spec.remaining == 0) return Action::kOff;
+    action = spec.action;
+    if (spec.remaining > 0 && --spec.remaining == 0) {
+      spec.action = Action::kOff;
+      reg.armed.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  if (action == Action::kCrash) std::_Exit(kCrashExitCode);
+  return action;
+}
+
+}  // namespace wmsketch::failpoint
+
+/// Evaluates to the Action the named site must simulate this call
+/// (Action::kOff when the registry is empty or the site is not armed).
+/// Armed kCrash sites exit the process inside the macro.
+#define WMS_FAILPOINT(name)                                 \
+  (::wmsketch::failpoint::ArmedCount() == 0                 \
+       ? ::wmsketch::failpoint::Action::kOff                \
+       : ::wmsketch::failpoint::Fire(name))

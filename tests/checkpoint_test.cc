@@ -1,0 +1,352 @@
+// Crash-safety tests for the atomic checkpoint/recover machinery
+// (src/engine/checkpoint.{h,cc}): round-trips are byte-identical, a torn or
+// corrupt newest checkpoint falls back to the one before it, injected IO
+// faults leave the previous checkpoint set recoverable, and death tests
+// crash the process at every planted checkpoint failpoint and verify the
+// directory recovers to a byte-identical model afterwards.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/learner.h"
+#include "datagen/classification_gen.h"
+#include "engine/checkpoint.h"
+#include "engine/sharded_learner.h"
+#include "util/failpoint.h"
+#include "util/memory_cost.h"
+
+namespace wmsketch {
+namespace {
+
+namespace fs = std::filesystem;
+
+LearnerOptions Opts() {
+  LearnerOptions opts;
+  opts.lambda = 1e-4;
+  opts.rate = LearningRate::Constant(0.2);
+  opts.seed = 42;
+  return opts;
+}
+
+// Fresh empty directory under the test tmpdir, unique per test case.
+std::string UniqueDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "wms_ckpt_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+LearnerBuilder Builder() {
+  return LearnerBuilder()
+      .SetMethod(Method::kAwmSketch)
+      .SetBudgetBytes(KiB(2))
+      .SetLambda(1e-4)
+      .SetLearningRate(LearningRate::Constant(0.2))
+      .SetSeed(42);
+}
+
+void Train(Learner& learner, int examples, uint64_t seed) {
+  SyntheticClassificationGen gen(ClassificationProfile::SmallTest(), seed);
+  std::vector<Example> stream;
+  stream.reserve(examples);
+  for (int i = 0; i < examples; ++i) stream.push_back(gen.Next());
+  learner.UpdateBatch(stream);
+}
+
+std::string Bytes(const Learner& learner) {
+  std::ostringstream buffer(std::ios::binary);
+  EXPECT_TRUE(SaveLearner(learner, buffer).ok());
+  return std::move(buffer).str();
+}
+
+size_t CommittedCount(const std::string& dir) {
+  size_t n = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".wms") ++n;
+  }
+  return n;
+}
+
+// Highest committed "ckpt-<seq>.wms" sequence in `dir` (0 when none).
+uint64_t MaxSequence(const std::string& dir) {
+  uint64_t max_seq = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.path().extension() != ".wms") continue;
+    const std::string digits = name.substr(5, name.size() - 5 - 4);
+    max_seq = std::max<uint64_t>(max_seq, std::strtoull(digits.c_str(), nullptr, 10));
+  }
+  return max_seq;
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(CheckpointTest, RoundTripRestoresBitIdenticalModel) {
+  const std::string dir = UniqueDir("roundtrip");
+  Result<Learner> built = Builder().CheckpointTo(dir).Build();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  Learner learner = std::move(built).value();
+  Train(learner, 500, 7);
+  ASSERT_TRUE(learner.CheckpointNow().ok());
+
+  Result<Learner> recovered = Checkpointer::RecoverFrom(dir, Opts());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(Bytes(recovered.value()), Bytes(learner));
+  EXPECT_EQ(recovered.value().steps(), learner.steps());
+}
+
+TEST_F(CheckpointTest, PeriodicCadenceWritesAndPrunes) {
+  const std::string dir = UniqueDir("cadence");
+  Result<Learner> built =
+      Builder().CheckpointTo(dir, /*keep_last=*/2).CheckpointEvery(250).Build();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  Learner learner = std::move(built).value();
+  Train(learner, 1000, 9);  // checkpoints at 250, 500, 750, 1000
+
+  EXPECT_EQ(CommittedCount(dir), 2u);  // keep_last pruned 1 and 2
+  EXPECT_TRUE(fs::exists(dir + "/ckpt-3.wms"));
+  EXPECT_TRUE(fs::exists(dir + "/ckpt-4.wms"));
+  EXPECT_TRUE(learner.last_checkpoint_status().ok());
+
+  // The newest checkpoint is the end-of-stream state, byte-identical.
+  Result<Learner> recovered = Checkpointer::RecoverFrom(dir, Opts());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(Bytes(recovered.value()), Bytes(learner));
+}
+
+TEST_F(CheckpointTest, CheckpointNowWithoutEnablementFailsCleanly) {
+  Result<Learner> built = Builder().Build();
+  ASSERT_TRUE(built.ok());
+  Learner learner = std::move(built).value();
+  const Status st = learner.CheckpointNow();
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CheckpointTest, RecoverFromMissingDirectoryIsNotFound) {
+  const Result<Learner> r =
+      Checkpointer::RecoverFrom(UniqueDir("never_created"), Opts());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointTest, CorruptNewestFallsBackToPrevious) {
+  const std::string dir = UniqueDir("corrupt_newest");
+  Result<Learner> built = Builder().CheckpointTo(dir).Build();
+  ASSERT_TRUE(built.ok());
+  Learner learner = std::move(built).value();
+  Train(learner, 300, 11);
+  ASSERT_TRUE(learner.CheckpointNow().ok());  // ckpt-1: state A
+  const std::string state_a = Bytes(learner);
+  Train(learner, 300, 13);
+  ASSERT_TRUE(learner.CheckpointNow().ok());  // ckpt-2: state B
+
+  {  // Flip one payload byte in the newest checkpoint: CRC must catch it.
+    std::fstream f(dir + "/ckpt-2.wms",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    const std::streamoff size = f.tellg();
+    f.seekp(size / 2);
+    char byte;
+    f.seekg(size / 2);
+    f.read(&byte, 1);
+    byte ^= 0x20;
+    f.seekp(size / 2);
+    f.write(&byte, 1);
+  }
+
+  std::vector<std::string> skipped;
+  Result<Learner> recovered = Checkpointer::RecoverFrom(dir, Opts(), &skipped);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(Bytes(recovered.value()), state_a);
+  ASSERT_EQ(skipped.size(), 1u);
+  EXPECT_NE(skipped[0].find("ckpt-2.wms"), std::string::npos) << skipped[0];
+}
+
+TEST_F(CheckpointTest, TruncatedNewestFallsBackToPrevious) {
+  const std::string dir = UniqueDir("torn_newest");
+  Result<Learner> built = Builder().CheckpointTo(dir).Build();
+  ASSERT_TRUE(built.ok());
+  Learner learner = std::move(built).value();
+  Train(learner, 300, 17);
+  ASSERT_TRUE(learner.CheckpointNow().ok());
+  const std::string state_a = Bytes(learner);
+  Train(learner, 300, 19);
+  ASSERT_TRUE(learner.CheckpointNow().ok());
+
+  fs::resize_file(dir + "/ckpt-2.wms", fs::file_size(dir + "/ckpt-2.wms") / 2);
+
+  Result<Learner> recovered = Checkpointer::RecoverFrom(dir, Opts());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(Bytes(recovered.value()), state_a);
+}
+
+TEST_F(CheckpointTest, InjectedWriteFaultLeavesPreviousRecoverable) {
+  const std::string dir = UniqueDir("inject_error");
+  Result<Learner> built = Builder().CheckpointTo(dir).Build();
+  ASSERT_TRUE(built.ok());
+  Learner learner = std::move(built).value();
+  Train(learner, 300, 23);
+  ASSERT_TRUE(learner.CheckpointNow().ok());
+  const std::string state_a = Bytes(learner);
+  Train(learner, 300, 29);
+
+  for (const char* site :
+       {"checkpoint:mid_payload", "checkpoint:fsync", "checkpoint:before_rename"}) {
+    failpoint::Arm(site, failpoint::Action::kError, 1);
+    const Status st = learner.CheckpointNow();
+    EXPECT_EQ(st.code(), StatusCode::kIOError) << site << ": " << st.ToString();
+    // The failed attempt must not leave a temp file or eat the old state.
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      EXPECT_NE(entry.path().extension(), ".tmp") << site;
+    }
+    Result<Learner> recovered = Checkpointer::RecoverFrom(dir, Opts());
+    ASSERT_TRUE(recovered.ok()) << site;
+    EXPECT_EQ(Bytes(recovered.value()), state_a) << site;
+  }
+
+  // With the faults exhausted the same learner checkpoints fine.
+  ASSERT_TRUE(learner.CheckpointNow().ok());
+  Result<Learner> recovered = Checkpointer::RecoverFrom(dir, Opts());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(Bytes(recovered.value()), Bytes(learner));
+}
+
+TEST_F(CheckpointTest, InjectedReadFaultSkipsNewestDuringRecovery) {
+  const std::string dir = UniqueDir("inject_read");
+  Result<Learner> built = Builder().CheckpointTo(dir).Build();
+  ASSERT_TRUE(built.ok());
+  Learner learner = std::move(built).value();
+  Train(learner, 300, 31);
+  ASSERT_TRUE(learner.CheckpointNow().ok());
+  const std::string state_a = Bytes(learner);
+  Train(learner, 300, 37);
+  ASSERT_TRUE(learner.CheckpointNow().ok());
+
+  failpoint::Arm("recover:read_error", failpoint::Action::kError, 1);
+  std::vector<std::string> skipped;
+  Result<Learner> recovered = Checkpointer::RecoverFrom(dir, Opts(), &skipped);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(Bytes(recovered.value()), state_a);  // newest was skipped
+  ASSERT_EQ(skipped.size(), 1u);
+}
+
+TEST_F(CheckpointTest, OpenSweepsStaleTempFilesAndResumesSequence) {
+  const std::string dir = UniqueDir("sweep");
+  fs::create_directories(dir);
+  std::ofstream(dir + "/ckpt-7.wms.tmp", std::ios::binary) << "torn garbage";
+
+  Result<Checkpointer> cp = Checkpointer::Open(dir);
+  ASSERT_TRUE(cp.ok()) << cp.status().ToString();
+  EXPECT_FALSE(fs::exists(dir + "/ckpt-7.wms.tmp"));
+
+  Result<Learner> built = Builder().Build();
+  ASSERT_TRUE(built.ok());
+  Learner learner = std::move(built).value();
+  Train(learner, 100, 41);
+  ASSERT_TRUE(cp.value().Write(learner).ok());
+  EXPECT_TRUE(fs::exists(dir + "/ckpt-1.wms"));  // tmp did not claim a sequence
+}
+
+TEST_F(CheckpointTest, ShardedEngineCheckpointsAtMergeBarriers) {
+  const std::string dir = UniqueDir("sharded");
+  Result<ShardedLearner> built = Builder()
+                                     .Shards(2)
+                                     .SetSyncInterval(0)
+                                     .CheckpointTo(dir, /*keep_last=*/4)
+                                     .CheckpointEvery(300)
+                                     .BuildSharded();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ShardedLearner engine = std::move(built).value();
+
+  SyntheticClassificationGen gen(ClassificationProfile::SmallTest(), 43);
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(engine.Push(gen.Next()).ok());
+  EXPECT_TRUE(engine.last_checkpoint_status().ok());
+  EXPECT_GE(CommittedCount(dir), 1u);  // periodic barrier checkpoints landed
+
+  ASSERT_TRUE(engine.CheckpointNow().ok());
+  const uint64_t before_collapse = MaxSequence(dir);
+
+  Result<Learner> collapsed = engine.Collapse();
+  ASSERT_TRUE(collapsed.ok()) << collapsed.status().ToString();
+  EXPECT_TRUE(collapsed.value().last_checkpoint_status().ok());
+  EXPECT_GT(MaxSequence(dir), before_collapse);  // Collapse cut a final one
+
+  // The newest checkpoint is the collapsed model, byte for byte.
+  Result<Learner> recovered = Checkpointer::RecoverFrom(dir, Opts());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(Bytes(recovered.value()), Bytes(collapsed.value()));
+}
+
+// ------------------------------------------------------------- death tests
+//
+// Each test crashes a forked child (std::_Exit(134) inside the armed
+// failpoint) at a different instant of the commit protocol, then verifies
+// the parent can recover the directory the child left behind — the
+// in-process stand-in for kill -9 during a checkpoint.
+
+using CheckpointDeathTest = CheckpointTest;
+
+struct CrashSite {
+  const char* site;
+  bool commits;  // does the crash land after the rename (commit point)?
+  const char* leftover_tmp;
+};
+
+TEST_F(CheckpointDeathTest, CrashAtEveryFailpointLeavesDirectoryRecoverable) {
+  const CrashSite kSites[] = {
+      {"checkpoint:mid_payload", false, "ckpt-2.wms.tmp"},
+      {"checkpoint:before_rename", false, "ckpt-2.wms.tmp"},
+      {"checkpoint:after_rename", true, nullptr},
+  };
+  for (const CrashSite& cs : kSites) {
+    const std::string dir = UniqueDir(std::string("crash_") +
+                                      (cs.commits ? "after" : "before"));
+    Result<Learner> built = Builder().CheckpointTo(dir).Build();
+    ASSERT_TRUE(built.ok());
+    Learner learner = std::move(built).value();
+    Train(learner, 300, 47);
+    ASSERT_TRUE(learner.CheckpointNow().ok());  // ckpt-1: state A
+    const std::string state_a = Bytes(learner);
+    Train(learner, 300, 53);
+    const std::string state_b = Bytes(learner);
+
+    EXPECT_EXIT(
+        {
+          failpoint::Arm(cs.site, failpoint::Action::kCrash, 1);
+          (void)learner.CheckpointNow();
+          std::_Exit(0);  // unreachable: the failpoint must have crashed
+        },
+        ::testing::ExitedWithCode(failpoint::kCrashExitCode), "")
+        << cs.site;
+
+    if (cs.leftover_tmp != nullptr) {
+      EXPECT_TRUE(fs::exists(dir + "/" + cs.leftover_tmp))
+          << cs.site << " should leave a torn temp file";
+    }
+
+    // Recovery sees state B iff the crash landed after the rename.
+    Result<Learner> recovered = Checkpointer::RecoverFrom(dir, Opts());
+    ASSERT_TRUE(recovered.ok()) << cs.site << ": " << recovered.status().ToString();
+    EXPECT_EQ(Bytes(recovered.value()), cs.commits ? state_b : state_a) << cs.site;
+
+    // Reopening the directory sweeps any torn temp file and resumes the
+    // sequence past the committed set.
+    Result<Checkpointer> reopened = Checkpointer::Open(dir);
+    ASSERT_TRUE(reopened.ok()) << cs.site;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      EXPECT_NE(entry.path().extension(), ".tmp") << cs.site;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wmsketch

@@ -4,12 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 #include <utility>
 #include <vector>
 
 #include "api/learner.h"
+#include "core/snapshot_io.h"
 #include "datagen/classification_gen.h"
+#include "util/crc32c.h"
 #include "util/memory_cost.h"
 
 namespace wmsketch {
@@ -97,30 +100,53 @@ TEST(LearnerSerializationTest, RestoredOptionsCarrySnapshotLambdaAndSeed) {
   EXPECT_EQ(restored.value().options().seed, 23u);
 }
 
+// Recomputes and patches the envelope checksum so a deliberately poked
+// payload still passes CRC verification — the loader's own validation of
+// the poked field is what's under test, not the checksum.
+std::string RewriteCrc(std::string bytes) {
+  const uint32_t crc = crc32c::Extend(
+      crc32c::Value(bytes.data(), snapshot::kEnvelopeHeaderBytes - sizeof(uint32_t)),
+      bytes.data() + snapshot::kEnvelopeHeaderBytes,
+      bytes.size() - snapshot::kEnvelopeHeaderBytes);
+  std::memcpy(bytes.data() + snapshot::kEnvelopeHeaderBytes - sizeof(uint32_t), &crc,
+              sizeof(crc));
+  return bytes;
+}
+
 TEST(LearnerSerializationTest, MalformedStreamsAreRejected) {
   const Learner original = TrainedLearner(Method::kWmSketch, 300, 29);
   std::stringstream buffer;
   ASSERT_TRUE(SaveLearner(original, buffer).ok());
   const std::string bytes = buffer.str();
+  // Facade fields sit behind the 20-byte envelope header: magic(4)
+  // version(4) tag(1).
+  const size_t tag_at = snapshot::kEnvelopeHeaderBytes + 8;
 
-  // Truncations at facade-header and payload boundaries fail cleanly.
-  for (const size_t cut : {0ul, 4ul, 8ul, 9ul, bytes.size() / 2, bytes.size() - 1}) {
+  // Truncations at envelope-header, facade-header, and payload boundaries
+  // fail cleanly.
+  for (const size_t cut :
+       {0ul, 4ul, 8ul, 9ul, 19ul, 20ul, 24ul, tag_at, bytes.size() / 2, bytes.size() - 1}) {
     std::stringstream cut_stream(bytes.substr(0, cut));
     EXPECT_FALSE(LoadLearner(cut_stream, Opts()).ok()) << "cut " << cut;
   }
-  // Wrong magic.
+  // Wrong magic (no longer an envelope; the legacy path rejects it too).
   std::string bad_magic = bytes;
   bad_magic[0] = 'X';
   std::stringstream bad_magic_stream(bad_magic);
   EXPECT_EQ(LoadLearner(bad_magic_stream, Opts()).status().code(), StatusCode::kCorruption);
-  // Out-of-range method tag.
-  std::string bad_tag = bytes;
-  bad_tag[8] = 0x7f;
+  // A poked tag without a checksum rewrite is caught by the envelope CRC.
+  std::string poked = bytes;
+  poked[tag_at] = 0x7f;
+  std::stringstream poked_stream(poked);
+  EXPECT_EQ(LoadLearner(poked_stream, Opts()).status().code(), StatusCode::kCorruption);
+  // Out-of-range method tag behind a valid checksum reaches tag validation.
+  std::string bad_tag = RewriteCrc(poked);
   std::stringstream bad_tag_stream(bad_tag);
   EXPECT_EQ(LoadLearner(bad_tag_stream, Opts()).status().code(), StatusCode::kCorruption);
   // Method tag pointing at a different method than the payload.
   std::string wrong_tag = bytes;
-  wrong_tag[8] = static_cast<char>(Method::kAwmSketch);
+  wrong_tag[tag_at] = static_cast<char>(Method::kAwmSketch);
+  wrong_tag = RewriteCrc(wrong_tag);
   std::stringstream wrong_tag_stream(wrong_tag);
   EXPECT_FALSE(LoadLearner(wrong_tag_stream, Opts()).ok());
 }

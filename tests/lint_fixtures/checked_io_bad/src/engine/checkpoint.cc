@@ -1,0 +1,16 @@
+// Fixture: raw stream IO in a checked-io file — two findings.
+#include <istream>
+#include <ostream>
+
+namespace wmsketch {
+
+void SaveDemo(std::ostream& out, const float* cells, unsigned n) {
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+}
+
+bool LoadDemo(std::istream& in, float* cells, unsigned n) {
+  in.read(reinterpret_cast<char*>(cells), n * sizeof(float));
+  return static_cast<bool>(in);
+}
+
+}  // namespace wmsketch

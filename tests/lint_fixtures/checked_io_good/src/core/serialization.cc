@@ -1,0 +1,16 @@
+// Fixture: all snapshot IO flows through the checked helpers — clean.
+#include <ostream>
+
+namespace wmsketch {
+
+void SaveDemo(std::ostream& out, const float* cells, unsigned n) {
+  snapshot::WriteRaw(out, n);
+  snapshot::WriteBytes(out, cells, n * sizeof(float));
+}
+
+bool LoadDemo(snapshot::SnapshotReader& in, float* cells, unsigned n) {
+  // ReadExactRaw is the checked counterpart of istream::read.
+  return in.ReadExactRaw(reinterpret_cast<char*>(cells), n * sizeof(float));
+}
+
+}  // namespace wmsketch

@@ -1,0 +1,12 @@
+// Fixture: a raw call carrying an inline suppression with a reason — clean.
+#include <ostream>
+
+namespace wmsketch {
+
+void SaveDemo(std::ostream& out, unsigned n) {
+  // clang-format off
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));  // wms-lint: allow(checked-io): audited 4-byte header
+  // clang-format on
+}
+
+}  // namespace wmsketch

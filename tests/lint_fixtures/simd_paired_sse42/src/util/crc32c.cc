@@ -1,0 +1,6 @@
+__attribute__((target("sse4.2"))) unsigned Crc32cDemoSse42(unsigned s, int n) {
+  return s + static_cast<unsigned>(n);
+}
+__attribute__((target("sse4.2"))) unsigned UnregisteredCrcSse42(unsigned s, int n) {
+  return s * static_cast<unsigned>(n);
+}

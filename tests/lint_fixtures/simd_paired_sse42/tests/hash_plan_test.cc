@@ -1,0 +1,5 @@
+// wms-lint: simd-kernel-table begin
+constexpr const char* const kAvx2KernelBitIdentityCoverage[] = {
+    "Crc32cDemoSse42",
+};
+// wms-lint: simd-kernel-table end

@@ -107,6 +107,36 @@ class SimdPairedRule(unittest.TestCase):
         self.assertIn("RemovedKernelAvx2", r.stdout)
         self.assertIn("stale entry", r.stdout)
 
+    def test_sse42_kernels_are_covered_too(self):
+        # target("sse4.2") kernels (src/util/crc32c.cc) need table entries
+        # exactly like the AVX ones.
+        r = run_lint("--rule", "simd-paired", "--engine", "token",
+                     "--root", fixture("simd_paired_sse42"))
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("UnregisteredCrcSse42", r.stdout)
+        self.assertNotIn("Crc32cDemoSse42", r.stdout)
+
+
+class CheckedIoRule(unittest.TestCase):
+    def test_helper_based_io_is_clean(self):
+        r = run_lint("--rule", "checked-io", "--engine", "token",
+                     "--root", fixture("checked_io_good"))
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_raw_stream_calls_fail_per_site(self):
+        r = run_lint("--rule", "checked-io", "--engine", "token",
+                     "--root", fixture("checked_io_bad"))
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("src/engine/checkpoint.cc:8", r.stdout)
+        self.assertIn("raw stream .write(", r.stdout)
+        self.assertIn("raw stream .read(", r.stdout)
+        self.assertEqual(r.stdout.count("[checked-io]"), 2, r.stdout)
+
+    def test_inline_suppression_with_reason_passes(self):
+        r = run_lint("--rule", "checked-io", "--engine", "token",
+                     "--root", fixture("checked_io_suppressed"))
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
 
 class RealTree(unittest.TestCase):
     def test_repository_holds_all_invariants(self):

@@ -118,6 +118,16 @@ TEST(SerializationTest, AwmContinuedTrainingAgreesExactly) {
   }
 }
 
+// Strips the checksummed envelope from a Save* stream, returning the raw
+// payload — i.e. exactly the legacy (pre-envelope) wire bytes.
+std::string Unwrap(const std::string& enveloped) {
+  EXPECT_GE(enveloped.size(), snapshot::kEnvelopeHeaderBytes);
+  uint32_t magic;
+  std::memcpy(&magic, enveloped.data(), sizeof(magic));
+  EXPECT_EQ(magic, snapshot::kEnvelopeMagic);
+  return enveloped.substr(snapshot::kEnvelopeHeaderBytes);
+}
+
 TEST(SerializationTest, CorruptionRejected) {
   AwmSketch original(AwmSketchConfig{64, 1, 8}, Opts(23));
   Train(original, 25, 200);
@@ -134,8 +144,16 @@ TEST(SerializationTest, CorruptionRejected) {
   std::stringstream as_wm(bytes);
   EXPECT_EQ(LoadWmSketch(as_wm, Opts(23)).status().code(), StatusCode::kCorruption);
 
-  // Corrupted shape field (width -> non-power-of-two).
-  std::string bad = bytes;
+  // Any flipped payload byte fails the envelope checksum.
+  std::string flipped = bytes;
+  flipped[snapshot::kEnvelopeHeaderBytes + 9] ^= 0x40;
+  std::stringstream flipped_stream(flipped);
+  EXPECT_EQ(LoadAwmSketch(flipped_stream, Opts(23)).status().code(),
+            StatusCode::kCorruption);
+
+  // Corrupted shape field (width -> non-power-of-two) on the unwrapped legacy
+  // bytes, where no checksum shields the loader's own validation.
+  std::string bad = Unwrap(bytes);
   bad[4] = 0x03;
   std::stringstream bad_stream(bad);
   EXPECT_FALSE(LoadAwmSketch(bad_stream, Opts(23)).ok());
@@ -154,11 +172,11 @@ TEST(SerializationTest, SnapshotSizeIsCompact) {
 
 // ----------------------------------------------------- v1 back-compat
 //
-// The v2 (paged) stream of a given model differs from its legacy v1 (flat)
+// The v2 (paged) payload of a given model differs from its legacy v1 (flat)
 // stream by exactly the magic and the u32 page-size field after the cell
-// count, so a v1 stream can be synthesized from a v2 one: swap the magic
-// back and cut those 4 bytes. Loaders must accept both layouts and restore
-// identical state.
+// count, so a v1 stream can be synthesized from the unwrapped v2 payload:
+// swap the magic back and cut those 4 bytes. Loaders must accept both the
+// enveloped layout and the bare legacy layouts, restoring identical state.
 
 std::string SynthesizeV1(std::string v2, uint32_t v1_magic, size_t cells_offset) {
   std::memcpy(v2.data(), &v1_magic, sizeof(v1_magic));
@@ -173,7 +191,7 @@ TEST(SerializationTest, WmFlatV1LayoutStillLoads) {
   ASSERT_TRUE(SaveWmSketch(original, buffer).ok());
   // WM header: magic(4) width(4) depth(4) heap(8) lambda(8) seed(8) t(8)
   // scale(8) = 52 bytes before the cell count.
-  std::stringstream v1(SynthesizeV1(buffer.str(), 0x314d5357u, 52));
+  std::stringstream v1(SynthesizeV1(Unwrap(buffer.str()), 0x314d5357u, 52));
   Result<WmSketch> restored = LoadWmSketch(v1, Opts());
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   for (uint32_t f = 0; f < 2048; ++f) {
@@ -189,7 +207,7 @@ TEST(SerializationTest, AwmFlatV1LayoutStillLoads) {
   ASSERT_TRUE(SaveAwmSketch(original, buffer).ok());
   // AWM header: magic(4) width(4) depth(4) heap(8) lambda(8) seed(8) t(8)
   // sketch_scale(8) heap_scale(8) = 60 bytes before the cell count.
-  std::stringstream v1(SynthesizeV1(buffer.str(), 0x314d5741u, 60));
+  std::stringstream v1(SynthesizeV1(Unwrap(buffer.str()), 0x314d5741u, 60));
   Result<AwmSketch> restored = LoadAwmSketch(v1, Opts(23));
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   for (uint32_t f = 0; f < 2048; ++f) {
@@ -203,7 +221,7 @@ TEST(SerializationTest, HashFlatV1LayoutStillLoads) {
   std::stringstream buffer;
   ASSERT_TRUE(SaveFeatureHashing(original, buffer).ok());
   // FHS header: magic(4) buckets(4) lambda(8) seed(8) t(8) scale(8) = 40.
-  std::stringstream v1(SynthesizeV1(buffer.str(), 0x31534846u, 40));
+  std::stringstream v1(SynthesizeV1(Unwrap(buffer.str()), 0x31534846u, 40));
   Result<FeatureHashingClassifier> restored = LoadFeatureHashing(v1, Opts(31));
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   for (uint32_t f = 0; f < 2048; ++f) {
@@ -216,7 +234,7 @@ TEST(SerializationTest, InvalidPageSizeRejected) {
   Train(original, 5, 200);
   std::stringstream buffer;
   ASSERT_TRUE(SaveWmSketch(original, buffer).ok());
-  std::string bytes = buffer.str();
+  std::string bytes = Unwrap(buffer.str());
   const uint32_t bad_page = 3;  // not a power of two
   std::memcpy(bytes.data() + 52 + sizeof(uint64_t), &bad_page, sizeof(bad_page));
   std::stringstream in(bytes);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/alias.h"
+#include "util/crc32c.h"
 #include "util/math.h"
 #include "util/memory_cost.h"
 #include "util/random.h"
@@ -268,6 +269,56 @@ TEST(MemoryCostTest, MatchesPaperAccounting) {
   EXPECT_EQ(HeapBytes(128, 1), 1536u);
   EXPECT_EQ(TableBytes(512), 2048u);
   EXPECT_EQ(KiB(8), 8192u);
+}
+
+// ----------------------------------------------------------- CRC32C
+
+// RFC 3720 Appendix B.4 / the canonical Castagnoli check value.
+TEST(Crc32cTest, KnownAnswerVectors) {
+  EXPECT_EQ(crc32c::Value("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(crc32c::Value("", 0), 0x00000000u);
+  EXPECT_EQ(crc32c::Value("a", 1), 0xC1D04330u);
+  EXPECT_EQ(crc32c::Value("The quick brown fox jumps over the lazy dog", 43),
+            0x22620404u);
+  const std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(crc32c::Value(zeros.data(), zeros.size()), 0x8A9136AAu);
+  const std::vector<uint8_t> ones(32, 0xff);
+  EXPECT_EQ(crc32c::Value(ones.data(), ones.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, ExtendComposesLikeConcatenation) {
+  const std::string a = "hello, ", b = "world";
+  const uint32_t whole = crc32c::Value((a + b).data(), a.size() + b.size());
+  const uint32_t split =
+      crc32c::Extend(crc32c::Value(a.data(), a.size()), b.data(), b.size());
+  EXPECT_EQ(whole, split);
+}
+
+// The scalar twin of the SSE4.2 kernel, registered in the simd-paired
+// coverage table (tests/hash_plan_test.cc) as Crc32cSse42.
+TEST(Crc32cTest, Crc32cHardwareMatchesScalar) {
+  if (!crc32c::HardwareAvailable()) GTEST_SKIP() << "no SSE4.2 on this machine";
+  const bool was_enabled = crc32c::Enabled();
+  Rng rng(71);
+  // Every length 0..257 plus larger blocks, at shifted alignments, so the
+  // slicing-by-8 prologue/main/tail boundaries are all crossed both ways.
+  std::vector<uint8_t> buf(4096 + 8);
+  for (auto& byte : buf) byte = static_cast<uint8_t>(rng.Bounded(256));
+  for (size_t align = 0; align < 8; ++align) {
+    for (size_t len = 0; len <= 257; ++len) {
+      crc32c::SetEnabled(true);
+      const uint32_t hw = crc32c::Value(buf.data() + align, len);
+      crc32c::SetEnabled(false);
+      const uint32_t sw = crc32c::Value(buf.data() + align, len);
+      ASSERT_EQ(hw, sw) << "align " << align << " len " << len;
+    }
+    crc32c::SetEnabled(true);
+    const uint32_t hw = crc32c::Value(buf.data() + align, 4096);
+    crc32c::SetEnabled(false);
+    const uint32_t sw = crc32c::Value(buf.data() + align, 4096);
+    ASSERT_EQ(hw, sw) << "align " << align << " len 4096";
+  }
+  crc32c::SetEnabled(was_enabled);
 }
 
 }  // namespace

@@ -20,13 +20,23 @@ linter turns them into CI-failing checks:
                marks internally) or snapshot publication silently serves
                stale pages.
 
-  simd-paired  Every AVX2/AVX-512 kernel in src/util/simd.cc (functions
-               defined with __attribute__((target("avx2..."))) or
-               __attribute__((target("avx512...")))) must be registered in the
-               scalar bit-identity coverage table in tests/hash_plan_test.cc
+  simd-paired  Every dispatched kernel in src/util/simd.cc and
+               src/util/crc32c.cc (functions defined with
+               __attribute__((target("avx2..."))), target("avx512...") or
+               target("sse4.2"))) must be registered in the scalar
+               bit-identity coverage table in tests/hash_plan_test.cc
                (the block between the `wms-lint: simd-kernel-table begin/end`
                markers), so no vector kernel ships without a scalar twin
                being asserted equal.
+
+  checked-io   The snapshot wire formats flow exclusively through the
+               checked helpers in src/core/snapshot_io.h (WriteRaw /
+               WriteBytes / SectionGuard / SnapshotReader), which validate
+               stream state and bound declared sizes before allocation. Raw
+               `stream.read(` / `stream.write(` member calls are forbidden
+               in src/core/serialization.cc, src/api/learner.cc, and
+               src/engine/checkpoint.cc so no load path can regress into
+               unvalidated IO.
 
 Engine: the default token-level engine lexes C++ (comments and string
 literals stripped, line numbers preserved) and needs nothing beyond the
@@ -48,15 +58,20 @@ import os
 import re
 import sys
 
-RULES = ("hash-once", "cow-dirty", "simd-paired")
+RULES = ("hash-once", "cow-dirty", "simd-paired", "checked-io")
 
 # Directories (relative to the tree root) each rule scans.
 HASH_ONCE_SCOPE = ("src",)
 HASH_ONCE_ALLOWED_DIRS = ("src/hash",)
 HASH_ONCE_ALLOWED_FILES = ("src/sketch/hash_plan.h", "src/sketch/hash_plan.cc")
 COW_DIRTY_SCOPE = ("src/core", "src/linear", "src/sketch")
-SIMD_SOURCE = "src/util/simd.cc"
+SIMD_SOURCES = ("src/util/simd.cc", "src/util/crc32c.cc")
 SIMD_TABLE_FILE = "tests/hash_plan_test.cc"
+# Files whose stream IO must flow through the checked snapshot_io helpers
+# (snapshot::WriteRaw/WriteBytes/SectionGuard and snapshot::SnapshotReader);
+# the helpers themselves (src/core/snapshot_io.*) own the raw calls.
+CHECKED_IO_FILES = ("src/core/serialization.cc", "src/api/learner.cc",
+                    "src/engine/checkpoint.cc")
 SIMD_TABLE_BEGIN = "wms-lint: simd-kernel-table begin"
 SIMD_TABLE_END = "wms-lint: simd-kernel-table end"
 ALLOWLIST_PATH = os.path.join("tools", "lint", "allowlist.json")
@@ -359,8 +374,10 @@ ROW_WRITE_RE = re.compile(
     r"\bRow\s*\([^)]*\)\s*" + IDX + r"\s*(?:[+\-*/|&^]?=)(?![=])")
 DATA_WRITE_RE = re.compile(
     TABLE_EXPR + r"data\(\)\s*" + IDX + r"\s*(?:[+\-*/|&^]?=)(?![=])")
+# `in.read(...)` as well as checked-IO wrappers (`ReadExactRaw(...)`,
+# `ReadBytes(...)`) deserializing straight into table storage.
 READ_INTO_RE = re.compile(
-    r"\bread\s*\(\s*reinterpret_cast<\s*char\s*\*\s*>\s*\(\s*" + TABLE_EXPR +
+    r"\b[Rr]ead\w*\s*\(\s*reinterpret_cast<\s*char\s*\*\s*>\s*\(\s*" + TABLE_EXPR +
     r"data\(\)")
 COPY_INTO_RE = re.compile(
     r"\bstd::copy\s*\([^;]*?,\s*" + TABLE_EXPR + r"data\(\)\s*\)")
@@ -428,7 +445,8 @@ def check_cow_dirty(root, allow, notes):
 # --------------------------------------------------------- simd-paired
 
 AVX2_KERNEL_RE = re.compile(
-    r"__attribute__\s*\(\s*\(\s*target\s*\(\s*\"avx(?:2|512)[^\"]*\"\s*\)\s*\)\s*\)"
+    r"__attribute__\s*\(\s*\(\s*target\s*\(\s*\"(?:avx(?:2|512)|sse4\.2)[^\"]*\"\s*\)"
+    r"\s*\)\s*\)"
     r"\s*[\w:&*<>]+\s+(\w+)\s*\(")
 
 
@@ -436,18 +454,27 @@ def check_simd_paired(root, allow, notes):
     del notes
     findings = []
     allow_entries = allow.get("simd-paired", {})
-    src_path = os.path.join(root, SIMD_SOURCE)
     table_path = os.path.join(root, SIMD_TABLE_FILE)
-    if not os.path.exists(src_path):
+    # kernel name -> (source rel-path, line); collected across every
+    # dispatched source present in this tree.
+    kernels = {}
+    suppress_by_source = {}
+    sources_present = []
+    for source in SIMD_SOURCES:
+        src_path = os.path.join(root, source)
+        if not os.path.exists(src_path):
+            continue
+        sources_present.append(source)
+        with open(src_path, encoding="utf-8") as f:
+            src_raw = f.read()
+        # The target("avx2...") attribute lives inside a string literal, which
+        # the lexer blanks — extract kernels from the raw text; suppressions
+        # still come from the lexed pass.
+        _, suppress_by_source[source] = strip_comments_and_strings(src_raw)
+        for m in AVX2_KERNEL_RE.finditer(src_raw):
+            kernels[m.group(1)] = (source, line_of(src_raw, m.start()))
+    if not sources_present:
         return findings  # no SIMD sources in this tree (fixture roots)
-    with open(src_path, encoding="utf-8") as f:
-        src_raw = f.read()
-    # The target("avx2...") attribute lives inside a string literal, which
-    # the lexer blanks — extract kernels from the raw text; suppressions
-    # still come from the lexed pass.
-    _, src_suppress = strip_comments_and_strings(src_raw)
-    kernels = {m.group(1): line_of(src_raw, m.start())
-               for m in AVX2_KERNEL_RE.finditer(src_raw)}
     if not os.path.exists(table_path):
         findings.append(Finding(
             SIMD_TABLE_FILE, 1, "simd-paired",
@@ -465,22 +492,60 @@ def check_simd_paired(root, allow, notes):
         return findings
     table_block = test_text[begin:end]
     registered = set(re.findall(r'"(\w+)"', table_block))
-    for name, ln in sorted(kernels.items(), key=lambda kv: kv[1]):
+    for name, (source, ln) in sorted(kernels.items(), key=lambda kv: kv[1]):
         if name in registered:
             continue
-        if suppressed(src_suppress, "simd-paired", ln):
+        if suppressed(suppress_by_source[source], "simd-paired", ln):
             continue
-        if SIMD_SOURCE in allow_entries:
+        if source in allow_entries:
             continue
         findings.append(Finding(
-            SIMD_SOURCE, ln, "simd-paired",
+            source, ln, "simd-paired",
             f"vector kernel {name} is not registered in the scalar "
             f"bit-identity table in {SIMD_TABLE_FILE}"))
     for name in sorted(registered - set(kernels)):
         findings.append(Finding(
             SIMD_TABLE_FILE, line_of(test_text, begin), "simd-paired",
-            f"coverage table lists '{name}' but src/util/simd.cc defines no "
-            f"such vector kernel (stale entry?)"))
+            f"coverage table lists '{name}' but none of "
+            f"{', '.join(sources_present)} defines such a vector kernel "
+            f"(stale entry?)"))
+    return findings
+
+
+# ---------------------------------------------------------- checked-io
+
+CHECKED_IO_RE = re.compile(r"(?:\.|->)\s*(read|write)\s*\(")
+
+
+def check_checked_io(root, allow, notes):
+    del notes
+    findings = []
+    allow_entries = allow.get("checked-io", {})
+    for rel in CHECKED_IO_FILES:
+        path = os.path.join(root, rel)
+        if not os.path.exists(path):
+            continue  # fixture roots carry only the files under test
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        clean, suppressions = strip_comments_and_strings(text)
+        sites = []
+        for m in CHECKED_IO_RE.finditer(clean):
+            ln = line_of(clean, m.start())
+            if suppressed(suppressions, "checked-io", ln):
+                continue
+            sites.append((ln, m.group(1)))
+        if not sites:
+            continue
+        entry = allow_entries.get(rel)
+        if entry is not None and len(sites) <= int(entry.get("max_sites", 0)):
+            continue
+        for ln, verb in sites:
+            findings.append(Finding(
+                rel, ln, "checked-io",
+                f"raw stream .{verb}( call; snapshot IO in this file must go "
+                f"through the checked snapshot_io helpers (WriteRaw/"
+                f"WriteBytes/SectionGuard/SnapshotReader), which validate "
+                f"stream state and bound declared sizes before allocation"))
     return findings
 
 
@@ -525,7 +590,8 @@ def main(argv=None):
     findings = []
     checkers = {"hash-once": lambda: check_hash_once(root, allow, args.engine, notes),
                 "cow-dirty": lambda: check_cow_dirty(root, allow, notes),
-                "simd-paired": lambda: check_simd_paired(root, allow, notes)}
+                "simd-paired": lambda: check_simd_paired(root, allow, notes),
+                "checked-io": lambda: check_checked_io(root, allow, notes)}
     for rule in rules:
         findings.extend(checkers[rule]())
 
