@@ -103,8 +103,16 @@ int main(int argc, char** argv) {
     // Restore the newest valid checkpoint; corrupt or torn files are skipped.
     std::vector<std::string> skipped;
     built = Checkpointer::RecoverFrom(ckpt.dir, opts, &skipped);
-    for (const std::string& s : skipped) {
-      std::fprintf(stderr, "(recovery skipped %s)\n", s.c_str());
+    if (!skipped.empty()) {
+      // Loud, file-by-file: a skipped checkpoint means lost progress the
+      // operator may want to investigate (torn write? disk corruption?)
+      // before the next run quietly rotates the evidence away.
+      std::fprintf(stderr,
+                   "warning: recovery skipped %zu corrupt or torn checkpoint%s in %s:\n",
+                   skipped.size(), skipped.size() == 1 ? "" : "s", ckpt.dir.c_str());
+      for (const std::string& s : skipped) {
+        std::fprintf(stderr, "warning:   %s\n", s.c_str());
+      }
     }
     if (built.ok()) {
       resumed_steps = built.value().steps();

@@ -16,12 +16,16 @@ namespace wmsketch {
 class HashPlan;
 
 class AwmSketch;
+struct DeltaStats;
 namespace snapshot {
 class SnapshotReader;
 }
 namespace detail {
 Status SaveAwmSketchPayload(const AwmSketch&, std::ostream&);
 Result<AwmSketch> LoadAwmSketchPayload(snapshot::SnapshotReader&, const LearnerOptions&);
+uint64_t BeginAwmDeltaWindow(AwmSketch&);
+Status SaveAwmSketchDelta(const AwmSketch&, uint64_t, std::ostream&, DeltaStats*);
+Status ApplyAwmSketchDelta(AwmSketch&, snapshot::SnapshotReader&);
 }  // namespace detail
 
 /// Shape of an Active-Set Weight-Median Sketch. The configuration that
@@ -130,6 +134,10 @@ class AwmSketch final : public BudgetedClassifier {
   friend Status detail::SaveAwmSketchPayload(const AwmSketch&, std::ostream&);
   friend Result<AwmSketch> detail::LoadAwmSketchPayload(snapshot::SnapshotReader&,
                                                         const LearnerOptions&);
+  friend uint64_t detail::BeginAwmDeltaWindow(AwmSketch&);
+  friend Status detail::SaveAwmSketchDelta(const AwmSketch&, uint64_t, std::ostream&,
+                                           DeltaStats*);
+  friend Status detail::ApplyAwmSketchDelta(AwmSketch&, snapshot::SnapshotReader&);
 
   /// Count-Sketch point estimate of a tail feature's weight (true scale).
   float SketchQuery(uint32_t feature) const;

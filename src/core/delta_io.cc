@@ -1,0 +1,368 @@
+#include "core/delta_io.h"
+
+#include <cstring>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/awm_sketch.h"
+#include "core/snapshot_io.h"
+#include "core/wm_sketch.h"
+#include "sketch/merge_compat.h"
+
+namespace wmsketch {
+
+namespace {
+
+using snapshot::SnapshotReader;
+using snapshot::WriteBytes;
+using snapshot::WriteRaw;
+
+// Delta payload magic; the payload rides inside a v3 envelope like every
+// other snapshot stream, so it is length- and CRC-validated before parsing.
+constexpr uint32_t kDeltaMagic = 0x31444d57;  // "WMD1"
+
+constexpr size_t kHeapEntryBytes = sizeof(uint32_t) + sizeof(float);
+
+std::string TagName(uint8_t tag) {
+  if (tag > static_cast<uint8_t>(Method::kAwmSketch)) {
+    return "method#" + std::to_string(tag);
+  }
+  return MethodName(static_cast<Method>(tag));
+}
+
+// Heap/active-set section: full contents every delta. The tracked set is
+// small (KBs) and its entries move between sketch and heap on every update,
+// so page-level diffing would buy nothing.
+void WriteHeapSection(std::ostream& out, const TopKHeap& heap) {
+  const std::vector<FeatureWeight> entries = heap.Entries();
+  WriteRaw(out, static_cast<uint64_t>(entries.size()));
+  for (const FeatureWeight& fw : entries) {
+    WriteRaw(out, fw.feature);
+    WriteRaw(out, fw.weight);
+  }
+}
+
+// Parses a heap section into a fresh staged heap (the receiver's heap is
+// only replaced after the whole payload validates). Entries are Set() in
+// stream order, which reproduces the sender's internal array exactly — the
+// round-trip tests in serialization pin this property.
+Status ReadHeapSection(SnapshotReader& in, size_t capacity, TopKHeap* staged) {
+  uint64_t n = 0;
+  if (!in.ReadRaw(&n)) return Status::Corruption("truncated delta heap header");
+  if (n > capacity) return Status::Corruption("delta heap entries exceed capacity");
+  if (!in.CanRead(n, kHeapEntryBytes)) {
+    return Status::Corruption("delta heap entries exceed stream size");
+  }
+  *staged = TopKHeap(capacity);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t feature;
+    float weight;
+    if (!in.ReadRaw(&feature) || !in.ReadRaw(&weight)) {
+      return Status::Corruption("truncated delta heap entry");
+    }
+    if (staged->Contains(feature)) return Status::Corruption("duplicate delta heap feature");
+    staged->Set(feature, weight);
+  }
+  return Status::OK();
+}
+
+// Table section: shape header, then the pages dirtied at-or-after `since` as
+// (page index, raw cells) records in ascending page order. Raw bytes — no
+// float arithmetic on either end — so applying onto a replica that matches
+// the sender's unshipped pages reproduces the sender byte-for-byte.
+void WriteDirtyPages(std::ostream& out, const PagedTable& table, uint64_t since,
+                     DeltaStats* stats) {
+  WriteRaw(out, static_cast<uint64_t>(table.size()));
+  WriteRaw(out, static_cast<uint32_t>(table.page_cells()));
+  WriteRaw(out, static_cast<uint64_t>(table.num_pages()));
+  const uint64_t shipped = table.CountDirtyPagesSince(since);
+  WriteRaw(out, shipped);
+  table.ForEachDirtyPageSince(since, [&](size_t p, const float* cells, size_t pc) {
+    WriteRaw(out, static_cast<uint64_t>(p));
+    WriteBytes(out, cells, pc * sizeof(float));
+  });
+  if (stats != nullptr) {
+    stats->pages_total = table.num_pages();
+    stats->pages_shipped = shipped;
+  }
+}
+
+struct StagedPage {
+  uint64_t index = 0;
+  std::vector<float> cells;
+};
+
+// Parses a table section against the receiver's live table shape. Everything
+// lands in `staged`; the table itself is untouched, so any Corruption below
+// leaves the receiver exactly as it was.
+Status ReadStagedPages(SnapshotReader& in, const PagedTable& table,
+                       std::vector<StagedPage>* staged) {
+  uint64_t cells = 0, num_pages = 0, shipped = 0;
+  uint32_t page_cells = 0;
+  if (!in.ReadRaw(&cells) || !in.ReadRaw(&page_cells) || !in.ReadRaw(&num_pages)) {
+    return Status::Corruption("truncated delta table header");
+  }
+  if (cells != table.size()) return Status::Corruption("delta table size mismatch");
+  // Page indices address the receiver's arena, so the page geometry must
+  // match exactly — equal shapes pick equal page sizes (PickPageCells is
+  // deterministic), making a mismatch corruption rather than a version skew.
+  if (page_cells != table.page_cells()) {
+    return Status::Corruption("delta page size mismatch");
+  }
+  if (num_pages != table.num_pages()) return Status::Corruption("delta page count mismatch");
+  if (!in.ReadRaw(&shipped)) return Status::Corruption("truncated delta page header");
+  if (shipped > num_pages) return Status::Corruption("delta ships more pages than exist");
+  const size_t page_bytes = static_cast<size_t>(page_cells) * sizeof(float);
+  if (!in.CanRead(shipped, sizeof(uint64_t) + page_bytes)) {
+    return Status::Corruption("delta pages exceed stream size");
+  }
+  staged->resize(shipped);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < shipped; ++i) {
+    StagedPage& sp = (*staged)[i];
+    if (!in.ReadRaw(&sp.index)) return Status::Corruption("truncated delta page index");
+    if (sp.index >= num_pages) return Status::Corruption("delta page index out of range");
+    if (i > 0 && sp.index <= prev) {
+      return Status::Corruption("delta page indices not strictly increasing");
+    }
+    prev = sp.index;
+    sp.cells.resize(page_cells);
+    if (!in.ReadExactRaw(reinterpret_cast<char*>(sp.cells.data()), page_bytes)) {
+      return Status::Corruption("truncated delta page");
+    }
+  }
+  return Status::OK();
+}
+
+// Overwrites the staged pages into the live arena. The arena is padded to a
+// whole number of pages, so a full-page copy at any valid index is in
+// bounds (pad cells are zero on both ends and stay zero).
+void CommitStagedPages(PagedTable* table, const std::vector<StagedPage>& staged) {
+  const size_t pc = table->page_cells();
+  for (const StagedPage& sp : staged) {
+    std::memcpy(table->data() + static_cast<size_t>(sp.index) * pc, sp.cells.data(),
+                pc * sizeof(float));
+    table->MarkDirtyOffset(static_cast<size_t>(sp.index) * pc);
+  }
+}
+
+Status CheckDeltaHeader(SnapshotReader& in, Method expected) {
+  uint32_t magic = 0;
+  uint8_t tag = 0;
+  if (!in.ReadRaw(&magic)) return Status::Corruption("truncated delta header");
+  if (magic != kDeltaMagic) return Status::Corruption("not a delta payload");
+  if (!in.ReadRaw(&tag)) return Status::Corruption("truncated delta header");
+  if (tag != static_cast<uint8_t>(expected)) {
+    return Status::Corruption("delta method tag mismatch (" + TagName(tag) + " vs " +
+                              MethodName(expected) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- identity
+
+Result<MergeIdentity> MergeIdentityOf(Method method, const BudgetedClassifier& impl) {
+  MergeIdentity id;
+  id.method_tag = static_cast<uint8_t>(method);
+  const LearnerOptions& opts = impl.options();
+  id.seed = opts.seed;
+  id.rate_kind = static_cast<uint8_t>(opts.rate.kind());
+  id.eta0 = opts.rate.eta0();
+  id.lambda = opts.lambda;
+  switch (method) {
+    case Method::kWmSketch: {
+      const WmSketchConfig& c = static_cast<const WmSketch&>(impl).config();
+      id.width = c.width;
+      id.depth = c.depth;
+      id.heap_capacity = c.heap_capacity;
+      return id;
+    }
+    case Method::kAwmSketch: {
+      const AwmSketchConfig& c = static_cast<const AwmSketch&>(impl).config();
+      id.width = c.width;
+      id.depth = c.depth;
+      id.heap_capacity = c.heap_capacity;
+      return id;
+    }
+    default:
+      return Status::Unimplemented(MethodName(method) +
+                                   " has no exact merge; distributed sync supports the "
+                                   "linear sketches (wm, awm) only");
+  }
+}
+
+Status CheckIdentityCompatible(const MergeIdentity& mine, const MergeIdentity& theirs) {
+  if (mine.method_tag != theirs.method_tag) {
+    return Status::InvalidArgument("distributed merge: method mismatch (" +
+                                   TagName(mine.method_tag) + " vs " +
+                                   TagName(theirs.method_tag) + ")");
+  }
+  const std::string kind = TagName(mine.method_tag);
+  WMS_RETURN_NOT_OK(CheckMergeCompatible(kind, SketchShape{mine.width, mine.depth, mine.seed},
+                                         SketchShape{theirs.width, theirs.depth, theirs.seed}));
+  const bool awm = mine.method_tag == static_cast<uint8_t>(Method::kAwmSketch);
+  WMS_RETURN_NOT_OK(CheckCapacityCompatible(kind,
+                                            awm ? "active-set capacity" : "heap capacity",
+                                            mine.heap_capacity, theirs.heap_capacity));
+  if (mine.rate_kind != theirs.rate_kind || mine.eta0 != theirs.eta0) {
+    return Status::InvalidArgument(
+        kind + " merge: learning-rate schedule mismatch; workers must share the "
+               "schedule (kind and eta0) for their updates to compose");
+  }
+  if (mine.lambda != theirs.lambda) {
+    return Status::InvalidArgument(kind + " merge: lambda mismatch (" +
+                                   std::to_string(mine.lambda) + " vs " +
+                                   std::to_string(theirs.lambda) + ")");
+  }
+  return Status::OK();
+}
+
+void EncodeMergeIdentity(std::ostream& out, const MergeIdentity& id) {
+  // Field by field — the struct has padding that must not leak to the wire.
+  WriteRaw(out, id.method_tag);
+  WriteRaw(out, id.width);
+  WriteRaw(out, id.depth);
+  WriteRaw(out, id.heap_capacity);
+  WriteRaw(out, id.seed);
+  WriteRaw(out, id.rate_kind);
+  WriteRaw(out, id.eta0);
+  WriteRaw(out, id.lambda);
+}
+
+Result<MergeIdentity> DecodeMergeIdentity(SnapshotReader& in) {
+  MergeIdentity id;
+  if (!in.ReadRaw(&id.method_tag) || !in.ReadRaw(&id.width) || !in.ReadRaw(&id.depth) ||
+      !in.ReadRaw(&id.heap_capacity) || !in.ReadRaw(&id.seed) ||
+      !in.ReadRaw(&id.rate_kind) || !in.ReadRaw(&id.eta0) || !in.ReadRaw(&id.lambda)) {
+    return Status::Corruption("truncated merge identity");
+  }
+  if (id.method_tag != static_cast<uint8_t>(Method::kWmSketch) &&
+      id.method_tag != static_cast<uint8_t>(Method::kAwmSketch)) {
+    return Status::Corruption("merge identity has unknown method tag");
+  }
+  if (id.rate_kind > static_cast<uint8_t>(LearningRate::Kind::kInverse)) {
+    return Status::Corruption("merge identity has unknown learning-rate kind");
+  }
+  return id;
+}
+
+// ------------------------------------------------------------- dispatch
+
+Result<uint64_t> BeginDeltaWindow(Method method, BudgetedClassifier& impl) {
+  switch (method) {
+    case Method::kWmSketch:
+      return detail::BeginWmDeltaWindow(static_cast<WmSketch&>(impl));
+    case Method::kAwmSketch:
+      return detail::BeginAwmDeltaWindow(static_cast<AwmSketch&>(impl));
+    default:
+      return Status::Unimplemented(MethodName(method) + " does not support delta sync");
+  }
+}
+
+Status SaveDelta(Method method, const BudgetedClassifier& impl, uint64_t since,
+                 std::ostream& out, DeltaStats* stats) {
+  switch (method) {
+    case Method::kWmSketch:
+      return detail::SaveWmSketchDelta(static_cast<const WmSketch&>(impl), since, out, stats);
+    case Method::kAwmSketch:
+      return detail::SaveAwmSketchDelta(static_cast<const AwmSketch&>(impl), since, out,
+                                        stats);
+    default:
+      return Status::Unimplemented(MethodName(method) + " does not support delta sync");
+  }
+}
+
+Status ApplyDelta(Method method, BudgetedClassifier& impl, SnapshotReader& in) {
+  switch (method) {
+    case Method::kWmSketch:
+      return detail::ApplyWmSketchDelta(static_cast<WmSketch&>(impl), in);
+    case Method::kAwmSketch:
+      return detail::ApplyAwmSketchDelta(static_cast<AwmSketch&>(impl), in);
+    default:
+      return Status::Unimplemented(MethodName(method) + " does not support delta sync");
+  }
+}
+
+namespace detail {
+
+// ------------------------------------------------------------ WM-Sketch
+
+uint64_t BeginWmDeltaWindow(WmSketch& sketch) { return sketch.table_.BeginDeltaWindow(); }
+
+Status SaveWmSketchDelta(const WmSketch& sketch, uint64_t since, std::ostream& out,
+                         DeltaStats* stats) {
+  WriteRaw(out, kDeltaMagic);
+  WriteRaw(out, static_cast<uint8_t>(Method::kWmSketch));
+  WriteRaw(out, sketch.t_);
+  WriteRaw(out, sketch.scale_);
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(out, "wm-delta", "state"));
+  WriteHeapSection(out, sketch.heap_);
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(out, "wm-delta", "heap"));
+  WriteDirtyPages(out, sketch.table_, since, stats);
+  return snapshot::SectionGuard(out, "wm-delta", "pages");
+}
+
+Status ApplyWmSketchDelta(WmSketch& sketch, SnapshotReader& in) {
+  WMS_RETURN_NOT_OK(CheckDeltaHeader(in, Method::kWmSketch));
+  uint64_t t = 0;
+  double scale = 0.0;
+  if (!in.ReadRaw(&t) || !in.ReadRaw(&scale)) {
+    return Status::Corruption("truncated delta state");
+  }
+  // Stage everything before touching the sketch: a Corruption anywhere below
+  // leaves it byte-identical to its pre-call state.
+  TopKHeap staged_heap(0);
+  WMS_RETURN_NOT_OK(ReadHeapSection(in, sketch.config_.heap_capacity, &staged_heap));
+  std::vector<StagedPage> staged_pages;
+  WMS_RETURN_NOT_OK(ReadStagedPages(in, sketch.table_, &staged_pages));
+  sketch.t_ = t;
+  sketch.scale_ = scale;
+  sketch.heap_ = std::move(staged_heap);
+  CommitStagedPages(&sketch.table_, staged_pages);
+  return Status::OK();
+}
+
+// ----------------------------------------------------------- AWM-Sketch
+
+uint64_t BeginAwmDeltaWindow(AwmSketch& sketch) { return sketch.table_.BeginDeltaWindow(); }
+
+Status SaveAwmSketchDelta(const AwmSketch& sketch, uint64_t since, std::ostream& out,
+                          DeltaStats* stats) {
+  WriteRaw(out, kDeltaMagic);
+  WriteRaw(out, static_cast<uint8_t>(Method::kAwmSketch));
+  WriteRaw(out, sketch.t_);
+  WriteRaw(out, sketch.sketch_scale_);
+  WriteRaw(out, sketch.heap_scale_);
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(out, "awm-delta", "state"));
+  WriteHeapSection(out, sketch.heap_);
+  WMS_RETURN_NOT_OK(snapshot::SectionGuard(out, "awm-delta", "heap"));
+  WriteDirtyPages(out, sketch.table_, since, stats);
+  return snapshot::SectionGuard(out, "awm-delta", "pages");
+}
+
+Status ApplyAwmSketchDelta(AwmSketch& sketch, SnapshotReader& in) {
+  WMS_RETURN_NOT_OK(CheckDeltaHeader(in, Method::kAwmSketch));
+  uint64_t t = 0;
+  double sketch_scale = 0.0, heap_scale = 0.0;
+  if (!in.ReadRaw(&t) || !in.ReadRaw(&sketch_scale) || !in.ReadRaw(&heap_scale)) {
+    return Status::Corruption("truncated delta state");
+  }
+  TopKHeap staged_heap(0);
+  WMS_RETURN_NOT_OK(ReadHeapSection(in, sketch.config_.heap_capacity, &staged_heap));
+  std::vector<StagedPage> staged_pages;
+  WMS_RETURN_NOT_OK(ReadStagedPages(in, sketch.table_, &staged_pages));
+  sketch.t_ = t;
+  sketch.sketch_scale_ = sketch_scale;
+  sketch.heap_scale_ = heap_scale;
+  sketch.heap_ = std::move(staged_heap);
+  CommitStagedPages(&sketch.table_, staged_pages);
+  return Status::OK();
+}
+
+}  // namespace detail
+
+}  // namespace wmsketch

@@ -14,12 +14,16 @@
 namespace wmsketch {
 
 class WmSketch;
+struct DeltaStats;
 namespace snapshot {
 class SnapshotReader;
 }
 namespace detail {
 Status SaveWmSketchPayload(const WmSketch&, std::ostream&);
 Result<WmSketch> LoadWmSketchPayload(snapshot::SnapshotReader&, const LearnerOptions&);
+uint64_t BeginWmDeltaWindow(WmSketch&);
+Status SaveWmSketchDelta(const WmSketch&, uint64_t, std::ostream&, DeltaStats*);
+Status ApplyWmSketchDelta(WmSketch&, snapshot::SnapshotReader&);
 }  // namespace detail
 
 /// Shape of a Weight-Median Sketch: a depth×width Count-Sketch-structured
@@ -112,6 +116,10 @@ class WmSketch final : public BudgetedClassifier {
   friend Status detail::SaveWmSketchPayload(const WmSketch&, std::ostream&);
   friend Result<WmSketch> detail::LoadWmSketchPayload(snapshot::SnapshotReader&,
                                                       const LearnerOptions&);
+  friend uint64_t detail::BeginWmDeltaWindow(WmSketch&);
+  friend Status detail::SaveWmSketchDelta(const WmSketch&, uint64_t, std::ostream&,
+                                          DeltaStats*);
+  friend Status detail::ApplyWmSketchDelta(WmSketch&, snapshot::SnapshotReader&);
 
   // Median over rows of σ_j(i)·v[j, h_j(i)] on the *raw* table (no scale, no
   // √s); WeightEstimate applies √s·α.

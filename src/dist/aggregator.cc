@@ -1,0 +1,368 @@
+#include "dist/aggregator.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <random>
+#include <sstream>
+#include <utility>
+
+#include "core/snapshot_io.h"
+#include "util/failpoint.h"
+
+namespace wmsketch::dist {
+
+namespace {
+
+Status SetIoTimeouts(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return Status::OK();
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::IOError(std::string("setsockopt failed: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+uint64_t MintSessionToken() {
+  // Uniqueness across restarts is what matters (a worker must never mistake
+  // a restarted aggregator for its old session); cryptographic strength is
+  // not required.
+  std::random_device rd;
+  uint64_t token = (uint64_t{rd()} << 32) ^ rd();
+  token ^= static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  token ^= static_cast<uint64_t>(::getpid()) << 17;
+  return token == 0 ? 1 : token;
+}
+
+}  // namespace
+
+Result<Aggregator> Aggregator::Create(const AggregatorOptions& options) {
+  WMS_RETURN_NOT_OK(options.config.Validate());
+  Aggregator agg;
+  agg.options_ = options;
+  agg.session_token_ = MintSessionToken();
+  {
+    // Derive the merge identity from a throwaway instance of the configured
+    // shape — the same identity every compatible worker will present.
+    const std::unique_ptr<BudgetedClassifier> ref =
+        MakeClassifier(options.config, options.opts);
+    WMS_ASSIGN_OR_RETURN(agg.identity_, MergeIdentityOf(options.config.method, *ref));
+  }
+  if (!options.checkpoint_dir.empty()) {
+    WMS_ASSIGN_OR_RETURN(Checkpointer ckpt,
+                         Checkpointer::Open(options.checkpoint_dir, options.keep_last));
+    agg.checkpointer_ = std::move(ckpt);
+    Result<Learner> recovered =
+        agg.checkpointer_->RecoverLatest(options.opts, &agg.recovery_skipped_);
+    if (recovered.ok()) {
+      WMS_ASSIGN_OR_RETURN(const MergeIdentity recovered_id,
+                           MergeIdentityOf(recovered.value().method(),
+                                           recovered.value().impl()));
+      WMS_RETURN_NOT_OK(CheckIdentityCompatible(agg.identity_, recovered_id));
+      agg.baseline_ = recovered.value().impl().Clone();
+    } else if (recovered.status().code() != StatusCode::kNotFound) {
+      return recovered.status();
+    }
+  }
+  return agg;
+}
+
+Aggregator::Aggregator(Aggregator&& other) noexcept { *this = std::move(other); }
+
+Aggregator& Aggregator::operator=(Aggregator&& other) noexcept {
+  if (this == &other) return *this;
+  CloseAll();
+  options_ = std::move(other.options_);
+  identity_ = other.identity_;
+  session_token_ = other.session_token_;
+  listen_fd_ = std::exchange(other.listen_fd_, -1);
+  socket_path_ = std::move(other.socket_path_);
+  shutdown_ = other.shutdown_;
+  conns_ = std::move(other.conns_);
+  other.conns_.clear();
+  workers_ = std::move(other.workers_);
+  baseline_ = std::move(other.baseline_);
+  checkpointer_ = std::move(other.checkpointer_);
+  recovery_skipped_ = std::move(other.recovery_skipped_);
+  return *this;
+}
+
+Aggregator::~Aggregator() { CloseAll(); }
+
+void Aggregator::CloseAll() {
+  for (Connection& conn : conns_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (!socket_path_.empty()) ::unlink(socket_path_.c_str());
+  }
+}
+
+Status Aggregator::Bind(const std::string& socket_path) {
+  if (listen_fd_ >= 0) return Status::FailedPrecondition("aggregator already bound");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError(std::string("socket failed: ") + std::strerror(errno));
+  ::unlink(socket_path.c_str());  // stale socket from a previous incarnation
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st =
+        Status::IOError("bind failed for '" + socket_path + "': " + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 16) != 0) {
+    const Status st = Status::IOError(std::string("listen failed: ") + std::strerror(errno));
+    ::close(fd);
+    ::unlink(socket_path.c_str());
+    return st;
+  }
+  listen_fd_ = fd;
+  socket_path_ = socket_path;
+  return Status::OK();
+}
+
+Status Aggregator::AcceptPending() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+      return Status::IOError(std::string("accept failed: ") + std::strerror(errno));
+    }
+    const Status st = SetIoTimeouts(fd, options_.io_timeout_ms);
+    if (!st.ok()) {
+      ::close(fd);
+      return st;
+    }
+    conns_.push_back(Connection{fd, false, 0});
+    return Status::OK();  // one accept per poll round keeps the loop fair
+  }
+}
+
+Status Aggregator::PollOnce(int timeout_ms) {
+  if (listen_fd_ < 0) return Status::FailedPrecondition("aggregator not bound");
+  std::vector<pollfd> fds;
+  fds.reserve(conns_.size() + 1);
+  fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+  for (const Connection& conn : conns_) fds.push_back(pollfd{conn.fd, POLLIN, 0});
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return Status::OK();
+    return Status::IOError(std::string("poll failed: ") + std::strerror(errno));
+  }
+  if (ready == 0) return Status::OK();
+  // Only the connections polled this round may be served: AcceptPending()
+  // appends past this prefix, and those newcomers have no pollfd entry yet.
+  const size_t polled = conns_.size();
+  if ((fds[0].revents & POLLIN) != 0) WMS_RETURN_NOT_OK(AcceptPending());
+  // Serve back-to-front so erasing a dropped connection stays O(1) and does
+  // not shift the pollfd/conn correspondence of entries not yet visited.
+  for (size_t i = polled; i-- > 0;) {
+    if ((fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    bool close_conn = false;
+    const Status st = ServeConnection(conns_[i], &close_conn);
+    if (close_conn || !st.ok()) {
+      ::close(conns_[i].fd);
+      conns_.erase(conns_.begin() + static_cast<ptrdiff_t>(i));
+    }
+    // Per-connection failures are absorbed: a misbehaving worker drops its
+    // connection, it does not stop the daemon.
+  }
+  return Status::OK();
+}
+
+Status Aggregator::ServeUntilShutdown() {
+  while (!shutdown_) WMS_RETURN_NOT_OK(PollOnce(-1));
+  return Status::OK();
+}
+
+Status Aggregator::SendError(int fd, const Status& status) {
+  return SendFrame(fd, FrameType::kError, EncodeError(status));
+}
+
+Status Aggregator::ServeConnection(Connection& conn, bool* close_conn) {
+  Result<Frame> received = RecvFrame(conn.fd);
+  if (!received.ok()) {
+    // Clean close, torn frame, checksum mismatch, timeout: the connection is
+    // unusable either way. The worker's replica is untouched — it keeps its
+    // last fully-validated sync.
+    *close_conn = true;
+    return Status::OK();
+  }
+  const Frame& frame = std::move(received).value();
+  switch (frame.type) {
+    case FrameType::kHello:
+      return HandleHello(conn, frame, close_conn);
+    case FrameType::kFullState:
+    case FrameType::kDelta:
+      return HandleSync(conn, frame, close_conn);
+    case FrameType::kFetchMerged: {
+      Result<std::string> merged = MergedModelBytes();
+      if (!merged.ok()) return SendError(conn.fd, merged.status());
+      return SendFrame(conn.fd, FrameType::kMergedState, merged.value());
+    }
+    case FrameType::kShutdown:
+      shutdown_ = true;
+      *close_conn = true;
+      return SendFrame(conn.fd, FrameType::kAck, EncodeAck(AckPayload{0}));
+    default:
+      *close_conn = true;
+      return SendError(conn.fd,
+                       Status::InvalidArgument(std::string("unexpected frame type ") +
+                                               FrameTypeName(frame.type)));
+  }
+}
+
+Status Aggregator::HandleHello(Connection& conn, const Frame& frame, bool* close_conn) {
+  Result<HelloPayload> decoded = DecodeHello(frame.payload);
+  if (!decoded.ok()) {
+    *close_conn = true;
+    return SendError(conn.fd, decoded.status());
+  }
+  const HelloPayload& hello = decoded.value();
+  // The merge-compatibility gate: a worker whose method, shape, seed, or
+  // schedule differs is rejected here, before any of its state frames would
+  // even be looked at.
+  if (const Status st = CheckIdentityCompatible(identity_, hello.identity); !st.ok()) {
+    *close_conn = true;
+    return SendError(conn.fd, st);
+  }
+  conn.has_worker = true;
+  conn.worker_id = hello.worker_id;
+  WorkerState& ws = workers_[hello.worker_id];  // creates on first contact
+  const bool resume_ok = hello.session_token == session_token_ && ws.replica != nullptr &&
+                         ws.acked_seq == hello.acked_sync_seq && !ws.needs_full;
+  if (!resume_ok) ws.needs_full = true;
+  HelloAckPayload ack;
+  ack.session_token = session_token_;
+  ack.resume_ok = resume_ok ? 1 : 0;
+  ack.next_sync_seq = ws.acked_seq + 1;
+  return SendFrame(conn.fd, FrameType::kHelloAck, EncodeHelloAck(ack));
+}
+
+Status Aggregator::HandleSync(Connection& conn, const Frame& frame, bool* close_conn) {
+  if (!conn.has_worker) {
+    *close_conn = true;
+    return SendError(conn.fd, Status::FailedPrecondition("sync before handshake"));
+  }
+  std::string_view body;
+  Result<SyncHeader> decoded = DecodeSyncHeader(frame.payload, &body);
+  if (!decoded.ok()) {
+    *close_conn = true;
+    return SendError(conn.fd, decoded.status());
+  }
+  const SyncHeader& header = decoded.value();
+  if (header.worker_id != conn.worker_id) {
+    *close_conn = true;
+    return SendError(conn.fd, Status::InvalidArgument("sync worker id does not match hello"));
+  }
+  if (header.session_token != session_token_) {
+    // A frame from a previous aggregator incarnation: the baseline it was
+    // built against no longer exists. The worker must re-handshake and full-
+    // resync; its replica here (if any) is untouched.
+    return SendError(conn.fd,
+                     Status::FailedPrecondition("stale session token; re-handshake"));
+  }
+  WorkerState& ws = workers_[conn.worker_id];
+  // Accept a duplicate of the last acked sequence (a lost ack makes the
+  // worker resend; applying again is an idempotent overwrite) or the next.
+  if (header.sync_seq != ws.acked_seq && header.sync_seq != ws.acked_seq + 1) {
+    ws.needs_full = true;
+    return SendError(conn.fd,
+                     Status::FailedPrecondition(
+                         "sync sequence mismatch (got " + std::to_string(header.sync_seq) +
+                         ", expected " + std::to_string(ws.acked_seq + 1) + ")"));
+  }
+
+  const failpoint::Action act = WMS_FAILPOINT("dist:merge_apply");
+  if (act != failpoint::Action::kOff) {
+    ws.needs_full = true;
+    return SendError(conn.fd, Status::IOError("injected merge-apply failure"));
+  }
+
+  if (frame.type == FrameType::kDelta) {
+    if (ws.needs_full || ws.replica == nullptr) {
+      return SendError(conn.fd,
+                       Status::FailedPrecondition(
+                           "full snapshot required before deltas can be applied"));
+    }
+    // Apply to a clone and swap: a corrupt delta leaves the replica at its
+    // previous sync, byte for byte.
+    std::unique_ptr<BudgetedClassifier> staged = ws.replica->Clone();
+    snapshot::SnapshotReader reader(body);
+    if (const Status st = ApplyDelta(options_.config.method, *staged, reader); !st.ok()) {
+      ws.needs_full = true;
+      return SendError(conn.fd, st);
+    }
+    ws.replica = std::move(staged);
+  } else {  // kFullState
+    std::istringstream in{std::string(body), std::ios::binary};
+    Result<Learner> loaded = LoadLearner(in, options_.opts);
+    if (!loaded.ok()) return SendError(conn.fd, loaded.status());
+    Result<MergeIdentity> loaded_id =
+        MergeIdentityOf(loaded.value().method(), loaded.value().impl());
+    if (!loaded_id.ok()) return SendError(conn.fd, loaded_id.status());
+    if (const Status st = CheckIdentityCompatible(identity_, loaded_id.value()); !st.ok()) {
+      return SendError(conn.fd, st);
+    }
+    ws.replica = loaded.value().impl().Clone();
+    ws.needs_full = false;
+  }
+  ws.acked_seq = header.sync_seq;
+  return SendFrame(conn.fd, FrameType::kAck, EncodeAck(AckPayload{header.sync_seq}));
+}
+
+Result<std::unique_ptr<BudgetedClassifier>> Aggregator::MergedImpl() const {
+  std::unique_ptr<BudgetedClassifier> merged;
+  for (const auto& [worker_id, ws] : workers_) {
+    if (ws.replica == nullptr) continue;
+    if (merged == nullptr) {
+      merged = ws.replica->Clone();
+    } else {
+      WMS_RETURN_NOT_OK(merged->Merge(*ws.replica));
+    }
+  }
+  if (merged != nullptr) return merged;
+  if (baseline_ != nullptr) return baseline_->Clone();
+  return Status::NotFound("no worker has synced and no checkpoint baseline exists");
+}
+
+Result<std::string> Aggregator::MergedModelBytes() const {
+  WMS_ASSIGN_OR_RETURN(const std::unique_ptr<BudgetedClassifier> merged, MergedImpl());
+  std::ostringstream out(std::ios::binary);
+  WMS_RETURN_NOT_OK(SaveClassifier(options_.config.method, *merged, out));
+  return std::move(out).str();
+}
+
+Status Aggregator::CheckpointMerged() {
+  if (!checkpointer_.has_value()) {
+    return Status::FailedPrecondition("no checkpoint directory configured");
+  }
+  WMS_ASSIGN_OR_RETURN(const std::unique_ptr<BudgetedClassifier> merged, MergedImpl());
+  return checkpointer_->WriteClassifier(options_.config.method, *merged);
+}
+
+size_t Aggregator::replica_count() const {
+  size_t n = 0;
+  for (const auto& [worker_id, ws] : workers_) n += ws.replica != nullptr ? 1 : 0;
+  return n;
+}
+
+}  // namespace wmsketch::dist

@@ -1,0 +1,122 @@
+#include "dist/protocol.h"
+
+#include <sstream>
+
+#include "core/snapshot_io.h"
+
+namespace wmsketch::dist {
+
+namespace {
+
+using snapshot::SnapshotReader;
+using snapshot::WriteRaw;
+
+}  // namespace
+
+std::string EncodeHello(const HelloPayload& hello) {
+  std::ostringstream os(std::ios::binary);
+  WriteRaw(os, hello.protocol_version);
+  WriteRaw(os, hello.worker_id);
+  WriteRaw(os, hello.session_token);
+  WriteRaw(os, hello.acked_sync_seq);
+  EncodeMergeIdentity(os, hello.identity);
+  return std::move(os).str();
+}
+
+Result<HelloPayload> DecodeHello(std::string_view payload) {
+  SnapshotReader in(payload);
+  HelloPayload hello;
+  if (!in.ReadRaw(&hello.protocol_version) || !in.ReadRaw(&hello.worker_id) ||
+      !in.ReadRaw(&hello.session_token) || !in.ReadRaw(&hello.acked_sync_seq)) {
+    return Status::Corruption("truncated hello payload");
+  }
+  if (hello.protocol_version != kProtocolVersion) {
+    return Status::InvalidArgument("unsupported protocol version " +
+                                   std::to_string(hello.protocol_version));
+  }
+  if (hello.worker_id == 0) return Status::InvalidArgument("worker id must be nonzero");
+  WMS_ASSIGN_OR_RETURN(hello.identity, DecodeMergeIdentity(in));
+  return hello;
+}
+
+std::string EncodeHelloAck(const HelloAckPayload& ack) {
+  std::ostringstream os(std::ios::binary);
+  WriteRaw(os, ack.session_token);
+  WriteRaw(os, ack.resume_ok);
+  WriteRaw(os, ack.next_sync_seq);
+  return std::move(os).str();
+}
+
+Result<HelloAckPayload> DecodeHelloAck(std::string_view payload) {
+  SnapshotReader in(payload);
+  HelloAckPayload ack;
+  if (!in.ReadRaw(&ack.session_token) || !in.ReadRaw(&ack.resume_ok) ||
+      !in.ReadRaw(&ack.next_sync_seq)) {
+    return Status::Corruption("truncated hello-ack payload");
+  }
+  return ack;
+}
+
+std::string EncodeSync(const SyncHeader& header, std::string_view body) {
+  std::ostringstream os(std::ios::binary);
+  WriteRaw(os, header.worker_id);
+  WriteRaw(os, header.session_token);
+  WriteRaw(os, header.sync_seq);
+  snapshot::WriteBytes(os, body.data(), body.size());
+  return std::move(os).str();
+}
+
+Result<SyncHeader> DecodeSyncHeader(std::string_view payload, std::string_view* body) {
+  constexpr size_t kHeaderBytes = 3 * sizeof(uint64_t);
+  SnapshotReader in(payload);
+  SyncHeader header;
+  if (!in.ReadRaw(&header.worker_id) || !in.ReadRaw(&header.session_token) ||
+      !in.ReadRaw(&header.sync_seq)) {
+    return Status::Corruption("truncated sync header");
+  }
+  *body = payload.substr(kHeaderBytes);
+  return header;
+}
+
+std::string EncodeAck(const AckPayload& ack) {
+  std::ostringstream os(std::ios::binary);
+  WriteRaw(os, ack.sync_seq);
+  return std::move(os).str();
+}
+
+Result<AckPayload> DecodeAck(std::string_view payload) {
+  SnapshotReader in(payload);
+  AckPayload ack;
+  if (!in.ReadRaw(&ack.sync_seq)) return Status::Corruption("truncated ack payload");
+  return ack;
+}
+
+std::string EncodeError(const Status& status) {
+  std::ostringstream os(std::ios::binary);
+  WriteRaw(os, static_cast<uint8_t>(status.code()));
+  WriteRaw(os, status.detail());
+  WriteRaw(os, static_cast<uint32_t>(status.message().size()));
+  snapshot::WriteBytes(os, status.message().data(), status.message().size());
+  return std::move(os).str();
+}
+
+Status DecodeErrorStatus(std::string_view payload) {
+  SnapshotReader in(payload);
+  uint8_t code = 0;
+  uint16_t detail = 0;
+  uint32_t len = 0;
+  if (!in.ReadRaw(&code) || !in.ReadRaw(&detail) || !in.ReadRaw(&len)) {
+    return Status::Corruption("truncated error payload");
+  }
+  if (code == 0 || code > static_cast<uint8_t>(StatusCode::kUnimplemented)) {
+    return Status::Corruption("error payload has unknown status code");
+  }
+  if (!in.CanRead(len, 1)) return Status::Corruption("error message exceeds payload");
+  std::string message(len, '\0');
+  if (!in.ReadExactRaw(message.data(), len)) {
+    return Status::Corruption("truncated error message");
+  }
+  return Status(static_cast<StatusCode>(code), "remote: " + message, detail);
+}
+
+}  // namespace wmsketch::dist

@@ -1,9 +1,13 @@
 #include "stream/libsvm_io.h"
 
+#include <sys/wait.h>
+
+#include <cerrno>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -138,8 +142,10 @@ Status ConsumeLine(const std::string& line, const std::string& path, size_t line
 }
 
 // Streams a gzip-compressed file through `gzip -cd` (no zlib dependency; the
-// decompressor is already on every machine that produced the .gz). A nonzero
-// gzip exit (missing file, corrupt stream) surfaces as IOError.
+// decompressor is already on every machine that produced the .gz). The
+// decompressor's exit status is checked on close: a truncated or corrupt .gz
+// makes gzip exit nonzero *after* emitting whatever prefix it could decode,
+// so trusting EOF alone would silently accept a partial dataset as complete.
 Result<std::vector<Example>> ReadLibsvmGzFile(const std::string& path, bool one_based) {
   const std::string cmd = "gzip -cd -- " + ShellQuote(path);
   FILE* pipe = popen(cmd.c_str(), "r");
@@ -156,9 +162,28 @@ Result<std::vector<Example>> ReadLibsvmGzFile(const std::string& path, bool one_
     st = ConsumeLine(std::string(buf, static_cast<size_t>(n)), path, lineno, one_based, out);
   }
   free(buf);
+  const bool pipe_error = ferror(pipe) != 0;
   const int rc = pclose(pipe);
   if (!st.ok()) return st;
-  if (rc != 0) return Status::IOError("gzip -cd failed for '" + path + "'");
+  if (pipe_error) return Status::IOError("read error on gzip pipe for '" + path + "'");
+  if (rc == -1) {
+    return Status::IOError("cannot collect gzip exit status for '" + path + "': " +
+                           std::strerror(errno));
+  }
+  if (rc != 0) {
+    // Decode the wait status so a truncated stream (exit 1), a usage error
+    // (exit 2), and a signaled decompressor are all distinguishable.
+    std::string detail;
+    if (WIFEXITED(rc)) {
+      detail = "exit status " + std::to_string(WEXITSTATUS(rc));
+    } else if (WIFSIGNALED(rc)) {
+      detail = "killed by signal " + std::to_string(WTERMSIG(rc));
+    } else {
+      detail = "wait status " + std::to_string(rc);
+    }
+    return Status::IOError("gzip -cd failed for '" + path + "' (" + detail +
+                           "); stream may be truncated or corrupt");
+  }
   return out;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <string>
@@ -48,11 +49,27 @@ struct Registry {
   std::atomic<int> armed{0};
 };
 
-inline Action ParseAction(std::string_view token) {
-  if (token == "error") return Action::kError;
-  if (token == "short" || token == "short_write") return Action::kShortWrite;
-  if (token == "crash") return Action::kCrash;
-  return Action::kOff;
+inline bool ParseAction(std::string_view token, Action* action) {
+  if (token == "off") return (*action = Action::kOff), true;
+  if (token == "error") return (*action = Action::kError), true;
+  if (token == "short" || token == "short_write") {
+    return (*action = Action::kShortWrite), true;
+  }
+  if (token == "crash") return (*action = Action::kCrash), true;
+  return false;
+}
+
+// A malformed WMS_FAILPOINTS spec aborts the process loudly. Silently
+// skipping a bad entry would disarm the very fault a chaos run meant to
+// inject — the test then passes vacuously, which is strictly worse than
+// crashing at startup with the offending entry spelled out.
+[[noreturn]] inline void DieOnBadSpec(std::string_view entry, const char* why) {
+  std::fprintf(stderr,
+               "wmsketch: fatal: malformed WMS_FAILPOINTS entry '%.*s' (%s); "
+               "expected name=action[:count] with action in "
+               "{off, error, short, short_write, crash} and count an integer\n",
+               static_cast<int>(entry.size()), entry.data(), why);
+  std::abort();
 }
 
 inline void ArmLocked(Registry& reg, const std::string& name, Action action,
@@ -67,7 +84,8 @@ inline void ArmLocked(Registry& reg, const std::string& name, Action action,
 }
 
 // Parses WMS_FAILPOINTS ("name=action[:count]" entries split on ',' or ';')
-// once, at first registry access.
+// once, at first registry access. Malformed entries abort via DieOnBadSpec;
+// empty entries (trailing separators) are tolerated.
 inline void ArmFromEnvLocked(Registry& reg) {
   const char* env = std::getenv("WMS_FAILPOINTS");
   if (env == nullptr) return;
@@ -76,17 +94,26 @@ inline void ArmFromEnvLocked(Registry& reg) {
     const size_t sep = rest.find_first_of(",;");
     std::string_view entry = rest.substr(0, sep);
     rest = (sep == std::string_view::npos) ? std::string_view() : rest.substr(sep + 1);
+    if (entry.empty()) continue;
     const size_t eq = entry.find('=');
-    if (eq == std::string_view::npos || eq == 0) continue;
+    if (eq == std::string_view::npos || eq == 0) DieOnBadSpec(entry, "missing name=");
     std::string_view name = entry.substr(0, eq);
     std::string_view action_token = entry.substr(eq + 1);
     int count = -1;
     const size_t colon = action_token.find(':');
     if (colon != std::string_view::npos) {
-      count = std::atoi(std::string(action_token.substr(colon + 1)).c_str());
+      const std::string digits(action_token.substr(colon + 1));
+      char* end = nullptr;
+      const long parsed = std::strtol(digits.c_str(), &end, 10);
+      if (digits.empty() || end == nullptr || *end != '\0') {
+        DieOnBadSpec(entry, "count is not an integer");
+      }
+      count = static_cast<int>(parsed);
       action_token = action_token.substr(0, colon);
     }
-    ArmLocked(reg, std::string(name), ParseAction(action_token), count);
+    Action action = Action::kOff;
+    if (!ParseAction(action_token, &action)) DieOnBadSpec(entry, "unknown action");
+    ArmLocked(reg, std::string(name), action, count);
   }
 }
 

@@ -228,7 +228,7 @@ class BasicPagedTable {
     out.raw_.reserve(pages);
     const size_t pc = page_cells();
     for (size_t p = 0; p < pages; ++p) {
-      const bool dirty = mirror_[p] == nullptr || page_epoch_[p] == epoch_;
+      const bool dirty = mirror_[p] == nullptr || page_epoch_[p] >= publish_watermark_;
       if (dirty) {
         std::shared_ptr<T[]> fresh = std::make_shared<T[]>(pc);
         std::memcpy(fresh.get(), arena_.data() + p * pc, pc * sizeof(T));
@@ -241,13 +241,48 @@ class BasicPagedTable {
       out.refs_.push_back(mirror_[p]);
       out.raw_.push_back(mirror_[p].get());
     }
-    // Advance the epoch: every page is now clean relative to its mirror, and
-    // the next write's tag (== the new epoch) re-dirties exactly its page.
-    // No per-page state is cleared.
-    ++epoch_;
+    // Advance the epoch and remember it as the publish watermark: every page
+    // is now clean relative to its mirror, and any later write's tag (>= the
+    // watermark) re-dirties exactly its page. No per-page state is cleared.
+    // The watermark comparison (rather than == epoch_) keeps publication
+    // correct when BeginDeltaWindow() advances the epoch between publishes.
+    publish_watermark_ = ++epoch_;
     tracking_ = true;
     ++stats_.publishes;
     return out;
+  }
+
+  /// Opens a new delta window and returns its watermark: every write from
+  /// this call on tags its page with an epoch >= the returned value, so
+  /// ForEachDirtyPageSince(watermark) enumerates exactly the pages touched
+  /// afterwards. Enables dirty tracking immediately (unlike publication,
+  /// which only starts tracking at the first SharePages), so a window opened
+  /// at construction time captures the model's entire mutation history —
+  /// what the distributed delta-sync tier ships between syncs. Writer-thread
+  /// only, like all mutation.
+  uint64_t BeginDeltaWindow() {
+    TouchWriterFence();
+    tracking_ = true;
+    return ++epoch_;
+  }
+
+  /// Number of pages written since `since` (a BeginDeltaWindow watermark).
+  size_t CountDirtyPagesSince(uint64_t since) const {
+    size_t n = 0;
+    for (const uint64_t pe : page_epoch_) n += pe >= since ? 1 : 0;
+    return n;
+  }
+
+  /// Visits every page written since `since` as
+  /// fn(page_index, cells_ptr, cell_count): the live arena slice of each
+  /// dirty page, in ascending page order. cell_count is page_cells() even
+  /// for the final page (the arena is padded; pad cells are zero).
+  template <typename Fn>
+  void ForEachDirtyPageSince(uint64_t since, Fn&& fn) const {
+    const size_t pc = page_cells();
+    for (size_t p = 0; p < page_epoch_.size(); ++p) {
+      if (page_epoch_[p] >= since) fn(p, arena_.data() + p * pc, pc);
+    }
   }
 
   /// Cumulative publication counters (see TablePublishStats).
@@ -270,7 +305,10 @@ class BasicPagedTable {
   mutable std::vector<std::shared_ptr<const T[]>> mirror_;
   std::vector<uint64_t> page_epoch_;  // last epoch each page was written in
   mutable uint64_t epoch_ = 1;
-  mutable bool tracking_ = false;  // becomes true at the first publish
+  // Pages tagged at or after this are dirty relative to their mirror (set at
+  // each publish; delta windows advance epoch_ without touching it).
+  mutable uint64_t publish_watermark_ = 1;
+  mutable bool tracking_ = false;  // true after first publish or delta window
   mutable TablePublishStats stats_;
 
 #if defined(WMS_PAGED_TABLE_TSAN)

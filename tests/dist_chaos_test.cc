@@ -1,0 +1,274 @@
+// Chaos harness for the distributed training tier: every (side, failpoint
+// site, action) cell of the matrix injects a fault — an I/O error, a torn
+// short write, or a hard std::_Exit mid-protocol — into a real two-process
+// aggregator/worker topology, then verifies the system recovers to a merged
+// model **byte-identical** to the sequential single-process reference.
+//
+// Topology per case: the aggregator always runs in a forked child (so a
+// kCrash _Exit kills only it); the worker runs in a second forked child.
+// The parent (the test) orchestrates with waitpid, reforks an unarmed
+// replacement after a crash — a new aggregator rebinds the same socket, a
+// replacement worker retrains the same deterministic stream under the same
+// worker id — and finally fetches the merged model over the wire.
+//
+// The failpoint registry is per-process: each child arms its own sites
+// after fork(), so a worker-side fault never fires in the aggregator and
+// vice versa.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/learner.h"
+#include "datagen/classification_gen.h"
+#include "dist/aggregator.h"
+#include "dist/worker.h"
+#include "util/failpoint.h"
+#include "util/memory_cost.h"
+
+namespace wmsketch {
+namespace {
+
+using dist::Aggregator;
+using dist::AggregatorOptions;
+using dist::SyncClient;
+using dist::SyncClientOptions;
+
+LearnerOptions Opts() {
+  LearnerOptions opts;
+  opts.lambda = 1e-4;
+  opts.rate = LearningRate::Constant(0.2);
+  opts.seed = 42;
+  return opts;
+}
+
+Result<Learner> BuildModel() {
+  return LearnerBuilder()
+      .SetMethod(Method::kAwmSketch)
+      .SetBudgetBytes(KiB(2))
+      .SetLambda(1e-4)
+      .SetLearningRate(LearningRate::Constant(0.2))
+      .SetSeed(42)
+      .Build();
+}
+
+// The deterministic training stream every incarnation of the worker
+// reproduces exactly: phase 1 then phase 2, fixed seeds.
+void TrainPhase(Learner& learner, int phase) {
+  const uint64_t seed = phase == 1 ? 7 : 9;
+  SyntheticClassificationGen gen(ClassificationProfile::SmallTest(), seed);
+  std::vector<Example> stream;
+  stream.reserve(150);
+  for (int i = 0; i < 150; ++i) stream.push_back(gen.Next());
+  learner.UpdateBatch(stream);
+}
+
+std::string FinalModelBytes() {
+  Result<Learner> built = BuildModel();
+  EXPECT_TRUE(built.ok());
+  Learner learner = std::move(built).value();
+  TrainPhase(learner, 1);
+  TrainPhase(learner, 2);
+  std::ostringstream out(std::ios::binary);
+  EXPECT_TRUE(SaveClassifier(learner.method(), learner.impl(), out).ok());
+  return std::move(out).str();
+}
+
+SyncClientOptions ChaosClientOpts(const std::string& path) {
+  SyncClientOptions copts;
+  copts.worker_id = 1;
+  copts.socket_path = path;
+  // Generous budget: a crashed aggregator needs parent-side waitpid + refork
+  // before a retry can land, so the worker must outlast that window.
+  copts.max_retries = 10;
+  copts.base_backoff_ms = 20;
+  copts.max_backoff_ms = 300;
+  copts.io_timeout_ms = 2000;
+  return copts;
+}
+
+constexpr int kWorkerFailExit = 42;
+constexpr int kAggFailExit = 43;
+
+// Child body: the aggregator daemon. Arms `site` (empty: none) after fork,
+// binds, signals readiness on `ready_fd`, serves until shutdown.
+[[noreturn]] void RunAggregatorChild(const std::string& path, const std::string& site,
+                                     failpoint::Action action, int ready_fd) {
+  if (!site.empty()) failpoint::Arm(site, action, 1);
+  Result<Learner> ref = BuildModel();
+  if (!ref.ok()) std::_Exit(kAggFailExit);
+  AggregatorOptions options;
+  options.config = ref.value().config();
+  options.opts = Opts();
+  options.io_timeout_ms = 2000;
+  Result<Aggregator> created = Aggregator::Create(options);
+  if (!created.ok()) std::_Exit(kAggFailExit);
+  Aggregator agg = std::move(created).value();
+  if (!agg.Bind(path).ok()) std::_Exit(kAggFailExit);
+  const char ready = 'R';
+  if (::write(ready_fd, &ready, 1) != 1) std::_Exit(kAggFailExit);
+  ::close(ready_fd);
+  const Status st = agg.ServeUntilShutdown();
+  std::_Exit(st.ok() ? 0 : kAggFailExit);
+}
+
+// Child body: the worker. Trains phase 1, full-syncs, trains phase 2, arms
+// `site` (empty: none), then syncs the delta — the armed fault fires inside
+// that second sync. kError/kShortWrite must be absorbed by the retry loop;
+// kCrash kills the process mid-frame.
+[[noreturn]] void RunWorkerChild(const std::string& path, const std::string& site,
+                                 failpoint::Action action) {
+  Result<Learner> built = BuildModel();
+  if (!built.ok()) std::_Exit(kWorkerFailExit);
+  Learner learner = std::move(built).value();
+  SyncClient client(learner.method(), ChaosClientOpts(path));
+  TrainPhase(learner, 1);
+  if (!client.Connect(learner.impl()).ok()) std::_Exit(kWorkerFailExit);
+  if (!client.Sync(learner.impl()).ok()) std::_Exit(kWorkerFailExit);
+  TrainPhase(learner, 2);
+  if (!site.empty()) failpoint::Arm(site, action, 1);
+  if (!client.Sync(learner.impl()).ok()) std::_Exit(kWorkerFailExit);
+  std::_Exit(0);
+}
+
+// Child body: the replacement after a worker crash — retrains the full
+// deterministic stream and syncs once (first contact under the same worker
+// id forces a full snapshot, overwriting the dead incarnation's replica).
+[[noreturn]] void RunReplacementWorkerChild(const std::string& path) {
+  Result<Learner> built = BuildModel();
+  if (!built.ok()) std::_Exit(kWorkerFailExit);
+  Learner learner = std::move(built).value();
+  TrainPhase(learner, 1);
+  TrainPhase(learner, 2);
+  SyncClient client(learner.method(), ChaosClientOpts(path));
+  if (!client.Connect(learner.impl()).ok()) std::_Exit(kWorkerFailExit);
+  if (!client.Sync(learner.impl()).ok()) std::_Exit(kWorkerFailExit);
+  std::_Exit(0);
+}
+
+pid_t ForkAggregator(const std::string& path, const std::string& site,
+                     failpoint::Action action) {
+  int ready_pipe[2];
+  EXPECT_EQ(::pipe(ready_pipe), 0);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::close(ready_pipe[0]);
+    RunAggregatorChild(path, site, action, ready_pipe[1]);
+  }
+  ::close(ready_pipe[1]);
+  // Block until the child has bound the socket (or died trying).
+  char byte = 0;
+  (void)!::read(ready_pipe[0], &byte, 1);
+  ::close(ready_pipe[0]);
+  return pid;
+}
+
+int WaitFor(pid_t pid) {
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status)) << "child killed by signal " << WTERMSIG(status);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+struct ChaosCase {
+  const char* side;  // "worker" or "aggregator"
+  const char* site;
+  failpoint::Action action;
+};
+
+const char* ActionName(failpoint::Action action) {
+  switch (action) {
+    case failpoint::Action::kError: return "error";
+    case failpoint::Action::kShortWrite: return "short";
+    case failpoint::Action::kCrash: return "crash";
+    default: return "off";
+  }
+}
+
+class DistChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(DistChaosTest, EveryFaultSiteRecoversToByteIdenticalMergedModel) {
+  const std::string reference = FinalModelBytes();
+  ASSERT_FALSE(reference.empty());
+
+  const ChaosCase kMatrix[] = {
+      {"worker", "dist:send", failpoint::Action::kError},
+      {"worker", "dist:send", failpoint::Action::kShortWrite},
+      {"worker", "dist:send", failpoint::Action::kCrash},
+      {"worker", "dist:recv", failpoint::Action::kError},
+      {"worker", "dist:recv", failpoint::Action::kShortWrite},
+      {"worker", "dist:recv", failpoint::Action::kCrash},
+      {"aggregator", "dist:recv", failpoint::Action::kError},
+      {"aggregator", "dist:recv", failpoint::Action::kShortWrite},
+      {"aggregator", "dist:recv", failpoint::Action::kCrash},
+      {"aggregator", "dist:frame_decode", failpoint::Action::kError},
+      {"aggregator", "dist:frame_decode", failpoint::Action::kShortWrite},
+      {"aggregator", "dist:frame_decode", failpoint::Action::kCrash},
+      {"aggregator", "dist:merge_apply", failpoint::Action::kError},
+      {"aggregator", "dist:merge_apply", failpoint::Action::kShortWrite},
+      {"aggregator", "dist:merge_apply", failpoint::Action::kCrash},
+  };
+
+  int case_index = 0;
+  for (const ChaosCase& c : kMatrix) {
+    SCOPED_TRACE(std::string(c.side) + "/" + c.site + "/" + ActionName(c.action));
+    const std::string path = "/tmp/wms_chaos_" + std::to_string(::getpid()) + "_" +
+                             std::to_string(case_index++);
+    ::unlink(path.c_str());
+
+    const bool agg_side = std::string(c.side) == "aggregator";
+    const bool crash = c.action == failpoint::Action::kCrash;
+
+    pid_t agg_pid = ForkAggregator(path, agg_side ? c.site : "", c.action);
+    const pid_t worker_pid = ::fork();
+    if (worker_pid == 0) {
+      RunWorkerChild(path, agg_side ? "" : c.site, c.action);
+    }
+
+    if (agg_side && crash) {
+      // The injected _Exit kills the aggregator mid-protocol; the worker is
+      // now retrying against a dead socket. Refork an unarmed aggregator on
+      // the same path — the worker's re-handshake lands on a fresh session
+      // and resyncs in full.
+      EXPECT_EQ(WaitFor(agg_pid), failpoint::kCrashExitCode);
+      agg_pid = ForkAggregator(path, "", failpoint::Action::kOff);
+    }
+
+    if (!agg_side && crash) {
+      // The worker died mid-frame. The aggregator must have survived it;
+      // a replacement worker under the same id retrains and overwrites.
+      EXPECT_EQ(WaitFor(worker_pid), failpoint::kCrashExitCode);
+      const pid_t replacement_pid = ::fork();
+      if (replacement_pid == 0) RunReplacementWorkerChild(path);
+      EXPECT_EQ(WaitFor(replacement_pid), 0);
+    } else {
+      // Error/short faults must be absorbed inside the worker's bounded
+      // retry budget — the worker itself reports success.
+      EXPECT_EQ(WaitFor(worker_pid), 0);
+    }
+
+    // The merged model, fetched over the wire, is byte-identical to the
+    // sequential single-process reference.
+    SyncClient fetcher(Method::kAwmSketch, ChaosClientOpts(path));
+    Result<std::string> merged = fetcher.FetchMergedBytes();
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    EXPECT_EQ(merged.value(), reference);
+
+    EXPECT_TRUE(fetcher.SendShutdown().ok());
+    EXPECT_EQ(WaitFor(agg_pid), 0);
+    ::unlink(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace wmsketch

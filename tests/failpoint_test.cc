@@ -1,0 +1,98 @@
+// Tests for the failpoint registry (util/failpoint.h): arm/fire/count
+// semantics, WMS_FAILPOINTS env-spec parsing, and — the robustness contract
+// the chaos harness depends on — a malformed spec aborting the process
+// loudly instead of silently disarming the fault it was meant to inject.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <mutex>
+
+#include "util/failpoint.h"
+
+namespace wmsketch {
+namespace {
+
+using failpoint::Action;
+
+// Parses `spec` into a fresh registry (bypassing the process-global
+// singleton, which latches the env var once at first access).
+void ParseSpec(const char* spec, failpoint::internal::Registry& reg) {
+  ::setenv("WMS_FAILPOINTS", spec, 1);
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    failpoint::internal::ArmFromEnvLocked(reg);
+  }
+  ::unsetenv("WMS_FAILPOINTS");
+}
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    failpoint::DisarmAll();
+    ::unsetenv("WMS_FAILPOINTS");
+  }
+};
+
+TEST_F(FailpointTest, ArmFireAndCountExhaustion) {
+  failpoint::Arm("fp:test_site", Action::kError, 2);
+  EXPECT_EQ(WMS_FAILPOINT("fp:test_site"), Action::kError);
+  EXPECT_EQ(WMS_FAILPOINT("fp:test_site"), Action::kError);
+  // Exhausted: the site reverts to off and stops counting against the
+  // armed-count fast path.
+  EXPECT_EQ(WMS_FAILPOINT("fp:test_site"), Action::kOff);
+  EXPECT_EQ(failpoint::ArmedCount(), 0);
+}
+
+TEST_F(FailpointTest, DisarmStopsFiring) {
+  failpoint::Arm("fp:test_site", Action::kShortWrite);
+  EXPECT_EQ(WMS_FAILPOINT("fp:test_site"), Action::kShortWrite);
+  failpoint::Disarm("fp:test_site");
+  EXPECT_EQ(WMS_FAILPOINT("fp:test_site"), Action::kOff);
+}
+
+TEST_F(FailpointTest, EnvSpecParsesActionsCountsAndSeparators) {
+  failpoint::internal::Registry reg;
+  ParseSpec("a=error;b=short:3,c=crash:1,d=short_write,e=off,,;", reg);
+  EXPECT_EQ(reg.points.at("a").action, Action::kError);
+  EXPECT_EQ(reg.points.at("a").remaining, -1);
+  EXPECT_EQ(reg.points.at("b").action, Action::kShortWrite);
+  EXPECT_EQ(reg.points.at("b").remaining, 3);
+  EXPECT_EQ(reg.points.at("c").action, Action::kCrash);
+  EXPECT_EQ(reg.points.at("d").action, Action::kShortWrite);
+  EXPECT_EQ(reg.points.at("e").action, Action::kOff);
+  EXPECT_EQ(reg.armed.load(), 4);  // 'e' is off, empty entries tolerated
+}
+
+using FailpointDeathTest = FailpointTest;
+
+TEST_F(FailpointDeathTest, MalformedSpecAbortsLoudly) {
+  // Each malformed entry must abort with a message naming the entry — a
+  // chaos run configured with a typo must die at startup, not pass
+  // vacuously with its fault silently disarmed.
+  const struct {
+    const char* spec;
+    const char* diagnostic;
+  } kBad[] = {
+      {"noequals", "missing name="},
+      {"=error", "missing name="},
+      {"site=explode", "unknown action"},
+      {"site=error:abc", "count is not an integer"},
+      {"site=crash:", "count is not an integer"},
+      {"good=error,site=bogus", "unknown action"},
+  };
+  for (const auto& bad : kBad) {
+    EXPECT_DEATH(
+        {
+          ::setenv("WMS_FAILPOINTS", bad.spec, 1);
+          failpoint::internal::Registry reg;
+          std::lock_guard<std::mutex> lock(reg.mu);
+          failpoint::internal::ArmFromEnvLocked(reg);
+        },
+        std::string("malformed WMS_FAILPOINTS entry.*") + bad.diagnostic)
+        << bad.spec;
+  }
+}
+
+}  // namespace
+}  // namespace wmsketch

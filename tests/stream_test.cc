@@ -177,6 +177,37 @@ TEST(LibsvmTest, GzipPassthroughReadsCompressedFiles) {
   EXPECT_FALSE(ReadLibsvmFile("/nonexistent/path/xyz.gz").ok());
 }
 
+TEST(LibsvmTest, TruncatedGzipSurfacesDecompressorFailure) {
+  // A torn .gz must fail loudly with the decompressor's exit status — EOF on
+  // the pipe alone would silently accept a partial dataset as complete.
+  const std::string plain =
+      std::filesystem::temp_directory_path() / "wms_libsvm_gz_trunc.txt";
+  const std::string gz = plain + ".gz";
+  {
+    std::ofstream out(plain);
+    for (int i = 0; i < 64; ++i) out << "+1 1:0.5 3:-2\n";
+  }
+  if (std::system(("gzip -f " + plain).c_str()) != 0) {
+    GTEST_SKIP() << "gzip tool unavailable";
+  }
+  // Keep only the member header: gzip decodes nothing and exits nonzero.
+  std::string head(10, '\0');
+  {
+    std::ifstream in(gz, std::ios::binary);
+    ASSERT_TRUE(in.read(head.data(), static_cast<std::streamsize>(head.size())).good());
+  }
+  {
+    std::ofstream out(gz, std::ios::binary | std::ios::trunc);
+    out.write(head.data(), static_cast<std::streamsize>(head.size()));
+  }
+  auto r = ReadLibsvmFile(gz);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_NE(r.status().message().find("truncated or corrupt"), std::string::npos)
+      << r.status().ToString();
+  std::remove(gz.c_str());
+}
+
 TEST(LibsvmTest, ZeroBasedMode) {
   auto r = ParseLibsvmLine("+1 0:1.0 5:2.0", /*one_based=*/false);
   ASSERT_TRUE(r.ok());
