@@ -44,6 +44,19 @@ inline int ScaledCount(int base) {
   return static_cast<int>(base * scale);
 }
 
+/// Percentile (q in [0, 100], linear interpolation between order statistics)
+/// of a sample set; sorts `samples` in place. 0 on an empty set so a bench
+/// row for a workload that produced no samples stays printable.
+inline double Percentile(std::vector<double>& samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = q / 100.0 * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
 /// Prints a header line followed by a rule, e.g. for figure banners.
 inline void Banner(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());

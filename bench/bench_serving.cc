@@ -72,6 +72,11 @@ struct alignas(64) ReaderStats {
   uint64_t staleness_samples = 0;
   bool versions_monotone = true;
   double checksum = 0.0;
+  /// Per-op latencies in microseconds (batched-call time / ops in the call),
+  /// one sample per batched call — aggregate throughput alone hides the tail
+  /// the network bench compares against.
+  std::vector<double> predict_us;
+  std::vector<double> estimate_us;
 };
 
 struct RunResult {
@@ -84,6 +89,10 @@ struct RunResult {
   double checksum = 0.0;
   double publish_bytes_mean = 0.0;   // bytes copied per publication (dirty pages)
   double snapshot_resident_bytes = 0.0;
+  double predict_p50_us = 0.0;   // per-op latency percentiles across readers
+  double predict_p99_us = 0.0;
+  double estimate_p50_us = 0.0;
+  double estimate_p99_us = 0.0;
 };
 
 double Seconds(std::chrono::steady_clock::time_point a,
@@ -106,11 +115,19 @@ void ReaderLoop(ServingHandle& handle, std::span<const Example> queries,
   SplitMix64 ids(seed);
   uint64_t last_version = 0;
   size_t at = 0;
+  const double per_op = 1.0 / static_cast<double>(chunk);
+  // Pre-size the sample buffers so the measured loop almost never pays a
+  // reallocation inside a timed window.
+  out.predict_us.reserve(1 << 16);
+  out.estimate_us.reserve(1 << 16);
   while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
   while (!done.load(std::memory_order_acquire)) {
     // One batched predict chunk from a rotating window of the query stream.
+    const auto p0 = std::chrono::steady_clock::now();
     handle.PredictBatch(std::span<const Example>(queries.data() + at, chunk),
                         margins.data());
+    const auto p1 = std::chrono::steady_clock::now();
+    out.predict_us.push_back(Seconds(p0, p1) * 1e6 * per_op);
     at = (at + chunk) % rotate;
     out.predicts += chunk;
     out.checksum += margins[0];
@@ -129,7 +146,10 @@ void ReaderLoop(ServingHandle& handle, std::span<const Example> queries,
     for (size_t i = 0; i < chunk; ++i) {
       keys[i] = static_cast<uint32_t>(ids.Next() % dimension);
     }
+    const auto e0 = std::chrono::steady_clock::now();
     handle.EstimateBatch(keys, estimates.data());
+    const auto e1 = std::chrono::steady_clock::now();
+    out.estimate_us.push_back(Seconds(e0, e1) * 1e6 * per_op);
     out.estimates += chunk;
     out.checksum += static_cast<double>(estimates[0]);
   }
@@ -196,6 +216,7 @@ RunResult RunMixed(const ServingConfig& c, int readers,
   out.updates_per_sec = static_cast<double>(stream.size() - warm) / elapsed;
   uint64_t predicts = 0, estimates = 0, samples = 0, stale_max = 0;
   double stale_sum = 0.0;
+  std::vector<double> predict_us, estimate_us;
   for (const ReaderStats& s : stats) {
     predicts += s.predicts;
     estimates += s.estimates;
@@ -204,7 +225,13 @@ RunResult RunMixed(const ServingConfig& c, int readers,
     stale_max = std::max(stale_max, s.staleness_max);
     out.monotone = out.monotone && s.versions_monotone;
     out.checksum += s.checksum;
+    predict_us.insert(predict_us.end(), s.predict_us.begin(), s.predict_us.end());
+    estimate_us.insert(estimate_us.end(), s.estimate_us.begin(), s.estimate_us.end());
   }
+  out.predict_p50_us = Percentile(predict_us, 50.0);
+  out.predict_p99_us = Percentile(predict_us, 99.0);
+  out.estimate_p50_us = Percentile(estimate_us, 50.0);
+  out.estimate_p99_us = Percentile(estimate_us, 99.0);
   out.predicts_per_sec = static_cast<double>(predicts) / elapsed;
   out.estimates_per_sec = static_cast<double>(estimates) / elapsed;
   out.staleness_mean =
@@ -414,7 +441,7 @@ int main(int argc, char** argv) {
          " examples, " + std::to_string(std::thread::hardware_concurrency()) +
          " hardware threads)");
   PrintRow({"config", "readers", "updates/s", "predicts/s", "estimates/s",
-            "stale-mean", "stale-max"});
+            "pred-p50us", "pred-p99us", "stale-mean", "stale-max"});
 
   BenchJson json("serving");
   for (const ServingConfig& c : kConfigs) {
@@ -427,6 +454,7 @@ int main(int argc, char** argv) {
       }
       PrintRow({c.label, std::to_string(r), Fmt(res.updates_per_sec, 0),
                 Fmt(res.predicts_per_sec, 0), Fmt(res.estimates_per_sec, 0),
+                Fmt(res.predict_p50_us, 2), Fmt(res.predict_p99_us, 2),
                 Fmt(res.staleness_mean, 0), Fmt(res.staleness_max, 0)});
       json.Row()
           .Str("config", std::string(c.label) + "_r" + std::to_string(r))
@@ -445,6 +473,10 @@ int main(int argc, char** argv) {
           .Num("updates_per_sec", res.updates_per_sec)
           .Num("predicts_per_sec", res.predicts_per_sec)
           .Num("estimates_per_sec", res.estimates_per_sec)
+          .Num("predict_p50_us", res.predict_p50_us)
+          .Num("predict_p99_us", res.predict_p99_us)
+          .Num("estimate_p50_us", res.estimate_p50_us)
+          .Num("estimate_p99_us", res.estimate_p99_us)
           .Num("staleness_mean_updates", res.staleness_mean)
           .Num("staleness_max_updates", res.staleness_max)
           .Num("checksum", res.checksum);

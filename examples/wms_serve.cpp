@@ -1,0 +1,168 @@
+// Serving daemon: answers predict / estimate / top-K / model-info requests
+// over the binary RPC protocol (src/net/protocol.h) on a Unix-domain socket
+// and/or a loopback TCP port, through the epoll front-end (src/net/server.h)
+// that micro-batches concurrent requests into the SIMD PredictBatch/
+// EstimateBatch kernels and serves top-K from version-keyed caches.
+//
+//   $ ./wms_serve --socket=/tmp/wms_serve.sock
+//         [--tcp-port=0] [--readers=2] [--max-batch=256]
+//         [--method=awm] [--budget-kb=8] [--seed=42]
+//         [--train=100000] [--serve-every=10000] [--train-forever]
+//
+// The model is trained on the synthetic RCV1-like stream before serving
+// starts; with --train-forever the training thread keeps ingesting (and
+// publishing every --serve-every updates) while requests are served — the
+// wait-free snapshot protocol in action. Stop the daemon with a shutdown
+// frame (net::ServingClient::Shutdown()).
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/learner.h"
+#include "datagen/classification_gen.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "util/memory_cost.h"
+
+using namespace wmsketch;
+
+namespace {
+
+Result<Method> ParseMethod(const std::string& name) {
+  for (const Method method : AllMethods()) {
+    if (MethodName(method) == name) return method;
+  }
+  return Status::InvalidArgument("unknown method '" + name +
+                                 "' (trun|ptrun|ss|cmff|hash|wm|awm)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string method_name = "awm";
+  int tcp_port = -1;
+  int readers = 2;
+  size_t max_batch = 256;
+  size_t budget_kb = 8;
+  uint64_t seed = 42;
+  uint64_t train = 100000;
+  uint64_t serve_every = 10000;
+  bool train_forever = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--socket=", 9) == 0) {
+      socket_path = arg + 9;
+    } else if (std::strncmp(arg, "--tcp-port=", 11) == 0) {
+      tcp_port = static_cast<int>(std::strtol(arg + 11, nullptr, 10));
+    } else if (std::strncmp(arg, "--readers=", 10) == 0) {
+      readers = static_cast<int>(std::strtol(arg + 10, nullptr, 10));
+    } else if (std::strncmp(arg, "--max-batch=", 12) == 0) {
+      max_batch = std::strtoull(arg + 12, nullptr, 10);
+    } else if (std::strncmp(arg, "--method=", 9) == 0) {
+      method_name = arg + 9;
+    } else if (std::strncmp(arg, "--budget-kb=", 12) == 0) {
+      budget_kb = std::strtoull(arg + 12, nullptr, 10);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--train=", 8) == 0) {
+      train = std::strtoull(arg + 8, nullptr, 10);
+    } else if (std::strncmp(arg, "--serve-every=", 14) == 0) {
+      serve_every = std::strtoull(arg + 14, nullptr, 10);
+    } else if (std::strcmp(arg, "--train-forever") == 0) {
+      train_forever = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return 2;
+    }
+  }
+  if (socket_path.empty() && tcp_port < 0) {
+    std::fprintf(stderr,
+                 "usage: wms_serve --socket=PATH and/or --tcp-port=N [options]\n");
+    return 2;
+  }
+
+  Result<Method> method = ParseMethod(method_name);
+  if (!method.ok()) {
+    std::fprintf(stderr, "error: %s\n", method.status().ToString().c_str());
+    return 1;
+  }
+  Result<Learner> built = LearnerBuilder()
+                              .SetMethod(method.value())
+                              .SetBudgetBytes(KiB(budget_kb))
+                              .SetSeed(seed)
+                              .ServeEvery(serve_every)
+                              .Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "error: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  Learner learner = std::move(built).value();
+
+  // Warm the model before serving starts so first responses are meaningful.
+  SyntheticClassificationGen stream(ClassificationProfile::Rcv1Like(), seed);
+  std::vector<Example> batch(1000);
+  for (uint64_t done = 0; done < train; done += batch.size()) {
+    for (Example& ex : batch) ex = stream.Next();
+    learner.UpdateBatch(batch);
+  }
+  learner.PublishServingSnapshot();
+
+  net::ServerOptions options;
+  options.unix_path = socket_path;
+  options.tcp_port = tcp_port;
+  options.readers = readers;
+  options.max_batch = max_batch;
+  Result<std::unique_ptr<net::ServingServer>> started =
+      net::ServingServer::Start(options, [&] { return learner.AcquireServingHandle(); });
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<net::ServingServer> server = std::move(started).value();
+
+  std::printf("wms_serve: %s budget=%zuKB readers=%d max_batch=%zu", method_name.c_str(),
+              budget_kb, readers, max_batch);
+  if (!socket_path.empty()) std::printf(" unix=%s", socket_path.c_str());
+  if (tcp_port >= 0) std::printf(" tcp=127.0.0.1:%d", server->tcp_port());
+  std::printf(" trained=%llu steps\n", static_cast<unsigned long long>(learner.steps()));
+  std::fflush(stdout);
+
+  // With --train-forever the writer keeps ingesting while readers serve;
+  // publication happens inside UpdateBatch at every serve_every boundary.
+  std::atomic<bool> stop_training{false};
+  std::thread trainer;
+  if (train_forever) {
+    trainer = std::thread([&] {
+      std::vector<Example> chunk(1000);
+      while (!stop_training.load(std::memory_order_acquire)) {
+        for (Example& ex : chunk) ex = stream.Next();
+        learner.UpdateBatch(chunk);
+      }
+    });
+  }
+
+  server->WaitForShutdown();
+  stop_training.store(true, std::memory_order_release);
+  if (trainer.joinable()) trainer.join();
+  server->Stop();
+
+  const net::ServerStats stats = server->stats();
+  std::printf(
+      "shutdown: %llu conns, %llu batched requests in %llu dispatches "
+      "(max coalesced %llu), top-K cache %llu hits / %llu misses\n",
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.requests_batched),
+      static_cast<unsigned long long>(stats.batches_dispatched),
+      static_cast<unsigned long long>(stats.max_coalesced),
+      static_cast<unsigned long long>(stats.topk_cache_hits),
+      static_cast<unsigned long long>(stats.topk_cache_misses));
+  return 0;
+}

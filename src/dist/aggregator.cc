@@ -13,23 +13,14 @@
 #include <utility>
 
 #include "core/snapshot_io.h"
+#include "net/wire.h"
 #include "util/failpoint.h"
 
 namespace wmsketch::dist {
 
-namespace {
+using net::SetIoTimeouts;
 
-Status SetIoTimeouts(int fd, int timeout_ms) {
-  if (timeout_ms <= 0) return Status::OK();
-  timeval tv{};
-  tv.tv_sec = timeout_ms / 1000;
-  tv.tv_usec = (timeout_ms % 1000) * 1000;
-  if (setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
-      setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
-    return Status::IOError(std::string("setsockopt failed: ") + std::strerror(errno));
-  }
-  return Status::OK();
-}
+namespace {
 
 uint64_t MintSessionToken() {
   // Uniqueness across restarts is what matters (a worker must never mistake

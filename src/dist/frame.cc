@@ -1,58 +1,9 @@
 #include "dist/frame.h"
 
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-
-#include "core/snapshot_io.h"
-#include "util/crc32c.h"
+#include "net/wire.h"
 #include "util/failpoint.h"
 
 namespace wmsketch::dist {
-
-namespace {
-
-// type byte + 16-byte envelope header + CRC32C.
-constexpr size_t kFrameHeaderBytes = 1 + 16 + 4;
-
-Status WriteAll(int fd, const char* data, size_t n) {
-  while (n > 0) {
-    // MSG_NOSIGNAL: a peer that died between frames must surface as EPIPE,
-    // not kill the process with SIGPIPE — the retry loops depend on it.
-    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(std::string("frame write failed: ") + std::strerror(errno));
-    }
-    data += w;
-    n -= static_cast<size_t>(w);
-  }
-  return Status::OK();
-}
-
-// Reads exactly `n` bytes unless EOF intervenes; `*got` reports the bytes
-// actually read (short only at EOF). Timeouts (SO_RCVTIMEO) and resets
-// surface as IOError.
-Status ReadUpTo(int fd, char* dst, size_t n, size_t* got) {
-  *got = 0;
-  while (*got < n) {
-    const ssize_t r = ::read(fd, dst + *got, n - *got);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return Status::IOError("frame read timed out");
-      }
-      return Status::IOError(std::string("frame read failed: ") + std::strerror(errno));
-    }
-    if (r == 0) return Status::OK();  // EOF; caller inspects *got
-    *got += static_cast<size_t>(r);
-  }
-  return Status::OK();
-}
-
-}  // namespace
 
 const char* FrameTypeName(FrameType type) {
   switch (type) {
@@ -70,83 +21,20 @@ const char* FrameTypeName(FrameType type) {
 }
 
 Status SendFrame(int fd, FrameType type, std::string_view payload) {
-  const failpoint::Action act = WMS_FAILPOINT("dist:send");
-  if (act == failpoint::Action::kError) {
-    return Status::IOError("injected send failure");
-  }
-  // Assemble the whole frame first so a torn write is a contiguous prefix —
-  // exactly what a process death mid-send leaves on a SOCK_STREAM socket.
-  std::string buf;
-  buf.reserve(kFrameHeaderBytes + payload.size());
-  buf.push_back(static_cast<char>(type));
-  char header[16];
-  const uint32_t magic = snapshot::kEnvelopeMagic;
-  const uint32_t version = snapshot::kEnvelopeVersion;
-  const uint64_t length = payload.size();
-  std::memcpy(header + 0, &magic, sizeof(magic));
-  std::memcpy(header + 4, &version, sizeof(version));
-  std::memcpy(header + 8, &length, sizeof(length));
-  buf.append(header, sizeof(header));
-  const uint32_t crc = crc32c::Extend(crc32c::Value(header, sizeof(header)),
-                                      payload.data(), payload.size());
-  buf.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
-  buf.append(payload);
-  if (act == failpoint::Action::kShortWrite) {
-    WMS_RETURN_NOT_OK(WriteAll(fd, buf.data(), buf.size() / 2));
-    return Status::IOError("injected torn write mid-frame");
-  }
-  return WriteAll(fd, buf.data(), buf.size());
+  return net::SendFrame(fd, static_cast<uint8_t>(type), payload, "dist:send");
 }
 
 Result<Frame> RecvFrame(int fd) {
-  const failpoint::Action act = WMS_FAILPOINT("dist:recv");
-  if (act == failpoint::Action::kError) {
-    return Status::IOError("injected recv failure");
-  }
-  char head[kFrameHeaderBytes];
-  size_t got = 0;
-  WMS_RETURN_NOT_OK(ReadUpTo(fd, head, 1, &got));
-  if (got == 0) return Status::NotFound("connection closed");
-  const uint8_t raw_type = static_cast<uint8_t>(head[0]);
-  if (raw_type < static_cast<uint8_t>(FrameType::kHello) ||
-      raw_type > static_cast<uint8_t>(FrameType::kShutdown)) {
-    return Status::Corruption("unknown frame type " + std::to_string(raw_type));
-  }
-  WMS_RETURN_NOT_OK(ReadUpTo(fd, head + 1, sizeof(head) - 1, &got));
-  if (got != sizeof(head) - 1) return Status::Corruption("torn frame header");
-
-  uint32_t magic, version, declared_crc;
-  uint64_t length;
-  std::memcpy(&magic, head + 1, sizeof(magic));
-  std::memcpy(&version, head + 5, sizeof(version));
-  std::memcpy(&length, head + 9, sizeof(length));
-  std::memcpy(&declared_crc, head + 17, sizeof(declared_crc));
-  if (magic != snapshot::kEnvelopeMagic) return Status::Corruption("bad frame magic");
-  if (version != snapshot::kEnvelopeVersion) {
-    return Status::Corruption("unsupported frame envelope version");
-  }
-  if (length > kMaxFramePayloadBytes) {
-    return Status::Corruption("frame payload length exceeds sanity cap");
-  }
-
-  Frame frame;
-  frame.type = static_cast<FrameType>(raw_type);
-  frame.payload.resize(static_cast<size_t>(length));
-  if (act == failpoint::Action::kShortWrite) {
-    // Consume a partial payload, then fail: the connection is now mid-frame
-    // desynchronized, exactly like a peer reset halfway through a read.
-    WMS_RETURN_NOT_OK(ReadUpTo(fd, frame.payload.data(), frame.payload.size() / 2, &got));
-    return Status::IOError("injected torn read mid-frame");
-  }
-  WMS_RETURN_NOT_OK(ReadUpTo(fd, frame.payload.data(), frame.payload.size(), &got));
-  if (got != frame.payload.size()) return Status::Corruption("torn frame payload");
-
-  const uint32_t actual_crc = crc32c::Extend(crc32c::Value(head + 1, 16),
-                                             frame.payload.data(), frame.payload.size());
-  if (actual_crc != declared_crc) return Status::Corruption("frame checksum mismatch");
+  WMS_ASSIGN_OR_RETURN(
+      net::TypedFrame typed,
+      net::RecvFrame(fd, static_cast<uint8_t>(FrameType::kHello),
+                     static_cast<uint8_t>(FrameType::kShutdown), "dist:recv"));
   if (WMS_FAILPOINT("dist:frame_decode") != failpoint::Action::kOff) {
     return Status::Corruption("injected frame decode failure");
   }
+  Frame frame;
+  frame.type = static_cast<FrameType>(typed.type);
+  frame.payload = std::move(typed.payload);
   return frame;
 }
 

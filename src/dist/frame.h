@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 
+#include "net/wire.h"
 #include "util/status.h"
 
 namespace wmsketch::dist {
@@ -46,7 +47,8 @@ const char* FrameTypeName(FrameType type);
 
 /// Upper bound on a single frame payload. Model snapshots are KBs to MBs
 /// (budgets cap them); anything near this bound is a corrupt length field.
-inline constexpr uint64_t kMaxFramePayloadBytes = uint64_t{1} << 28;
+/// (The envelope itself lives in net/wire.h, shared with the serving tier.)
+inline constexpr uint64_t kMaxFramePayloadBytes = net::kMaxFramePayloadBytes;
 
 struct Frame {
   FrameType type{};

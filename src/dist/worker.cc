@@ -12,22 +12,13 @@
 #include <thread>
 
 #include "api/learner.h"
+#include "net/wire.h"
 
 namespace wmsketch::dist {
 
-namespace {
+using net::SetIoTimeouts;
 
-Status SetIoTimeouts(int fd, int timeout_ms) {
-  if (timeout_ms <= 0) return Status::OK();
-  timeval tv{};
-  tv.tv_sec = timeout_ms / 1000;
-  tv.tv_usec = (timeout_ms % 1000) * 1000;
-  if (setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
-      setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
-    return Status::IOError(std::string("setsockopt failed: ") + std::strerror(errno));
-  }
-  return Status::OK();
-}
+namespace {
 
 // An identity rejection can never succeed on retry; everything else
 // (timeouts, torn frames, stale sessions, injected faults) is worth another

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "net/protocol.h"
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace wmsketch::net {
+
+/// Blocking client for the serving RPC protocol (net/protocol.h): one
+/// request, one response, over a Unix-domain or TCP connection. Used by the
+/// daemon's tests, the load-generator bench, and as the reference
+/// implementation for external clients. Single-threaded per instance
+/// (requests are serialized on one socket); open one client per thread.
+///
+/// Failpoint sites "net:client_send" / "net:client_recv" tear the client
+/// side of the protocol — distinct from the server's "net:send"/"net:recv"
+/// so chaos tests can kill exactly one side in-process.
+class ServingClient {
+ public:
+  static Result<ServingClient> ConnectUnix(const std::string& path,
+                                           int io_timeout_ms = 5000);
+  static Result<ServingClient> ConnectTcp(const std::string& host, int port,
+                                          int io_timeout_ms = 5000);
+
+  ServingClient(ServingClient&& other) noexcept;
+  ServingClient& operator=(ServingClient&& other) noexcept;
+  ServingClient(const ServingClient&) = delete;
+  ServingClient& operator=(const ServingClient&) = delete;
+  ~ServingClient();
+
+  /// Batched margins under one snapshot: margins[e] = wᵀ·batch[e].
+  Result<PredictResponse> Predict(std::span<const Example> batch);
+  /// Batched point estimates under one snapshot.
+  Result<EstimateResponse> Estimate(std::span<const uint32_t> features);
+  /// The k heaviest materialized features of the latest snapshot.
+  Result<TopKResponse> TopK(uint32_t k);
+  Result<ModelInfoResponse> ModelInfo();
+  /// Asks the daemon to stop serving (acked before the daemon stops).
+  Status Shutdown();
+
+  /// The connected socket (tests only — e.g. writing hand-assembled bytes).
+  int fd() const { return fd_; }
+
+ private:
+  explicit ServingClient(int fd) : fd_(fd) {}
+
+  /// One request/response exchange; checks the reply type and unwraps
+  /// kErrorResponse into its carried Status.
+  Result<TypedFrame> Call(MsgType request, std::string_view payload,
+                          MsgType expected_response);
+
+  int fd_ = -1;
+};
+
+}  // namespace wmsketch::net

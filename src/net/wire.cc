@@ -1,0 +1,185 @@
+#include "net/wire.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/snapshot_io.h"
+#include "util/crc32c.h"
+#include "util/failpoint.h"
+
+namespace wmsketch::net {
+
+Status WriteAll(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    // MSG_NOSIGNAL: a peer that died between frames must surface as EPIPE,
+    // not kill the process with SIGPIPE — the retry loops depend on it.
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("frame write failed: ") + std::strerror(errno));
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status ReadUpTo(int fd, char* dst, size_t n, size_t* got) {
+  *got = 0;
+  while (*got < n) {
+    const ssize_t r = ::read(fd, dst + *got, n - *got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IOError("frame read timed out");
+      }
+      return Status::IOError(std::string("frame read failed: ") + std::strerror(errno));
+    }
+    if (r == 0) return Status::OK();  // EOF; caller inspects *got
+    *got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status SetIoTimeouts(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return Status::OK();
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::IOError(std::string("setsockopt failed: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+std::string EncodeFrame(uint8_t type, std::string_view payload) {
+  // Assemble the whole frame first so a torn write is a contiguous prefix —
+  // exactly what a process death mid-send leaves on a SOCK_STREAM socket.
+  std::string buf;
+  buf.reserve(kFrameHeaderBytes + payload.size());
+  buf.push_back(static_cast<char>(type));
+  char header[16];
+  const uint32_t magic = snapshot::kEnvelopeMagic;
+  const uint32_t version = snapshot::kEnvelopeVersion;
+  const uint64_t length = payload.size();
+  std::memcpy(header + 0, &magic, sizeof(magic));
+  std::memcpy(header + 4, &version, sizeof(version));
+  std::memcpy(header + 8, &length, sizeof(length));
+  buf.append(header, sizeof(header));
+  const uint32_t crc = crc32c::Extend(crc32c::Value(header, sizeof(header)),
+                                      payload.data(), payload.size());
+  buf.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  buf.append(payload);
+  return buf;
+}
+
+Status SendFrame(int fd, uint8_t type, std::string_view payload,
+                 const char* failpoint_site) {
+  const failpoint::Action act = WMS_FAILPOINT(failpoint_site);
+  if (act == failpoint::Action::kError) {
+    return Status::IOError("injected send failure");
+  }
+  const std::string buf = EncodeFrame(type, payload);
+  if (act == failpoint::Action::kShortWrite) {
+    WMS_RETURN_NOT_OK(WriteAll(fd, buf.data(), buf.size() / 2));
+    return Status::IOError("injected torn write mid-frame");
+  }
+  return WriteAll(fd, buf.data(), buf.size());
+}
+
+namespace {
+
+/// Validates the 20 header bytes after the type byte (magic, version,
+/// length cap) and extracts the declared payload length + CRC.
+Status DecodeHeader(const char* head, uint64_t* length, uint32_t* declared_crc) {
+  uint32_t magic, version;
+  std::memcpy(&magic, head + 1, sizeof(magic));
+  std::memcpy(&version, head + 5, sizeof(version));
+  std::memcpy(length, head + 9, sizeof(*length));
+  std::memcpy(declared_crc, head + 17, sizeof(*declared_crc));
+  if (magic != snapshot::kEnvelopeMagic) return Status::Corruption("bad frame magic");
+  if (version != snapshot::kEnvelopeVersion) {
+    return Status::Corruption("unsupported frame envelope version");
+  }
+  if (*length > kMaxFramePayloadBytes) {
+    return Status::Corruption("frame payload length exceeds sanity cap");
+  }
+  return Status::OK();
+}
+
+Status CheckCrc(const char* head, std::string_view payload, uint32_t declared_crc) {
+  const uint32_t actual_crc = crc32c::Extend(crc32c::Value(head + 1, 16),
+                                             payload.data(), payload.size());
+  if (actual_crc != declared_crc) return Status::Corruption("frame checksum mismatch");
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TypedFrame> RecvFrame(int fd, uint8_t min_type, uint8_t max_type,
+                             const char* failpoint_site) {
+  const failpoint::Action act = WMS_FAILPOINT(failpoint_site);
+  if (act == failpoint::Action::kError) {
+    return Status::IOError("injected recv failure");
+  }
+  char head[kFrameHeaderBytes];
+  size_t got = 0;
+  WMS_RETURN_NOT_OK(ReadUpTo(fd, head, 1, &got));
+  if (got == 0) return Status::NotFound("connection closed");
+  const uint8_t raw_type = static_cast<uint8_t>(head[0]);
+  if (raw_type < min_type || raw_type > max_type) {
+    return Status::Corruption("unknown frame type " + std::to_string(raw_type));
+  }
+  WMS_RETURN_NOT_OK(ReadUpTo(fd, head + 1, sizeof(head) - 1, &got));
+  if (got != sizeof(head) - 1) return Status::Corruption("torn frame header");
+
+  uint64_t length;
+  uint32_t declared_crc;
+  WMS_RETURN_NOT_OK(DecodeHeader(head, &length, &declared_crc));
+
+  TypedFrame frame;
+  frame.type = raw_type;
+  frame.payload.resize(static_cast<size_t>(length));
+  if (act == failpoint::Action::kShortWrite) {
+    // Consume a partial payload, then fail: the connection is now mid-frame
+    // desynchronized, exactly like a peer reset halfway through a read.
+    WMS_RETURN_NOT_OK(ReadUpTo(fd, frame.payload.data(), frame.payload.size() / 2, &got));
+    return Status::IOError("injected torn read mid-frame");
+  }
+  WMS_RETURN_NOT_OK(ReadUpTo(fd, frame.payload.data(), frame.payload.size(), &got));
+  if (got != frame.payload.size()) return Status::Corruption("torn frame payload");
+
+  WMS_RETURN_NOT_OK(CheckCrc(head, frame.payload, declared_crc));
+  return frame;
+}
+
+Status TryDecodeFrame(std::string_view buf, uint8_t min_type, uint8_t max_type,
+                      TypedFrame* frame, size_t* consumed) {
+  *consumed = 0;
+  if (buf.empty()) return Status::OK();
+  // The type byte and header are validated as soon as they are available —
+  // a garbage connection is dropped without waiting for a (lying) payload
+  // length worth of bytes to accumulate.
+  const uint8_t raw_type = static_cast<uint8_t>(buf[0]);
+  if (raw_type < min_type || raw_type > max_type) {
+    return Status::Corruption("unknown frame type " + std::to_string(raw_type));
+  }
+  if (buf.size() < kFrameHeaderBytes) return Status::OK();
+  uint64_t length;
+  uint32_t declared_crc;
+  WMS_RETURN_NOT_OK(DecodeHeader(buf.data(), &length, &declared_crc));
+  if (buf.size() < kFrameHeaderBytes + length) return Status::OK();
+
+  frame->type = raw_type;
+  frame->payload.assign(buf.data() + kFrameHeaderBytes, static_cast<size_t>(length));
+  WMS_RETURN_NOT_OK(CheckCrc(buf.data(), frame->payload, declared_crc));
+  *consumed = kFrameHeaderBytes + static_cast<size_t>(length);
+  return Status::OK();
+}
+
+}  // namespace wmsketch::net

@@ -72,7 +72,9 @@ SIMD_TABLE_FILE = "tests/hash_plan_test.cc"
 # the helpers themselves (src/core/snapshot_io.*) own the raw calls.
 CHECKED_IO_FILES = ("src/core/serialization.cc", "src/api/learner.cc",
                     "src/engine/checkpoint.cc", "src/core/delta_io.cc",
-                    "src/dist/frame.cc")
+                    "src/dist/frame.cc", "src/net/wire.cc",
+                    "src/net/protocol.cc", "src/net/server.cc",
+                    "src/net/client.cc")
 SIMD_TABLE_BEGIN = "wms-lint: simd-kernel-table begin"
 SIMD_TABLE_END = "wms-lint: simd-kernel-table end"
 ALLOWLIST_PATH = os.path.join("tools", "lint", "allowlist.json")
